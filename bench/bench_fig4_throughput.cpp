@@ -1,0 +1,66 @@
+// Reproduces Figure 4: average throughput of the best configuration found
+// by each strategy (pla, bo, ipla, ibo, and optionally bo180) on the
+// synthetic grid — {small, medium, large} x {0%, 100%} time-complexity
+// imbalance x {0%, 25%} contentious operators. Error bars are the min/max
+// of the best-configuration repetitions, exactly as in the paper.
+//
+// Qualitative expectations from the paper:
+//  * 0% TiIm / 0% cont: ipla dominates medium+large; bo cannot beat it;
+//    small: everything ties.
+//  * 100% TiIm / 0% cont: informed still helps; bo partially compensates
+//    for missing topology information (bo > pla on medium/large).
+//  * 0% TiIm / 25% cont: bo helps substantially on medium/large.
+//  * 100% TiIm / 25% cont: information stops helping; everything is hard.
+//  * bo180 >= bo everywhere it is run.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stormtune;
+  const bench::Args args = bench::Args::parse(argc, argv);
+  std::printf("== Figure 4: throughput by strategy and workload cell ==\n"
+              "(%s)\n\n",
+              args.describe().c_str());
+
+  std::vector<std::string> strategies{"pla", "bo", "ipla", "ibo"};
+  if (args.bo180_steps > 0) strategies.push_back("bo180");
+
+  TextTable t({"Cell", "Strategy", "Mean tuples/s", "Min", "Max",
+               "Best step", "Best config (hints summary)"});
+
+  for (const auto& cell : bench::figure4_cells()) {
+    for (const auto& strategy : strategies) {
+      const bench::CampaignCell r =
+          bench::run_synthetic_cell(args, cell, strategy);
+      const auto& stats = r.best.best_rep_stats;
+      // Summarize hints as min/median-ish/max to keep the row readable.
+      const auto& hints = r.best.best_config.parallelism_hints;
+      int lo = 1 << 30, hi = 0;
+      long long sum = 0;
+      for (int h : hints) {
+        lo = std::min(lo, h);
+        hi = std::max(hi, h);
+        sum += h;
+      }
+      char hint_summary[64];
+      std::snprintf(hint_summary, sizeof(hint_summary),
+                    "min=%d avg=%.1f max=%d", hints.empty() ? 0 : lo,
+                    hints.empty() ? 0.0
+                                  : static_cast<double>(sum) /
+                                        static_cast<double>(hints.size()),
+                    hi);
+      t.add_row({cell.label(), strategy,
+                 TextTable::num(stats.mean, 1),
+                 TextTable::num(stats.min, 1),
+                 TextTable::num(stats.max, 1),
+                 std::to_string(r.best.best_step), hint_summary});
+      std::fprintf(stderr, "[fig4] %s %s done (mean %.1f tuples/s)\n",
+                   cell.label().c_str(), strategy.c_str(), stats.mean);
+    }
+  }
+
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Figure 5: the optimization step at which each strategy first
+// measured its best performance, per synthetic workload cell — min, average
+// and max over the optimization passes (the paper ran each optimizer twice).
+//
+// Qualitative expectations: the linear strategies converge in few steps;
+// bo needs many more; the informed variants converge faster than their
+// uninformed counterparts.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stormtune;
+  const bench::Args args = bench::Args::parse(argc, argv);
+  std::printf("== Figure 5: steps to best configuration ==\n(%s)\n\n",
+              args.describe().c_str());
+
+  const std::vector<std::string> strategies{"pla", "bo", "ipla", "ibo"};
+
+  TextTable t({"Cell", "Strategy", "Steps (min)", "Steps (avg)",
+               "Steps (max)", "Steps run"});
+
+  for (const auto& cell : bench::figure4_cells()) {
+    for (const auto& strategy : strategies) {
+      const bench::CampaignCell r =
+          bench::run_synthetic_cell(args, cell, strategy);
+      std::size_t lo = static_cast<std::size_t>(-1), hi = 0, sum = 0;
+      std::size_t steps_run = 0;
+      for (const auto& pass : r.passes) {
+        lo = std::min(lo, pass.best_step);
+        hi = std::max(hi, pass.best_step);
+        sum += pass.best_step;
+        steps_run = std::max(steps_run, pass.trace.size());
+      }
+      const double avg =
+          static_cast<double>(sum) / static_cast<double>(r.passes.size());
+      t.add_row({cell.label(), strategy, std::to_string(lo),
+                 TextTable::num(avg, 1), std::to_string(hi),
+                 std::to_string(steps_run)});
+      std::fprintf(stderr, "[fig5] %s %s done (avg best step %.1f)\n",
+                   cell.label().c_str(), strategy.c_str(), avg);
+    }
+  }
+
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Figure 6: LOESS regression smoothing (span 0.75) of the
+// Bayesian optimizer's per-step throughput traces while setting parallelism
+// hints, one series per topology size, for each of the four workload
+// quadrants. The paper's expectation: small/medium topologies find good
+// settings within the first 50/100 steps; the large topology with time
+// imbalance keeps improving past step 100.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/loess.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stormtune;
+  bench::Args args = bench::Args::parse(argc, argv);
+  // Figure 6 plots traces up to 180 steps in the paper; by default run the
+  // bo traces a bit longer than the Figure 4 budget to show the trend.
+  const std::size_t trace_steps =
+      args.bo180_steps > 0 ? args.bo180_steps : args.bo_steps + 15;
+  args.reps = 0;  // traces only; no best-config repetitions needed
+  std::printf("== Figure 6: LOESS(0.75) of bo optimization traces ==\n"
+              "(%s, trace_steps=%zu)\n\n",
+              args.describe().c_str(), trace_steps);
+
+  for (const double cont : {0.0, 0.25}) {
+    for (const bool tiim : {false, true}) {
+      std::printf("--- quadrant: TiIm=%s, contention=%s ---\n",
+                  tiim ? "100%" : "0%", cont > 0.0 ? "25%" : "0%");
+      TextTable t({"Step", "small", "medium", "large"});
+
+      // Collect smoothed traces per size.
+      std::vector<std::vector<double>> smoothed;
+      std::size_t min_len = trace_steps;
+      for (const auto size : {topo::TopologySize::kSmall,
+                              topo::TopologySize::kMedium,
+                              topo::TopologySize::kLarge}) {
+        const bench::CellSpec cell{size, tiim, cont};
+        const bench::CampaignCell r =
+            bench::run_synthetic_cell(args, cell, "bo", trace_steps);
+        std::vector<double> xs, ys;
+        for (const auto& step : r.best.trace) {
+          xs.push_back(static_cast<double>(step.step));
+          ys.push_back(step.throughput);
+        }
+        smoothed.push_back(loess_smooth(xs, ys, {.span = 0.75, .degree = 1}));
+        min_len = std::min(min_len, smoothed.back().size());
+        std::fprintf(stderr, "[fig6] %s done (%zu steps)\n",
+                     cell.label().c_str(), xs.size());
+      }
+
+      const std::size_t stride = std::max<std::size_t>(1, min_len / 12);
+      for (std::size_t i = 0; i < min_len; i += stride) {
+        t.add_row({std::to_string(i + 1),
+                   TextTable::num(smoothed[0][i], 1),
+                   TextTable::num(smoothed[1][i], 1),
+                   TextTable::num(smoothed[2][i], 1)});
+      }
+      std::printf("%s\n", t.render().c_str());
+    }
+  }
+  return 0;
+}

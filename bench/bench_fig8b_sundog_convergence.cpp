@@ -1,0 +1,63 @@
+// Reproduces Figure 8b: convergence of the Sundog tuning experiments —
+// LOESS-smoothed per-step throughput for pla.h, bo.h, bo.h+bs+bp and
+// bo.bs+bp+cc.
+//
+// Paper shape: optimizing parallelism alone stays flat (dashed line);
+// adding batch size/parallelism eventually reaches ~3x (solid); fixing
+// hints at the pla optimum and tuning batch+concurrency (dot-dashed) gets
+// there fastest.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/loess.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stormtune;
+  bench::Args args = bench::Args::parse(argc, argv);
+  if (!args.full) {
+    args.bo_steps = std::max<std::size_t>(args.bo_steps, 60);
+    args.pla_steps = std::max<std::size_t>(args.pla_steps, 25);
+  }
+  args.reps = 0;  // traces only
+  std::printf("== Figure 8b: Sundog tuning convergence (LOESS 0.75) ==\n"
+              "(%s)\n\n",
+              args.describe().c_str());
+
+  struct Series {
+    std::string strategy;
+    std::string set;
+    std::vector<double> smooth;
+  };
+  std::vector<Series> series{{"pla", "h", {}},
+                             {"bo", "h", {}},
+                             {"bo", "h_bs_bp", {}},
+                             {"bo", "bs_bp_cc", {}}};
+
+  std::size_t min_len = static_cast<std::size_t>(-1);
+  for (auto& s : series) {
+    const bench::SundogResult r =
+        bench::run_sundog_campaign(args, s.strategy, s.set);
+    std::vector<double> xs, ys;
+    for (const auto& step : r.best.trace) {
+      xs.push_back(static_cast<double>(step.step));
+      ys.push_back(step.throughput);
+    }
+    s.smooth = loess_smooth(xs, ys, {.span = 0.75, .degree = 1});
+    min_len = std::min(min_len, s.smooth.size());
+    std::fprintf(stderr, "[fig8b] %s.%s done (%zu steps)\n",
+                 s.strategy.c_str(), s.set.c_str(), xs.size());
+  }
+
+  TextTable t({"Step", "pla.h", "bo.h", "bo.h_bs_bp", "bo.bs_bp_cc"});
+  const std::size_t stride = std::max<std::size_t>(1, min_len / 15);
+  for (std::size_t i = 0; i < min_len; i += stride) {
+    t.add_row({std::to_string(i + 1),
+               bench::format_rate(series[0].smooth[i]),
+               bench::format_rate(series[1].smooth[i]),
+               bench::format_rate(series[2].smooth[i]),
+               bench::format_rate(series[3].smooth[i])});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

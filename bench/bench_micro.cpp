@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark) of the performance-critical kernels:
+// the discrete-event engine, Cholesky factorization, GP fitting/prediction,
+// acquisition evaluation, and a full optimizer suggestion step. These back
+// Figure 7's scalability claims with component-level numbers.
+#include <benchmark/benchmark.h>
+
+#include "bayesopt/bayesopt.hpp"
+#include "common/rng.hpp"
+#include "gp/gp_regressor.hpp"
+#include "stormsim/engine.hpp"
+#include "topology/sundog.hpp"
+#include "topology/synthetic.hpp"
+
+namespace {
+
+using namespace stormtune;
+
+void BM_CholeskyFactorization(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  Matrix a = b.multiply(b.transposed());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  for (auto _ : state) {
+    Cholesky chol(a);
+    benchmark::DoNotOptimize(chol.log_determinant());
+  }
+}
+BENCHMARK(BM_CholeskyFactorization)->Arg(30)->Arg(60)->Arg(180);
+
+void BM_GpFitAndPredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 10;
+  Rng rng(2);
+  Matrix x(n, d);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniform();
+    y[i] = rng.normal();
+  }
+  gp::Kernel kernel(gp::KernelFamily::kMatern52, d, false);
+  gp::GpRegressor gp(kernel, 1e-3);
+  std::vector<double> q(d, 0.5);
+  for (auto _ : state) {
+    gp.fit(x, y);
+    benchmark::DoNotOptimize(gp.predict(q));
+  }
+}
+BENCHMARK(BM_GpFitAndPredict)->Arg(30)->Arg(60)->Arg(120);
+
+void BM_EngineSyntheticRun(benchmark::State& state) {
+  topo::SyntheticSpec spec;
+  spec.size = static_cast<topo::TopologySize>(state.range(0));
+  const sim::Topology topology = topo::build_synthetic(spec);
+  sim::SimParams params = topo::synthetic_sim_params();
+  params.duration_s = 15.0;
+  const sim::TopologyConfig config = sim::uniform_hint_config(topology, 8);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto r = sim::simulate(topology, config, topo::paper_cluster(),
+                                 params, seed++);
+    benchmark::DoNotOptimize(r.throughput_tuples_per_s);
+  }
+}
+BENCHMARK(BM_EngineSyntheticRun)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineSundogRun(benchmark::State& state) {
+  const sim::Topology topology = topo::build_sundog();
+  sim::SimParams params = topo::sundog_sim_params();
+  params.duration_s = 15.0;
+  const auto config = topo::sundog_baseline_config(topology);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto r = sim::simulate(topology, config, topo::sundog_cluster(),
+                                 params, seed++);
+    benchmark::DoNotOptimize(r.batches_committed);
+  }
+}
+BENCHMARK(BM_EngineSundogRun)->Unit(benchmark::kMillisecond);
+
+void BM_BayesOptSuggest(benchmark::State& state) {
+  // Figure 7's unit of work: one suggestion given `range(0)`-many
+  // observations in a 51-dimensional space (the medium topology).
+  const std::size_t dims = 51;
+  std::vector<bo::ParamSpec> specs;
+  for (std::size_t i = 0; i < dims; ++i) {
+    specs.push_back(bo::ParamSpec::integer("h" + std::to_string(i), 1, 20));
+  }
+  bo::BayesOptOptions opts;
+  opts.hyper_mode = bo::HyperMode::kSliceSample;
+  opts.hyper_samples = 3;
+  opts.hyper_burn_in = 5;
+  opts.num_candidates = 256;
+  opts.seed = 3;
+  bo::BayesOpt opt(bo::ParamSpace(specs), opts);
+  Rng rng(4);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    auto x = opt.space().sample(rng);
+    opt.observe(std::move(x), rng.normal());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.suggest());
+  }
+}
+BENCHMARK(BM_BayesOptSuggest)->Arg(10)->Arg(30)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,280 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "topology/sundog.hpp"
+#include "tuning/objective.hpp"
+
+namespace stormtune::bench {
+
+Args Args::parse(int argc, char** argv) {
+  Args args;
+  // First pass: --full rescales every default to the paper protocol.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+      args.pla_steps = 60;
+      args.bo_steps = 60;
+      args.bo180_steps = 180;
+      args.reps = 30;
+      args.passes = 2;
+      args.duration_s = 120.0;
+    }
+  }
+  auto value_of = [&](const char* arg, const char* key) -> const char* {
+    const std::size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') return arg + n + 1;
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--full") == 0) continue;
+    if (const char* v = value_of(a, "--steps")) {
+      args.pla_steps = args.bo_steps = std::stoul(v);
+    } else if (const char* v = value_of(a, "--bo-steps")) {
+      args.bo_steps = std::stoul(v);
+    } else if (const char* v = value_of(a, "--bo180")) {
+      args.bo180_steps = std::stoul(v);
+    } else if (const char* v = value_of(a, "--reps")) {
+      args.reps = std::stoul(v);
+    } else if (const char* v = value_of(a, "--passes")) {
+      args.passes = std::stoul(v);
+    } else if (const char* v = value_of(a, "--duration")) {
+      args.duration_s = std::stod(v);
+    } else if (const char* v = value_of(a, "--seed")) {
+      args.seed = std::stoull(v);
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' (expected --full, --steps=N, "
+                   "--bo-steps=N, --bo180=N, --reps=N, --passes=N, "
+                   "--duration=S, --seed=N)\n",
+                   a);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+std::string Args::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "scale=%s pla_steps=%zu bo_steps=%zu bo180=%zu reps=%zu "
+                "passes=%zu window=%.0fs seed=%llu",
+                full ? "full(paper)" : "quick", pla_steps, bo_steps,
+                bo180_steps, reps, passes, duration_s,
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+std::string CellSpec::label() const {
+  return topo::to_string(size) + (time_imbalance ? "/TiIm100" : "/TiIm0") +
+         (contention > 0.0 ? "/cont25" : "/cont0");
+}
+
+std::vector<CellSpec> figure4_cells() {
+  std::vector<CellSpec> cells;
+  for (const double cont : {0.0, 0.25}) {
+    for (const bool tiim : {false, true}) {
+      for (const auto size : {topo::TopologySize::kSmall,
+                              topo::TopologySize::kMedium,
+                              topo::TopologySize::kLarge}) {
+        cells.push_back(CellSpec{size, tiim, cont});
+      }
+    }
+  }
+  return cells;
+}
+
+sim::TopologyConfig synthetic_defaults() {
+  sim::TopologyConfig c;
+  c.batch_size = 200;
+  c.batch_parallelism = 5;
+  c.worker_threads = 8;
+  c.receiver_threads = 1;
+  c.num_ackers = 0;
+  return c;
+}
+
+bo::BayesOptOptions bench_bo_options(std::uint64_t seed) {
+  bo::BayesOptOptions o;
+  o.kernel = gp::KernelFamily::kMatern52;
+  o.ard = false;  // isotropic keeps step times practical at 100 dims
+  o.acquisition = bo::AcquisitionKind::kExpectedImprovement;
+  o.hyper_mode = bo::HyperMode::kSliceSample;
+  o.hyper_samples = 3;
+  o.hyper_burn_in = 5;
+  o.initial_design = 5;
+  o.num_candidates = 256;
+  o.local_search_iters = 10;
+  o.seed = seed;
+  return o;
+}
+
+std::unique_ptr<tuning::Tuner> make_synthetic_tuner(
+    const std::string& strategy, const sim::Topology& topology,
+    const sim::TopologyConfig& defaults, std::uint64_t seed) {
+  if (strategy == "pla") {
+    return std::make_unique<tuning::PlaTuner>(topology, defaults, false);
+  }
+  if (strategy == "ipla") {
+    return std::make_unique<tuning::PlaTuner>(topology, defaults, true);
+  }
+  if (strategy == "bo" || strategy == "bo180") {
+    tuning::SpaceOptions sopts;
+    sopts.tune_hints = true;
+    sopts.informed = false;
+    sopts.tune_max_tasks = true;
+    sopts.hint_max = 30;
+    sopts.max_tasks_min = static_cast<int>(topology.num_nodes());
+    sopts.max_tasks_max = static_cast<int>(topology.num_nodes()) * 12;
+    tuning::ConfigSpace space(topology, sopts, defaults);
+    return std::make_unique<tuning::BayesTuner>(std::move(space),
+                                                bench_bo_options(seed),
+                                                strategy);
+  }
+  if (strategy == "ibo") {
+    tuning::SpaceOptions sopts;
+    sopts.tune_hints = true;
+    sopts.informed = true;
+    sopts.tune_max_tasks = true;
+    sopts.multiplier_max = 12.0;
+    sopts.max_tasks_min = static_cast<int>(topology.num_nodes());
+    sopts.max_tasks_max = static_cast<int>(topology.num_nodes()) * 12;
+    tuning::ConfigSpace space(topology, sopts, defaults);
+    return std::make_unique<tuning::BayesTuner>(std::move(space),
+                                                bench_bo_options(seed),
+                                                "ibo");
+  }
+  if (strategy == "random") {
+    tuning::SpaceOptions sopts;
+    sopts.hint_max = 20;
+    tuning::ConfigSpace space(topology, sopts, defaults);
+    return std::make_unique<tuning::RandomTuner>(std::move(space), seed);
+  }
+  STORMTUNE_REQUIRE(false, "unknown strategy '" + strategy + "'");
+  return nullptr;
+}
+
+tuning::ExperimentOptions experiment_options(const Args& args,
+                                             const std::string& strategy,
+                                             std::size_t step_override) {
+  tuning::ExperimentOptions o;
+  if (step_override > 0) {
+    o.max_steps = step_override;
+  } else if (strategy == "bo180") {
+    o.max_steps = args.bo180_steps > 0 ? args.bo180_steps : args.bo_steps;
+  } else if (strategy == "bo" || strategy == "ibo" || strategy == "random") {
+    o.max_steps = args.bo_steps;
+  } else {
+    o.max_steps = args.pla_steps;
+  }
+  o.zero_streak_stop = 3;  // the paper's early-stop rule
+  o.best_config_reps = args.reps;
+  return o;
+}
+
+CampaignCell run_synthetic_cell(const Args& args, const CellSpec& cell,
+                                const std::string& strategy,
+                                std::size_t step_override) {
+  topo::SyntheticSpec spec;
+  spec.size = cell.size;
+  spec.time_imbalance = cell.time_imbalance;
+  spec.contention_fraction = cell.contention;
+  const sim::Topology topology = topo::build_synthetic(spec);
+
+  sim::SimParams params = topo::synthetic_sim_params();
+  params.duration_s = args.duration_s;
+
+  // A fixed objective seed per cell keeps strategies comparable; the
+  // optimizer passes get distinct seeds.
+  const std::uint64_t cell_seed =
+      args.seed + static_cast<std::uint64_t>(cell.size) * 101 +
+      (cell.time_imbalance ? 13 : 0) + (cell.contention > 0.0 ? 29 : 0);
+  tuning::SimObjective objective(topology, topo::paper_cluster(), params,
+                                 cell_seed);
+
+  CampaignCell out;
+  out.cell = cell;
+  out.strategy = strategy;
+  out.best = tuning::run_campaign(
+      [&](std::size_t pass) {
+        return make_synthetic_tuner(strategy, topology, synthetic_defaults(),
+                                    cell_seed * 7919 + pass);
+      },
+      objective, experiment_options(args, strategy, step_override),
+      args.passes, &out.passes);
+  return out;
+}
+
+std::unique_ptr<tuning::Tuner> make_sundog_tuner(
+    const std::string& strategy, const std::string& param_set,
+    const sim::Topology& topology, std::uint64_t seed) {
+  const sim::TopologyConfig defaults =
+      topo::sundog_baseline_config(topology, 11);
+  if (strategy == "pla") {
+    STORMTUNE_REQUIRE(param_set == "h",
+                      "pla can only tune parallelism hints");
+    return std::make_unique<tuning::PlaTuner>(topology, defaults, false);
+  }
+  STORMTUNE_REQUIRE(strategy == "bo" || strategy == "bo180",
+                    "unknown sundog strategy '" + strategy + "'");
+  tuning::SpaceOptions sopts;
+  sopts.hint_max = 40;
+  sopts.max_tasks_min = static_cast<int>(topology.num_nodes());
+  sopts.max_tasks_max = 2000;
+  if (param_set == "h") {
+    // hints + max-tasks only.
+  } else if (param_set == "h_bs_bp") {
+    sopts.tune_batch = true;
+  } else if (param_set == "bs_bp_cc") {
+    sopts.tune_hints = false;  // hints stay at the pla optimum (11)
+    sopts.tune_batch = true;
+    sopts.tune_concurrency = true;
+  } else {
+    STORMTUNE_REQUIRE(false, "unknown sundog param set '" + param_set + "'");
+  }
+  tuning::ConfigSpace space(topology, sopts, defaults);
+  return std::make_unique<tuning::BayesTuner>(
+      std::move(space), bench_bo_options(seed),
+      strategy + "." + param_set);
+}
+
+SundogResult run_sundog_campaign(const Args& args,
+                                 const std::string& strategy,
+                                 const std::string& param_set,
+                                 std::size_t step_override) {
+  const sim::Topology topology = topo::build_sundog();
+  sim::SimParams params = topo::sundog_sim_params();
+  params.duration_s = args.duration_s;
+  tuning::SimObjective objective(topology, topo::sundog_cluster(), params,
+                                 args.seed + 4242);
+  SundogResult out;
+  out.strategy = strategy;
+  out.param_set = param_set;
+  out.best = tuning::run_campaign(
+      [&](std::size_t pass) {
+        return make_sundog_tuner(strategy, param_set, topology,
+                                 args.seed * 31 + pass * 1009 +
+                                     std::hash<std::string>{}(param_set));
+      },
+      objective, experiment_options(args, strategy, step_override),
+      args.passes, &out.passes);
+  return out;
+}
+
+std::string format_rate(double tuples_per_s) {
+  char buf[32];
+  if (tuples_per_s >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", tuples_per_s / 1e6);
+  } else if (tuples_per_s >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fk", tuples_per_s / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", tuples_per_s);
+  }
+  return buf;
+}
+
+}  // namespace stormtune::bench

@@ -1,0 +1,108 @@
+// Shared infrastructure for the paper-reproduction benchmark binaries.
+//
+// Every bench binary regenerates one table or figure of the paper. They
+// default to a reduced scale (shorter simulated windows, fewer optimization
+// steps and repetitions) so the whole suite runs in minutes; pass --full to
+// reproduce the paper's exact protocol (60/180 steps, 120 s windows, 30
+// repetitions, 2 passes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bayesopt/bayesopt.hpp"
+#include "stormsim/cluster.hpp"
+#include "stormsim/config.hpp"
+#include "stormsim/topology.hpp"
+#include "topology/synthetic.hpp"
+#include "tuning/experiment.hpp"
+#include "tuning/tuner.hpp"
+
+namespace stormtune::bench {
+
+struct Args {
+  bool full = false;
+  std::size_t pla_steps = 20;
+  std::size_t bo_steps = 25;
+  std::size_t bo180_steps = 0;  ///< 0 disables the bo180 runs
+  std::size_t reps = 10;        ///< best-config repetitions
+  std::size_t passes = 2;       ///< independent optimization passes
+  double duration_s = 15.0;     ///< simulated measurement window
+  std::uint64_t seed = 2015;    ///< campaign base seed (the paper's year)
+
+  /// Parse --full, --steps=N, --bo-steps=N, --bo180=N, --reps=N,
+  /// --passes=N, --duration=S, --seed=N. --full switches every default to
+  /// the paper-scale protocol first; explicit flags then override.
+  static Args parse(int argc, char** argv);
+
+  std::string describe() const;
+};
+
+/// One cell of the paper's synthetic grid (Figures 4-7).
+struct CellSpec {
+  topo::TopologySize size = topo::TopologySize::kSmall;
+  bool time_imbalance = false;
+  double contention = 0.0;
+
+  std::string label() const;
+};
+
+/// All 12 cells: {small,medium,large} x {0,100}% TiIm x {0,25}% contention.
+std::vector<CellSpec> figure4_cells();
+
+/// Default deployment configuration for synthetic-topology experiments.
+sim::TopologyConfig synthetic_defaults();
+
+/// Bayesian-optimizer options used by the bench harness (Spearmint-like:
+/// Matern 5/2, EI, slice-sampled hyperparameters kept light).
+bo::BayesOptOptions bench_bo_options(std::uint64_t seed);
+
+/// Build a tuner by strategy name: "pla", "ipla", "bo", "ibo", "random".
+std::unique_ptr<tuning::Tuner> make_synthetic_tuner(
+    const std::string& strategy, const sim::Topology& topology,
+    const sim::TopologyConfig& defaults, std::uint64_t seed);
+
+/// Experiment options derived from Args for a given strategy.
+tuning::ExperimentOptions experiment_options(const Args& args,
+                                             const std::string& strategy,
+                                             std::size_t step_override = 0);
+
+/// Result of tuning one (cell, strategy) pair with the campaign protocol.
+struct CampaignCell {
+  CellSpec cell;
+  std::string strategy;
+  tuning::ExperimentResult best;             ///< better of the passes
+  std::vector<tuning::ExperimentResult> passes;
+};
+
+/// Run the full campaign for one cell and strategy.
+CampaignCell run_synthetic_cell(const Args& args, const CellSpec& cell,
+                                const std::string& strategy,
+                                std::size_t step_override = 0);
+
+/// Format tuples/s compactly (e.g. "611k", "1.68M").
+std::string format_rate(double tuples_per_s);
+
+/// Sundog parameter sets of Section V-D: "h" (hints + max-tasks),
+/// "h_bs_bp" (plus batch size / batch parallelism), "bs_bp_cc" (hints fixed
+/// at the pla optimum; batch + concurrency parameters tuned).
+std::unique_ptr<tuning::Tuner> make_sundog_tuner(
+    const std::string& strategy, const std::string& param_set,
+    const sim::Topology& topology, std::uint64_t seed);
+
+/// Run one Sundog tuning campaign (strategy x parameter set).
+struct SundogResult {
+  std::string strategy;
+  std::string param_set;
+  tuning::ExperimentResult best;
+  std::vector<tuning::ExperimentResult> passes;
+};
+
+SundogResult run_sundog_campaign(const Args& args,
+                                 const std::string& strategy,
+                                 const std::string& param_set,
+                                 std::size_t step_override = 0);
+
+}  // namespace stormtune::bench

@@ -1,0 +1,71 @@
+// Bottleneck attribution: why does a configuration perform the way it
+// does? The simulator records per-node stage times and busy work, which
+// turns a throughput number into an explanation — and shows *what* the
+// Bayesian optimizer fixed when it reconfigured the deployment.
+//
+//   $ ./bottleneck_analysis
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "stormsim/engine.hpp"
+#include "topology/sundog.hpp"
+
+using namespace stormtune;
+
+namespace {
+
+void report(const char* title, const sim::Topology& topology,
+            const sim::SimResult& r) {
+  std::printf("%s\n  throughput %.2fM lines/s, cpu %.0f%%, "
+              "batch latency %.0f ms\n",
+              title, r.throughput_tuples_per_s / 1e6,
+              r.cpu_utilization * 100.0, r.mean_batch_latency_ms);
+  // Top-4 stages by mean stage time.
+  std::vector<std::size_t> order(r.node_stats.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return r.node_stats[a].mean_stage_ms > r.node_stats[b].mean_stage_ms;
+  });
+  std::printf("  %-8s %6s %12s %12s\n", "node", "tasks", "stage (ms)",
+              "busy (core-s)");
+  for (std::size_t i = 0; i < std::min<std::size_t>(4, order.size()); ++i) {
+    const sim::NodeStats& ns = r.node_stats[order[i]];
+    std::printf("  %-8s %6zu %12.1f %12.1f\n", ns.name.c_str(), ns.tasks,
+                ns.mean_stage_ms, ns.busy_core_ms / 1000.0);
+  }
+  (void)topology;
+}
+
+}  // namespace
+
+int main() {
+  const sim::Topology sundog = topo::build_sundog();
+  sim::SimParams params = topo::sundog_sim_params();
+  params.duration_s = 20.0;
+  params.throughput_noise_sd = 0.0;
+  const sim::ClusterSpec cluster = topo::sundog_cluster();
+
+  // 1. The developers' deployment: where does the time go?
+  const sim::TopologyConfig hand = topo::sundog_baseline_config(sundog);
+  const auto before = sim::simulate(sundog, hand, cluster, params, 1);
+  report("hand-tuned (bs=50k, bp=5, hints=11):", sundog, before);
+
+  // 2. The optimizer's deployment (the Figure 8a h+bs+bp result shape):
+  //    larger batches amortize the serial commit; more in-flight batches
+  //    fill the pipeline. The bottleneck moves from the commit stage into
+  //    the actual processing stages.
+  sim::TopologyConfig tuned = hand;
+  tuned.batch_size = 265312;
+  tuned.batch_parallelism = 16;
+  const auto after = sim::simulate(sundog, tuned, cluster, params, 1);
+  std::printf("\n");
+  report("optimizer-tuned (bs=265k, bp=16):", sundog, after);
+
+  std::printf("\nspeedup: %.2fx — the per-batch stage times grew ~5x (the\n"
+              "batches are 5.3x larger) but 16 batches overlap, so the\n"
+              "commit stage stopped pacing the pipeline.\n",
+              after.throughput_tuples_per_s /
+                  before.throughput_tuples_per_s);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// The paper's headline experiment in miniature: tune the Sundog entity
+// ranking topology (Section IV-A / V-D) on the simulated 80-machine
+// cluster, first the way its developers deployed it, then with Bayesian
+// Optimization over batch size, batch parallelism and the concurrency
+// parameters.
+//
+//   $ ./sundog_tuning [steps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "stormsim/engine.hpp"
+#include "topology/sundog.hpp"
+#include "tuning/experiment.hpp"
+
+using namespace stormtune;
+
+int main(int argc, char** argv) {
+  const std::size_t steps = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
+
+  const sim::Topology sundog = topo::build_sundog();
+  sim::SimParams params = topo::sundog_sim_params();
+  params.duration_s = 15.0;  // keep the example fast; the paper used 120 s
+  const sim::ClusterSpec cluster = topo::sundog_cluster();
+
+  std::printf("Sundog: %zu operators, %zu streams, 1 spout\n\n",
+              sundog.num_nodes(), sundog.num_edges());
+
+  // The deployment Sundog's developers hand-tuned: batch size 50,000 lines,
+  // batch parallelism 5, parallelism hint 11, one acker per worker.
+  const sim::TopologyConfig hand_tuned = topo::sundog_baseline_config(sundog);
+  const auto baseline = sim::simulate(sundog, hand_tuned, cluster, params, 1);
+  std::printf("hand-tuned deployment: %.2f million lines/s\n",
+              baseline.throughput_tuples_per_s / 1e6);
+
+  // Bayesian Optimization over batch + concurrency parameters, keeping the
+  // hints at the developers' value — the paper's "bs bp cc" experiment.
+  tuning::SpaceOptions what;
+  what.tune_hints = false;
+  what.tune_batch = true;
+  what.tune_concurrency = true;
+  tuning::ConfigSpace space(sundog, what, hand_tuned);
+
+  bo::BayesOptOptions bopts;
+  bopts.seed = 2015;
+  tuning::BayesTuner tuner(std::move(space), bopts, "bo.bs_bp_cc");
+  tuning::SimObjective objective(sundog, cluster, params, 99);
+  tuning::ExperimentOptions protocol;
+  protocol.max_steps = steps;
+  protocol.best_config_reps = 10;
+
+  std::printf("running %zu optimization steps...\n", steps);
+  const auto result = tuning::run_experiment(tuner, objective, protocol);
+
+  std::printf("tuned deployment:      %.2f million lines/s  (%.2fx)\n",
+              result.best_rep_stats.mean / 1e6,
+              result.best_rep_stats.mean /
+                  baseline.throughput_tuples_per_s);
+  std::printf("  best configuration: %s (found at step %zu)\n",
+              result.best_config.describe().c_str(), result.best_step);
+  std::printf(
+      "\nThe optimizer's batch size/parallelism should land far above the\n"
+      "developers' 50k/5 — the paper's Spearmint chose 265,312 and 16,\n"
+      "values the developers said they would never have tried by hand.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "bayesopt/acquisition.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace stormtune::bo {
+
+std::string to_string(AcquisitionKind kind) {
+  switch (kind) {
+    case AcquisitionKind::kExpectedImprovement: return "ei";
+    case AcquisitionKind::kProbabilityOfImprovement: return "pi";
+    case AcquisitionKind::kUpperConfidenceBound: return "ucb";
+  }
+  return "unknown";
+}
+
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) * 0.39894228040143267794;
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z * 0.70710678118654752440);
+}
+
+double expected_improvement(double mean, double variance, double best,
+                            double xi) {
+  STORMTUNE_REQUIRE(variance >= 0.0, "expected_improvement: variance < 0");
+  const double improvement = mean - best - xi;
+  if (variance == 0.0) return improvement > 0.0 ? improvement : 0.0;
+  const double sd = std::sqrt(variance);
+  const double z = improvement / sd;
+  return improvement * normal_cdf(z) + sd * normal_pdf(z);
+}
+
+double probability_of_improvement(double mean, double variance, double best,
+                                  double xi) {
+  STORMTUNE_REQUIRE(variance >= 0.0, "probability_of_improvement: variance < 0");
+  const double improvement = mean - best - xi;
+  if (variance == 0.0) return improvement > 0.0 ? 1.0 : 0.0;
+  return normal_cdf(improvement / std::sqrt(variance));
+}
+
+double upper_confidence_bound(double mean, double variance, double beta) {
+  STORMTUNE_REQUIRE(variance >= 0.0, "upper_confidence_bound: variance < 0");
+  return mean + beta * std::sqrt(variance);
+}
+
+double acquisition_value(AcquisitionKind kind, double mean, double variance,
+                         double best, double xi, double beta) {
+  switch (kind) {
+    case AcquisitionKind::kExpectedImprovement:
+      return expected_improvement(mean, variance, best, xi);
+    case AcquisitionKind::kProbabilityOfImprovement:
+      return probability_of_improvement(mean, variance, best, xi);
+    case AcquisitionKind::kUpperConfidenceBound:
+      return upper_confidence_bound(mean, variance, beta);
+  }
+  return 0.0;
+}
+
+}  // namespace stormtune::bo

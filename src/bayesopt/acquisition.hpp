@@ -1,0 +1,41 @@
+// Acquisition functions for Bayesian Optimization.
+//
+// The paper uses Expected Improvement (Mockus 1978), the Spearmint default;
+// Probability of Improvement and GP-UCB are provided as the other two
+// "most common ones" it names, and feed the acquisition ablation bench.
+// All formulas are written for *maximization* of the objective, matching
+// the paper's throughput-maximization setting.
+#pragma once
+
+#include <string>
+
+namespace stormtune::bo {
+
+enum class AcquisitionKind { kExpectedImprovement, kProbabilityOfImprovement,
+                             kUpperConfidenceBound };
+
+std::string to_string(AcquisitionKind kind);
+
+/// Standard normal PDF.
+double normal_pdf(double z);
+
+/// Standard normal CDF (via erfc, accurate over the full range).
+double normal_cdf(double z);
+
+/// EI(x) = E[max(0, f(x) - f_best)] for a Gaussian predictive distribution
+/// with the given mean/variance. `xi` is the optional exploration offset.
+double expected_improvement(double mean, double variance, double best,
+                            double xi = 0.0);
+
+/// PI(x) = P(f(x) > f_best + xi).
+double probability_of_improvement(double mean, double variance, double best,
+                                  double xi = 0.0);
+
+/// UCB(x) = mean + beta * std.
+double upper_confidence_bound(double mean, double variance, double beta = 2.0);
+
+/// Dispatch on `kind`; `best` is ignored by UCB, `beta` by EI/PI.
+double acquisition_value(AcquisitionKind kind, double mean, double variance,
+                         double best, double xi = 0.0, double beta = 2.0);
+
+}  // namespace stormtune::bo

@@ -1,0 +1,323 @@
+#include "bayesopt/bayesopt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace stormtune::bo {
+
+std::string to_string(HyperMode mode) {
+  switch (mode) {
+    case HyperMode::kSliceSample: return "slice";
+    case HyperMode::kMle: return "mle";
+    case HyperMode::kFixed: return "fixed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+gp::KernelFamily kernel_from_string(const std::string& s) {
+  if (s == "se") return gp::KernelFamily::kSquaredExponential;
+  if (s == "matern32") return gp::KernelFamily::kMatern32;
+  if (s == "matern52") return gp::KernelFamily::kMatern52;
+  STORMTUNE_REQUIRE(false, "unknown kernel family '" + s + "'");
+  return gp::KernelFamily::kMatern52;
+}
+
+AcquisitionKind acquisition_from_string(const std::string& s) {
+  if (s == "ei") return AcquisitionKind::kExpectedImprovement;
+  if (s == "pi") return AcquisitionKind::kProbabilityOfImprovement;
+  if (s == "ucb") return AcquisitionKind::kUpperConfidenceBound;
+  STORMTUNE_REQUIRE(false, "unknown acquisition '" + s + "'");
+  return AcquisitionKind::kExpectedImprovement;
+}
+
+HyperMode hyper_mode_from_string(const std::string& s) {
+  if (s == "slice") return HyperMode::kSliceSample;
+  if (s == "mle") return HyperMode::kMle;
+  if (s == "fixed") return HyperMode::kFixed;
+  STORMTUNE_REQUIRE(false, "unknown hyper mode '" + s + "'");
+  return HyperMode::kSliceSample;
+}
+
+}  // namespace
+
+Json BayesOptOptions::to_json() const {
+  JsonObject o;
+  o["kernel"] = gp::to_string(kernel);
+  o["ard"] = ard;
+  o["acquisition"] = bo::to_string(acquisition);
+  o["hyper_mode"] = bo::to_string(hyper_mode);
+  o["hyper_samples"] = hyper_samples;
+  o["hyper_burn_in"] = hyper_burn_in;
+  o["initial_design"] = initial_design;
+  o["num_candidates"] = num_candidates;
+  o["local_search_iters"] = local_search_iters;
+  o["xi"] = xi;
+  o["ucb_beta"] = ucb_beta;
+  o["fixed_noise_variance"] = fixed_noise_variance;
+  o["seed"] = static_cast<double>(seed);
+  return Json(std::move(o));
+}
+
+BayesOptOptions BayesOptOptions::from_json(const Json& j) {
+  BayesOptOptions o;
+  o.kernel = kernel_from_string(j.at("kernel").as_string());
+  o.ard = j.at("ard").as_bool();
+  o.acquisition = acquisition_from_string(j.at("acquisition").as_string());
+  o.hyper_mode = hyper_mode_from_string(j.at("hyper_mode").as_string());
+  o.hyper_samples = static_cast<std::size_t>(j.at("hyper_samples").as_int());
+  o.hyper_burn_in = static_cast<std::size_t>(j.at("hyper_burn_in").as_int());
+  o.initial_design = static_cast<std::size_t>(j.at("initial_design").as_int());
+  o.num_candidates = static_cast<std::size_t>(j.at("num_candidates").as_int());
+  o.local_search_iters =
+      static_cast<std::size_t>(j.at("local_search_iters").as_int());
+  o.xi = j.at("xi").as_number();
+  o.ucb_beta = j.at("ucb_beta").as_number();
+  o.fixed_noise_variance = j.at("fixed_noise_variance").as_number();
+  o.seed = static_cast<std::uint64_t>(j.at("seed").as_number());
+  return o;
+}
+
+BayesOpt::BayesOpt(ParamSpace space, BayesOptOptions options)
+    : space_(std::move(space)), options_(options), rng_(options.seed) {
+  STORMTUNE_REQUIRE(options_.hyper_samples > 0,
+                    "BayesOpt: hyper_samples must be > 0");
+  STORMTUNE_REQUIRE(options_.num_candidates > 0,
+                    "BayesOpt: num_candidates must be > 0");
+}
+
+/// GP surrogate over standardized targets with a set of hyperparameter
+/// samples to marginalize over.
+struct BayesOpt::Surrogate {
+  std::vector<gp::GpRegressor> gps;  // one per hyperparameter sample
+  double y_mean = 0.0;
+  double y_scale = 1.0;
+  double best_standardized = 0.0;
+
+  /// Acquisition averaged over the hyperparameter samples.
+  double acquisition(const BayesOptOptions& opts,
+                     std::span<const double> u) const {
+    double acc = 0.0;
+    for (const auto& g : gps) {
+      const gp::Prediction p = g.predict(u);
+      acc += acquisition_value(opts.acquisition, p.mean, p.variance,
+                               best_standardized, opts.xi, opts.ucb_beta);
+    }
+    return acc / static_cast<double>(gps.size());
+  }
+};
+
+BayesOpt::Surrogate BayesOpt::fit_surrogate() {
+  const std::size_t n = observations_.size();
+  const std::size_t d = space_.dim();
+
+  Surrogate s;
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) ys[i] = observations_[i].y;
+  const Summary sum = summarize(ys);
+  s.y_mean = sum.mean;
+  s.y_scale = sum.stddev > 1e-12 ? sum.stddev : 1.0;
+
+  Matrix x(n, d);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = unit_x_[i][j];
+    y[i] = (observations_[i].y - s.y_mean) / s.y_scale;
+  }
+  s.best_standardized = *std::max_element(y.begin(), y.end());
+
+  gp::Kernel kernel(options_.kernel, d, options_.ard);
+  // Reasonable starting lengthscale for a unit cube.
+  std::vector<double> ls(options_.ard ? d : 1, 0.3);
+  kernel.set_lengthscales(ls);
+  gp::GpRegressor gp(std::move(kernel), options_.fixed_noise_variance, 0.0);
+
+  switch (options_.hyper_mode) {
+    case HyperMode::kFixed: {
+      gp.fit(x, y);
+      s.gps.push_back(std::move(gp));
+      break;
+    }
+    case HyperMode::kMle: {
+      gp::MleOptions mle;
+      gp::fit_hyperparams_mle(gp, x, y, mle, rng_);
+      s.gps.push_back(std::move(gp));
+      break;
+    }
+    case HyperMode::kSliceSample: {
+      gp::HyperSamplerOptions hs;
+      hs.num_samples = options_.hyper_samples;
+      hs.burn_in = options_.hyper_burn_in;
+      hs.thin = 1;
+      const auto samples = gp::sample_hyperparams(gp, x, y, hs, rng_);
+      s.gps.reserve(samples.size());
+      for (const auto& sample : samples) {
+        gp::GpRegressor g(gp::Kernel(options_.kernel, d, options_.ard),
+                          options_.fixed_noise_variance, 0.0);
+        gp::apply_hyperparams(g, sample.theta, x, y);
+        s.gps.push_back(std::move(g));
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+std::vector<double> BayesOpt::maximize_acquisition(Surrogate& surrogate) {
+  const std::size_t d = space_.dim();
+
+  std::vector<double> best_u(d);
+  double best_val = -std::numeric_limits<double>::infinity();
+
+  auto consider = [&](const std::vector<double>& u) {
+    const double v = surrogate.acquisition(options_, u);
+    if (v > best_val) {
+      best_val = v;
+      best_u = u;
+    }
+  };
+
+  // Random multistart with three candidate families:
+  //  * global uniform draws (exploration);
+  //  * dense Gaussian perturbations of the incumbent (exploitation);
+  //  * sparse mutations of the incumbent — resample a few coordinates and
+  //    keep the rest. In the 50-100-dimensional hint spaces dense
+  //    perturbations barely move and uniform draws never land near the
+  //    incumbent, so sparse moves are what make local progress possible.
+  const BestResult incumbent = best();
+  const std::vector<double> inc_u = space_.to_unit(incumbent.x);
+  std::vector<double> u(d);
+  for (std::size_t c = 0; c < options_.num_candidates; ++c) {
+    switch (c % 4) {
+      case 0:
+      case 1:
+        for (auto& uj : u) uj = rng_.uniform();
+        break;
+      case 2:
+        for (std::size_t j = 0; j < d; ++j) {
+          u[j] = std::clamp(inc_u[j] + rng_.normal(0.0, 0.1), 0.0, 1.0);
+        }
+        break;
+      case 3: {
+        u = inc_u;
+        const std::size_t mutations = 1 + static_cast<std::size_t>(
+            rng_.uniform_int(0, std::max<std::int64_t>(
+                                    1, static_cast<std::int64_t>(d) / 8)));
+        for (std::size_t m = 0; m < mutations; ++m) {
+          const auto j = static_cast<std::size_t>(
+              rng_.uniform_int(0, static_cast<std::int64_t>(d) - 1));
+          u[j] = rng_.uniform();
+        }
+        break;
+      }
+    }
+    consider(u);
+  }
+
+  // Local coordinate refinement around the best candidate.
+  double step = 0.1;
+  std::vector<double> cur = best_u;
+  for (std::size_t it = 0; it < options_.local_search_iters; ++it) {
+    bool improved = false;
+    for (std::size_t j = 0; j < d; ++j) {
+      for (const double delta : {step, -step}) {
+        std::vector<double> cand = cur;
+        cand[j] = std::clamp(cand[j] + delta, 0.0, 1.0);
+        const double v = surrogate.acquisition(options_, cand);
+        if (v > best_val) {
+          best_val = v;
+          cur = cand;
+          best_u = cand;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      step *= 0.5;
+      if (step < 1e-3) break;
+    }
+  }
+  return best_u;
+}
+
+ParamValues BayesOpt::suggest() {
+  if (observations_.empty() ||
+      observations_.size() < options_.initial_design) {
+    return space_.sample(rng_);
+  }
+  Surrogate surrogate = fit_surrogate();
+  const std::vector<double> u = maximize_acquisition(surrogate);
+  return space_.from_unit(u);
+}
+
+std::vector<ParamValues> BayesOpt::suggest_batch(std::size_t q) {
+  STORMTUNE_REQUIRE(q > 0, "BayesOpt::suggest_batch: q must be > 0");
+  BayesOpt scratch = *this;
+  std::vector<ParamValues> batch;
+  batch.reserve(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    ParamValues x = scratch.suggest();
+    // The "lie": pretend the point returned the incumbent value, so the
+    // next suggestion's expected improvement there collapses.
+    const double lie = scratch.observations_.empty() ? 0.0 : scratch.best().y;
+    scratch.observe(x, lie);
+    batch.push_back(std::move(x));
+  }
+  return batch;
+}
+
+void BayesOpt::observe(ParamValues x, double y) {
+  STORMTUNE_REQUIRE(std::isfinite(y), "BayesOpt::observe: non-finite target");
+  x = space_.canonicalize(std::move(x));
+  unit_x_.push_back(space_.to_unit(x));
+  observations_.push_back(Observation{std::move(x), y});
+}
+
+BayesOpt::BestResult BayesOpt::best() const {
+  STORMTUNE_REQUIRE(!observations_.empty(), "BayesOpt::best: no observations");
+  BestResult b;
+  b.y = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < observations_.size(); ++i) {
+    if (observations_[i].y > b.y) {
+      b.y = observations_[i].y;
+      b.x = observations_[i].x;
+      b.step = i;
+    }
+  }
+  return b;
+}
+
+Json BayesOpt::save_state() const {
+  JsonObject o;
+  o["space"] = space_.to_json();
+  o["options"] = options_.to_json();
+  JsonArray obs;
+  for (const auto& ob : observations_) {
+    JsonObject e;
+    JsonArray xs;
+    for (double v : ob.x) xs.emplace_back(v);
+    e["x"] = Json(std::move(xs));
+    e["y"] = ob.y;
+    obs.emplace_back(std::move(e));
+  }
+  o["observations"] = Json(std::move(obs));
+  return Json(std::move(o));
+}
+
+BayesOpt BayesOpt::load_state(const Json& j) {
+  ParamSpace space = ParamSpace::from_json(j.at("space"));
+  BayesOptOptions options = BayesOptOptions::from_json(j.at("options"));
+  BayesOpt opt(std::move(space), options);
+  for (const auto& e : j.at("observations").as_array()) {
+    ParamValues x;
+    for (const auto& v : e.at("x").as_array()) x.push_back(v.as_number());
+    opt.observe(std::move(x), e.at("y").as_number());
+  }
+  return opt;
+}
+
+}  // namespace stormtune::bo

@@ -1,0 +1,162 @@
+#include "bayesopt/param_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace stormtune::bo {
+
+ParamSpec ParamSpec::integer(std::string name, std::int64_t lo,
+                             std::int64_t hi, bool log_scale) {
+  ParamSpec s;
+  s.name = std::move(name);
+  s.kind = ParamKind::kInt;
+  s.lo = static_cast<double>(lo);
+  s.hi = static_cast<double>(hi);
+  s.log_scale = log_scale;
+  return s;
+}
+
+ParamSpec ParamSpec::real(std::string name, double lo, double hi,
+                          bool log_scale) {
+  ParamSpec s;
+  s.name = std::move(name);
+  s.kind = ParamKind::kFloat;
+  s.lo = lo;
+  s.hi = hi;
+  s.log_scale = log_scale;
+  return s;
+}
+
+ParamSpace::ParamSpace(std::vector<ParamSpec> specs)
+    : specs_(std::move(specs)) {
+  STORMTUNE_REQUIRE(!specs_.empty(), "ParamSpace: need at least one parameter");
+  for (const auto& s : specs_) {
+    STORMTUNE_REQUIRE(s.lo < s.hi || (s.kind == ParamKind::kInt && s.lo == s.hi),
+                      "ParamSpace: bad bounds for '" + s.name + "'");
+    STORMTUNE_REQUIRE(!s.log_scale || s.lo > 0.0,
+                      "ParamSpace: log-scale parameter '" + s.name +
+                          "' needs lo > 0");
+  }
+}
+
+std::size_t ParamSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return i;
+  }
+  STORMTUNE_REQUIRE(false, "ParamSpace: unknown parameter '" + name + "'");
+  return 0;
+}
+
+namespace {
+
+double unit_to_value(const ParamSpec& s, double u) {
+  u = std::clamp(u, 0.0, 1.0);
+  double v;
+  if (s.log_scale) {
+    const double llo = std::log(s.lo);
+    const double lhi = std::log(s.hi);
+    v = std::exp(llo + u * (lhi - llo));
+  } else {
+    v = s.lo + u * (s.hi - s.lo);
+  }
+  if (s.kind == ParamKind::kInt) v = std::round(v);
+  return std::clamp(v, s.lo, s.hi);
+}
+
+double value_to_unit(const ParamSpec& s, double v) {
+  v = std::clamp(v, s.lo, s.hi);
+  if (s.hi == s.lo) return 0.0;
+  if (s.log_scale) {
+    const double llo = std::log(s.lo);
+    const double lhi = std::log(s.hi);
+    return (std::log(v) - llo) / (lhi - llo);
+  }
+  return (v - s.lo) / (s.hi - s.lo);
+}
+
+}  // namespace
+
+ParamValues ParamSpace::from_unit(std::span<const double> u) const {
+  STORMTUNE_REQUIRE(u.size() == dim(), "ParamSpace::from_unit: size mismatch");
+  ParamValues out(dim());
+  for (std::size_t i = 0; i < dim(); ++i) out[i] = unit_to_value(specs_[i], u[i]);
+  return out;
+}
+
+std::vector<double> ParamSpace::to_unit(std::span<const double> values) const {
+  STORMTUNE_REQUIRE(values.size() == dim(), "ParamSpace::to_unit: size mismatch");
+  std::vector<double> out(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    out[i] = value_to_unit(specs_[i], values[i]);
+  }
+  return out;
+}
+
+ParamValues ParamSpace::canonicalize(ParamValues values) const {
+  STORMTUNE_REQUIRE(values.size() == dim(),
+                    "ParamSpace::canonicalize: size mismatch");
+  for (std::size_t i = 0; i < dim(); ++i) {
+    double v = std::clamp(values[i], specs_[i].lo, specs_[i].hi);
+    if (specs_[i].kind == ParamKind::kInt) v = std::round(v);
+    values[i] = v;
+  }
+  return values;
+}
+
+ParamValues ParamSpace::sample(Rng& rng) const {
+  std::vector<double> u(dim());
+  for (auto& ui : u) ui = rng.uniform();
+  return from_unit(u);
+}
+
+Json ParamSpace::to_json() const {
+  JsonArray arr;
+  for (const auto& s : specs_) {
+    JsonObject o;
+    o["name"] = s.name;
+    o["kind"] = s.kind == ParamKind::kInt ? "int" : "float";
+    o["lo"] = s.lo;
+    o["hi"] = s.hi;
+    o["log_scale"] = s.log_scale;
+    arr.emplace_back(std::move(o));
+  }
+  return Json(std::move(arr));
+}
+
+ParamSpace ParamSpace::from_json(const Json& j) {
+  std::vector<ParamSpec> specs;
+  for (const auto& e : j.as_array()) {
+    ParamSpec s;
+    s.name = e.at("name").as_string();
+    const std::string kind = e.at("kind").as_string();
+    STORMTUNE_REQUIRE(kind == "int" || kind == "float",
+                      "ParamSpace::from_json: bad kind");
+    s.kind = kind == "int" ? ParamKind::kInt : ParamKind::kFloat;
+    s.lo = e.at("lo").as_number();
+    s.hi = e.at("hi").as_number();
+    s.log_scale = e.at("log_scale").as_bool();
+    specs.push_back(std::move(s));
+  }
+  return ParamSpace(std::move(specs));
+}
+
+std::string describe(const ParamSpace& space, const ParamValues& values) {
+  STORMTUNE_REQUIRE(values.size() == space.dim(), "describe: size mismatch");
+  std::string out;
+  for (std::size_t i = 0; i < space.dim(); ++i) {
+    if (i) out += " ";
+    out += space.spec(i).name + "=";
+    if (space.spec(i).kind == ParamKind::kInt) {
+      out += std::to_string(static_cast<std::int64_t>(std::llround(values[i])));
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4g", values[i]);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace stormtune::bo

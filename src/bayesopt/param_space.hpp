@@ -1,0 +1,73 @@
+// Search-space description for the optimizer.
+//
+// Mirrors Spearmint's config: each parameter is an integer or float with
+// bounds (optionally searched on a log scale). The optimizer works in the
+// unit hypercube internally; this class maps points back and forth and
+// rounds integers, which is exactly how integer-valued Storm parameters
+// (parallelism hints, batch size, thread counts) were exposed to Spearmint.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+
+namespace stormtune::bo {
+
+enum class ParamKind { kInt, kFloat };
+
+struct ParamSpec {
+  std::string name;
+  ParamKind kind = ParamKind::kFloat;
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;  ///< search uniformly in log space; requires lo > 0
+
+  static ParamSpec integer(std::string name, std::int64_t lo, std::int64_t hi,
+                           bool log_scale = false);
+  static ParamSpec real(std::string name, double lo, double hi,
+                        bool log_scale = false);
+};
+
+/// An assignment of concrete values to every parameter, by position.
+using ParamValues = std::vector<double>;
+
+class ParamSpace {
+ public:
+  ParamSpace() = default;
+  explicit ParamSpace(std::vector<ParamSpec> specs);
+
+  std::size_t dim() const { return specs_.size(); }
+  const ParamSpec& spec(std::size_t i) const { return specs_[i]; }
+  const std::vector<ParamSpec>& specs() const { return specs_; }
+
+  /// Index of a parameter by name; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Map a unit-cube point to concrete parameter values (rounding ints).
+  ParamValues from_unit(std::span<const double> u) const;
+
+  /// Map concrete values to the unit cube (inverse of from_unit up to
+  /// integer rounding).
+  std::vector<double> to_unit(std::span<const double> values) const;
+
+  /// Clamp values into bounds and round integer parameters.
+  ParamValues canonicalize(ParamValues values) const;
+
+  /// Uniform random point in the space (respecting log scales and kinds).
+  ParamValues sample(Rng& rng) const;
+
+  Json to_json() const;
+  static ParamSpace from_json(const Json& j);
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+/// Human-readable "name=value" listing of an assignment.
+std::string describe(const ParamSpace& space, const ParamValues& values);
+
+}  // namespace stormtune::bo

@@ -1,0 +1,32 @@
+// Error handling primitives used across the library.
+//
+// Library code throws stormtune::Error (derived from std::runtime_error) for
+// precondition violations and unrecoverable states; the STORMTUNE_REQUIRE
+// macro keeps call sites terse while retaining file/line context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stormtune {
+
+/// Base exception for all stormtune errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* file, int line,
+                               const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+}  // namespace detail
+
+}  // namespace stormtune
+
+/// Throw stormtune::Error with source location if `cond` does not hold.
+#define STORMTUNE_REQUIRE(cond, msg)                          \
+  do {                                                        \
+    if (!(cond)) ::stormtune::detail::raise(__FILE__, __LINE__, (msg)); \
+  } while (false)

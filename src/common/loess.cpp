@@ -1,0 +1,118 @@
+#include "common/loess.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace stormtune {
+namespace {
+
+double tricube(double u) {
+  const double a = 1.0 - u * u * u;
+  return a * a * a;
+}
+
+// Weighted least squares fit of degree 0/1 evaluated at x0.
+double local_fit(std::span<const double> x, std::span<const double> y,
+                 std::span<const double> w, double x0, int degree) {
+  double sw = 0.0, swx = 0.0, swy = 0.0, swxx = 0.0, swxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sw += w[i];
+    swx += w[i] * x[i];
+    swy += w[i] * y[i];
+    swxx += w[i] * x[i] * x[i];
+    swxy += w[i] * x[i] * y[i];
+  }
+  if (sw <= 0.0) return 0.0;
+  if (degree == 0) return swy / sw;
+  const double denom = sw * swxx - swx * swx;
+  if (std::abs(denom) < 1e-12 * std::max(1.0, swxx * sw)) {
+    // Degenerate design (all x identical in the window): weighted mean.
+    return swy / sw;
+  }
+  const double slope = (sw * swxy - swx * swy) / denom;
+  const double intercept = (swy - slope * swx) / sw;
+  return intercept + slope * x0;
+}
+
+double fit_point(std::span<const double> x, std::span<const double> y,
+                 double x0, std::size_t q, int degree) {
+  const std::size_t n = x.size();
+  // Find the q nearest neighbors of x0 in the sorted x array.
+  auto it = std::lower_bound(x.begin(), x.end(), x0);
+  std::size_t hi = static_cast<std::size_t>(it - x.begin());
+  std::size_t lo = hi;
+  // Expand [lo, hi) to the q nearest points.
+  while (hi - lo < q) {
+    if (lo == 0) {
+      ++hi;
+    } else if (hi == n) {
+      --lo;
+    } else if (x0 - x[lo - 1] <= x[hi] - x0) {
+      --lo;
+    } else {
+      ++hi;
+    }
+  }
+  double h = 0.0;  // bandwidth = distance to the farthest neighbor
+  for (std::size_t i = lo; i < hi; ++i) h = std::max(h, std::abs(x[i] - x0));
+  std::vector<double> w(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double u = h > 0.0 ? std::abs(x[i] - x0) / h : 0.0;
+    w[i - lo] = u < 1.0 ? tricube(u) : 0.0;
+  }
+  // All-zero weights can only happen when every neighbor sits exactly at
+  // distance h with h > 0 on both sides; fall back to uniform weights.
+  double sw = 0.0;
+  for (double wi : w) sw += wi;
+  if (sw <= 0.0) std::fill(w.begin(), w.end(), 1.0);
+  return local_fit(x.subspan(lo, hi - lo), y.subspan(lo, hi - lo), w, x0,
+                   degree);
+}
+
+std::size_t window_size(std::size_t n, double span) {
+  auto q = static_cast<std::size_t>(std::ceil(span * static_cast<double>(n)));
+  return std::clamp<std::size_t>(q, 2, n);
+}
+
+void validate(std::span<const double> x, std::span<const double> y,
+              const LoessOptions& opts) {
+  STORMTUNE_REQUIRE(x.size() == y.size(), "loess: x/y size mismatch");
+  STORMTUNE_REQUIRE(x.size() >= 2, "loess: need at least 2 points");
+  STORMTUNE_REQUIRE(opts.span > 0.0 && opts.span <= 1.0,
+                    "loess: span must be in (0, 1]");
+  STORMTUNE_REQUIRE(opts.degree == 0 || opts.degree == 1,
+                    "loess: degree must be 0 or 1");
+  STORMTUNE_REQUIRE(std::is_sorted(x.begin(), x.end()),
+                    "loess: x must be sorted ascending");
+}
+
+}  // namespace
+
+std::vector<double> loess_smooth(std::span<const double> x,
+                                 std::span<const double> y,
+                                 const LoessOptions& opts) {
+  validate(x, y, opts);
+  const std::size_t q = window_size(x.size(), opts.span);
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = fit_point(x, y, x[i], q, opts.degree);
+  }
+  return out;
+}
+
+std::vector<double> loess_at(std::span<const double> x,
+                             std::span<const double> y,
+                             std::span<const double> xq,
+                             const LoessOptions& opts) {
+  validate(x, y, opts);
+  const std::size_t q = window_size(x.size(), opts.span);
+  std::vector<double> out(xq.size());
+  for (std::size_t i = 0; i < xq.size(); ++i) {
+    out[i] = fit_point(x, y, xq[i], q, opts.degree);
+  }
+  return out;
+}
+
+}  // namespace stormtune

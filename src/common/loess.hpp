@@ -1,0 +1,32 @@
+// LOESS local regression smoothing.
+//
+// Figures 6 and 8b of the paper plot "LOESS regression smoothing with span
+// 0.75" of the per-step throughput traces. This is the classic
+// Cleveland-style locally weighted linear regression with tricube weights.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace stormtune {
+
+struct LoessOptions {
+  /// Fraction of points used in each local fit, in (0, 1].
+  double span = 0.75;
+  /// Local polynomial degree: 0 (weighted mean) or 1 (weighted line).
+  int degree = 1;
+};
+
+/// Smooth y ~ x at each x[i]; x must be sorted ascending (ties allowed).
+/// Returns fitted values aligned with the inputs.
+std::vector<double> loess_smooth(std::span<const double> x,
+                                 std::span<const double> y,
+                                 const LoessOptions& opts = {});
+
+/// Evaluate the LOESS fit of (x, y) at arbitrary query points `xq`.
+std::vector<double> loess_at(std::span<const double> x,
+                             std::span<const double> y,
+                             std::span<const double> xq,
+                             const LoessOptions& opts = {});
+
+}  // namespace stormtune

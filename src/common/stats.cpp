@@ -1,0 +1,183 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace stormtune {
+
+Summary summarize(std::span<const double> xs) {
+  STORMTUNE_REQUIRE(!xs.empty(), "summarize: empty sample");
+  Summary s;
+  s.n = xs.size();
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n >= 2) {
+    double ss = 0.0;
+    for (double x : xs) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.variance = ss / static_cast<double>(s.n - 1);
+    s.stddev = std::sqrt(s.variance);
+  }
+  return s;
+}
+
+double mean(std::span<const double> xs) { return summarize(xs).mean; }
+
+double sample_variance(std::span<const double> xs) {
+  return summarize(xs).variance;
+}
+
+double log_gamma(double x) {
+  // Lanczos approximation (g = 7, 9 coefficients); accurate to ~1e-13 for
+  // the argument ranges used by the t-distribution CDF.
+  static const double coeffs[] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    const double pi = 3.14159265358979323846;
+    return std::log(pi / std::sin(pi * x)) - log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = coeffs[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += coeffs[i] / (x + static_cast<double>(i));
+  const double half_log_2pi = 0.91893853320467274178;
+  return half_log_2pi + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta function
+// (Numerical-Recipes-style modified Lentz method).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  STORMTUNE_REQUIRE(a > 0.0 && b > 0.0,
+                    "regularized_incomplete_beta: a, b must be positive");
+  STORMTUNE_REQUIRE(x >= 0.0 && x <= 1.0,
+                    "regularized_incomplete_beta: x must be in [0, 1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  STORMTUNE_REQUIRE(df > 0.0, "student_t_cdf: df must be positive");
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * regularized_incomplete_beta(0.5 * df, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+TTestResult welch_t_test(std::span<const double> a,
+                         std::span<const double> b) {
+  STORMTUNE_REQUIRE(a.size() >= 2 && b.size() >= 2,
+                    "welch_t_test: both samples need n >= 2");
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  const double na = static_cast<double>(sa.n);
+  const double nb = static_cast<double>(sb.n);
+  const double va = sa.variance / na;
+  const double vb = sb.variance / nb;
+  TTestResult r;
+  const double se = std::sqrt(va + vb);
+  if (se == 0.0) {
+    // Identical constant samples: no evidence of a difference.
+    r.t = 0.0;
+    r.df = na + nb - 2.0;
+    r.p_value = sa.mean == sb.mean ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = (sa.mean - sb.mean) / se;
+  r.df = (va + vb) * (va + vb) /
+         (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  r.p_value = 2.0 * (1.0 - student_t_cdf(std::abs(r.t), r.df));
+  return r;
+}
+
+double pearson_correlation(std::span<const double> x,
+                           std::span<const double> y) {
+  STORMTUNE_REQUIRE(x.size() == y.size() && x.size() >= 2,
+                    "pearson_correlation: need equal-length samples, n >= 2");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  STORMTUNE_REQUIRE(sxx > 0.0 && syy > 0.0,
+                    "pearson_correlation: zero-variance sample");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double percentile(std::vector<double> xs, double pct) {
+  STORMTUNE_REQUIRE(!xs.empty(), "percentile: empty sample");
+  STORMTUNE_REQUIRE(pct >= 0.0 && pct <= 100.0,
+                    "percentile: pct must be in [0, 100]");
+  std::sort(xs.begin(), xs.end());
+  const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace stormtune

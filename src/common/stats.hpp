@@ -1,0 +1,62 @@
+// Descriptive statistics and the hypothesis test used in the paper.
+//
+// The paper compares tuned-configuration throughputs with a two-sided t-test
+// at p = 0.05 (Section V-D). We implement Welch's unequal-variance t-test
+// with an exact Student-t CDF (via the regularized incomplete beta function)
+// so the benchmark harness can report the same significance decisions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stormtune {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1 denominator); 0 when n < 2
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute a Summary of `xs`. Requires a non-empty sample.
+Summary summarize(std::span<const double> xs);
+
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance; returns 0 for samples of size < 2.
+double sample_variance(std::span<const double> xs);
+
+/// Natural log of the gamma function (Lanczos approximation).
+double log_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b) for x in [0, 1].
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double student_t_cdf(double t, double df);
+
+/// Result of Welch's two-sample t-test.
+struct TTestResult {
+  double t = 0.0;        ///< test statistic
+  double df = 0.0;       ///< Welch–Satterthwaite degrees of freedom
+  double p_value = 1.0;  ///< two-sided
+  /// True when p_value < alpha used at the call site (filled by `significant`).
+  bool significant_at(double alpha) const { return p_value < alpha; }
+};
+
+/// Welch's two-sided t-test for difference of means. Requires both samples
+/// to have at least two observations.
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+/// Pearson correlation of two equal-length samples (n >= 2).
+double pearson_correlation(std::span<const double> x,
+                           std::span<const double> y);
+
+/// Percentile in [0, 100] using linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double pct);
+
+}  // namespace stormtune

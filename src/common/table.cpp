@@ -1,0 +1,82 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace stormtune {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  STORMTUNE_REQUIRE(!headers_.empty(), "TextTable: need at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  STORMTUNE_REQUIRE(cells.size() == headers_.size(),
+                    "TextTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(headers_, out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string q = "\"";
+    for (char c : cell) {
+      if (c == '"') q += '"';
+      q += c;
+    }
+    q += '"';
+    return q;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += quote(row[c]);
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace stormtune

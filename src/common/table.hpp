@@ -1,0 +1,36 @@
+// Plain-text table and CSV rendering for the benchmark harness.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// reproduces; this helper keeps the output aligned and machine-readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stormtune {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with column alignment and a header separator.
+  std::string render() const;
+
+  /// Render as CSV (RFC-4180-style quoting for cells containing , " or \n).
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stormtune

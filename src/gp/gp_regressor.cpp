@@ -1,0 +1,101 @@
+#include "gp/gp_regressor.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace stormtune::gp {
+
+GpRegressor::GpRegressor(Kernel kernel, double noise_variance,
+                         double mean_value)
+    : kernel_(std::move(kernel)),
+      noise_variance_(noise_variance),
+      mean_value_(mean_value) {
+  STORMTUNE_REQUIRE(noise_variance >= 0.0,
+                    "GpRegressor: noise variance must be >= 0");
+}
+
+Matrix GpRegressor::kernel_matrix() const {
+  const std::size_t n = x_.rows();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel_(x_.row(i), x_.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += noise_variance_;
+  }
+  return k;
+}
+
+void GpRegressor::fit(const Matrix& x, const Vector& y) {
+  STORMTUNE_REQUIRE(x.rows() == y.size(), "GpRegressor::fit: X/y mismatch");
+  STORMTUNE_REQUIRE(x.rows() > 0, "GpRegressor::fit: no observations");
+  STORMTUNE_REQUIRE(x.cols() == kernel_.input_dim(),
+                    "GpRegressor::fit: dimension mismatch with kernel");
+  x_ = x;
+  y_centered_.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y_centered_[i] = y[i] - mean_value_;
+
+  Matrix k = kernel_matrix();
+  constexpr double kMaxJitter = 1e-2;
+  double jitter = 1e-10;
+  applied_jitter_ = 0.0;
+  while (true) {
+    try {
+      chol_.emplace(k);
+      break;
+    } catch (const Error&) {
+      STORMTUNE_REQUIRE(jitter <= kMaxJitter,
+                        "GpRegressor::fit: kernel matrix not SPD even with "
+                        "maximum jitter");
+      // Scale jitter with the signal variance so it is meaningful for
+      // kernels with large amplitudes.
+      const double add = jitter * std::max(1.0, kernel_.variance());
+      for (std::size_t i = 0; i < k.rows(); ++i) k(i, i) += add;
+      applied_jitter_ += add;
+      jitter *= 100.0;
+    }
+  }
+  alpha_ = chol_->solve(y_centered_);
+}
+
+Prediction GpRegressor::predict(std::span<const double> x) const {
+  STORMTUNE_REQUIRE(fitted(), "GpRegressor::predict: call fit() first");
+  const std::size_t n = x_.rows();
+  Vector kstar(n);
+  for (std::size_t i = 0; i < n; ++i) kstar[i] = kernel_(x_.row(i), x);
+  Prediction p;
+  p.mean = mean_value_ + dot(kstar, alpha_);
+  const Vector v = chol_->solve_lower(kstar);
+  p.variance = kernel_.variance() - dot(v, v);
+  if (p.variance < 0.0) p.variance = 0.0;  // numerical floor
+  return p;
+}
+
+double GpRegressor::log_marginal_likelihood() const {
+  STORMTUNE_REQUIRE(fitted(), "GpRegressor: call fit() first");
+  const double n = static_cast<double>(x_.rows());
+  return -0.5 * dot(y_centered_, alpha_) - 0.5 * chol_->log_determinant() -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+void GpRegressor::set_kernel_hyperparams(std::span<const double> log_params) {
+  kernel_.set_hyperparams(log_params);
+  chol_.reset();
+}
+
+void GpRegressor::set_noise_variance(double nv) {
+  STORMTUNE_REQUIRE(nv >= 0.0, "GpRegressor: noise variance must be >= 0");
+  noise_variance_ = nv;
+  chol_.reset();
+}
+
+void GpRegressor::set_mean_value(double m) {
+  mean_value_ = m;
+  chol_.reset();
+}
+
+}  // namespace stormtune::gp

@@ -1,0 +1,65 @@
+// Exact Gaussian-process regression with Gaussian observation noise.
+//
+// This is the probabilistic surrogate at the heart of the paper's method
+// (Section III-C): given configuration/throughput observations D_{1:t}, the
+// posterior GP supplies the predictive mean and variance from which the
+// Expected Improvement acquisition function is computed.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gp/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace stormtune::gp {
+
+/// Predictive distribution at a single query point.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;  ///< includes neither observation noise nor jitter
+};
+
+class GpRegressor {
+ public:
+  /// `noise_variance` is the Gaussian observation-noise variance sigma_n^2;
+  /// `mean_value` is a constant prior mean subtracted from targets.
+  GpRegressor(Kernel kernel, double noise_variance, double mean_value = 0.0);
+
+  /// Fit to inputs X (one row per observation, dim columns) and targets y.
+  /// Escalates diagonal jitter on Cholesky failure up to `max_jitter`.
+  void fit(const Matrix& x, const Vector& y);
+
+  bool fitted() const { return chol_.has_value(); }
+  std::size_t num_observations() const { return x_.rows(); }
+
+  Prediction predict(std::span<const double> x) const;
+
+  /// log p(y | X, theta); requires fit() to have been called.
+  double log_marginal_likelihood() const;
+
+  const Kernel& kernel() const { return kernel_; }
+  double noise_variance() const { return noise_variance_; }
+  double mean_value() const { return mean_value_; }
+
+  /// Mutators invalidate the current fit; call fit() again afterwards.
+  void set_kernel_hyperparams(std::span<const double> log_params);
+  void set_noise_variance(double nv);
+  void set_mean_value(double m);
+
+ private:
+  Matrix kernel_matrix() const;
+
+  Kernel kernel_;
+  double noise_variance_;
+  double mean_value_;
+
+  Matrix x_;
+  Vector y_centered_;
+  std::optional<Cholesky> chol_;
+  Vector alpha_;  // K^{-1} (y - m)
+  double applied_jitter_ = 0.0;
+};
+
+}  // namespace stormtune::gp

@@ -1,0 +1,149 @@
+#include "gp/hyper.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "gp/slice_sampler.hpp"
+
+namespace stormtune::gp {
+namespace {
+
+double log_normal_density(double x, double mean, double sd) {
+  const double z = (x - mean) / sd;
+  return -0.5 * z * z - std::log(sd) - 0.91893853320467274178;
+}
+
+std::vector<double> initial_theta(const GpRegressor& gp) {
+  std::vector<double> theta = gp.kernel().hyperparams();
+  theta.push_back(0.5 * std::log(std::max(gp.noise_variance(), 1e-12)));
+  theta.push_back(gp.mean_value());
+  return theta;
+}
+
+}  // namespace
+
+double HyperPrior::log_density(std::span<const double> theta,
+                               std::size_t num_lengthscales) const {
+  STORMTUNE_REQUIRE(theta.size() == num_lengthscales + 3,
+                    "HyperPrior: theta layout mismatch");
+  double ld = log_normal_density(theta[0], log_amplitude_mean,
+                                 log_amplitude_sd);
+  for (std::size_t i = 0; i < num_lengthscales; ++i) {
+    ld += log_normal_density(theta[1 + i], log_lengthscale_mean,
+                             log_lengthscale_sd);
+  }
+  ld += log_normal_density(theta[1 + num_lengthscales], log_noise_std_mean,
+                           log_noise_std_sd);
+  ld += log_normal_density(theta[2 + num_lengthscales], mean_mean, mean_sd);
+  return ld;
+}
+
+void apply_hyperparams(GpRegressor& gp, std::span<const double> theta,
+                       const Matrix& x, const Vector& y) {
+  const std::size_t nk = gp.kernel().num_hyperparams();
+  STORMTUNE_REQUIRE(theta.size() == nk + 2,
+                    "apply_hyperparams: theta layout mismatch");
+  gp.set_kernel_hyperparams(theta.subspan(0, nk));
+  const double log_noise_std = theta[nk];
+  gp.set_noise_variance(std::exp(2.0 * log_noise_std));
+  gp.set_mean_value(theta[nk + 1]);
+  gp.fit(x, y);
+}
+
+double hyper_log_posterior(GpRegressor& gp, std::span<const double> theta,
+                           const Matrix& x, const Vector& y,
+                           const HyperPrior& prior) {
+  // Reject numerically absurd settings outright; they would only waste a
+  // Cholesky attempt and distort the stepping-out brackets.
+  for (double t : theta) {
+    if (!std::isfinite(t) || std::abs(t) > 20.0) {
+      return -std::numeric_limits<double>::infinity();
+    }
+  }
+  try {
+    apply_hyperparams(gp, theta, x, y);
+  } catch (const Error&) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const std::size_t num_ls = gp.kernel().num_hyperparams() - 1;
+  return gp.log_marginal_likelihood() + prior.log_density(theta, num_ls);
+}
+
+std::vector<HyperSample> sample_hyperparams(GpRegressor& gp, const Matrix& x,
+                                            const Vector& y,
+                                            const HyperSamplerOptions& opts,
+                                            Rng& rng) {
+  STORMTUNE_REQUIRE(opts.num_samples > 0,
+                    "sample_hyperparams: need num_samples > 0");
+  std::vector<double> theta = initial_theta(gp);
+  auto log_post = [&](const std::vector<double>& t) {
+    return hyper_log_posterior(gp, t, x, y, opts.prior);
+  };
+  SliceOptions slice;
+  slice.width = 0.7;
+  for (std::size_t i = 0; i < opts.burn_in; ++i) {
+    slice_sample_sweep(log_post, theta, rng, slice);
+  }
+  std::vector<HyperSample> samples;
+  samples.reserve(opts.num_samples);
+  for (std::size_t s = 0; s < opts.num_samples; ++s) {
+    for (std::size_t t = 0; t < std::max<std::size_t>(opts.thin, 1); ++t) {
+      slice_sample_sweep(log_post, theta, rng, slice);
+    }
+    samples.push_back(HyperSample{theta});
+  }
+  // Leave gp fitted with the final sample so callers can predict directly.
+  apply_hyperparams(gp, samples.back().theta, x, y);
+  return samples;
+}
+
+HyperSample fit_hyperparams_mle(GpRegressor& gp, const Matrix& x,
+                                const Vector& y, const MleOptions& opts,
+                                Rng& rng) {
+  auto objective = [&](const std::vector<double>& t) {
+    return hyper_log_posterior(gp, t, x, y, opts.prior);
+  };
+
+  std::vector<double> best = initial_theta(gp);
+  double best_val = objective(best);
+
+  for (int restart = 0; restart < opts.restarts; ++restart) {
+    std::vector<double> theta = initial_theta(gp);
+    if (restart > 0) {
+      for (auto& t : theta) t += rng.normal(0.0, 1.0);
+    }
+    double val = objective(theta);
+    double step = opts.initial_step;
+    for (int iter = 0; iter < opts.iterations; ++iter) {
+      bool improved = false;
+      for (std::size_t i = 0; i < theta.size(); ++i) {
+        for (const double delta : {step, -step}) {
+          std::vector<double> cand = theta;
+          cand[i] += delta;
+          const double cv = objective(cand);
+          if (cv > val) {
+            val = cv;
+            theta = std::move(cand);
+            improved = true;
+            break;
+          }
+        }
+      }
+      if (!improved) {
+        step *= 0.5;
+        if (step < 1e-3) break;
+      }
+    }
+    if (val > best_val) {
+      best_val = val;
+      best = theta;
+    }
+  }
+  STORMTUNE_REQUIRE(std::isfinite(best_val),
+                    "fit_hyperparams_mle: no finite posterior value found");
+  apply_hyperparams(gp, best, x, y);
+  return HyperSample{std::move(best)};
+}
+
+}  // namespace stormtune::gp

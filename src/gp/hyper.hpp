@@ -1,0 +1,82 @@
+// GP hyperparameter inference: MCMC marginalization and point MLE.
+//
+// The full hyperparameter vector is laid out as
+//   [log_amplitude, log_lengthscale_1..L, log_noise_std, constant_mean]
+// and its posterior (GP log marginal likelihood + Gaussian priors in log
+// space) is explored either with coordinate-wise slice sampling (Spearmint's
+// scheme) or maximized with a derivative-free coordinate search (the "MLE"
+// mode used by the hyperparameter-handling ablation).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gp/gp_regressor.hpp"
+#include "gp/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace stormtune::gp {
+
+/// Independent Gaussian priors over the log-space hyperparameters.
+struct HyperPrior {
+  double log_amplitude_mean = 0.0;
+  double log_amplitude_sd = 1.0;
+  double log_lengthscale_mean = 0.0;
+  double log_lengthscale_sd = 1.0;
+  double log_noise_std_mean = -2.3;  ///< exp(-2.3) ~ 0.1 noise std
+  double log_noise_std_sd = 1.0;
+  double mean_mean = 0.0;
+  double mean_sd = 1.0;
+
+  double log_density(std::span<const double> theta,
+                     std::size_t num_lengthscales) const;
+};
+
+/// One concrete hyperparameter setting.
+struct HyperSample {
+  std::vector<double> theta;  ///< full layout described above
+
+  std::size_t num_lengthscales(std::size_t /*unused*/) const {
+    return theta.size() - 3;
+  }
+};
+
+/// Apply a hyperparameter vector to a regressor (kernel, noise, mean) and
+/// refit it on (x, y).
+void apply_hyperparams(GpRegressor& gp, std::span<const double> theta,
+                       const Matrix& x, const Vector& y);
+
+/// Unnormalized log posterior of `theta` given data.
+double hyper_log_posterior(GpRegressor& gp, std::span<const double> theta,
+                           const Matrix& x, const Vector& y,
+                           const HyperPrior& prior);
+
+struct HyperSamplerOptions {
+  std::size_t num_samples = 8;   ///< retained posterior samples
+  std::size_t burn_in = 20;      ///< sweeps discarded before retention
+  std::size_t thin = 2;          ///< sweeps between retained samples
+  HyperPrior prior;
+};
+
+/// Slice-sample `num_samples` hyperparameter settings from the posterior.
+/// `gp` provides the kernel structure (family, dim, ARD) and is left fitted
+/// with the last sample.
+std::vector<HyperSample> sample_hyperparams(GpRegressor& gp, const Matrix& x,
+                                            const Vector& y,
+                                            const HyperSamplerOptions& opts,
+                                            Rng& rng);
+
+struct MleOptions {
+  int restarts = 3;
+  int iterations = 40;       ///< coordinate-descent passes
+  double initial_step = 0.5; ///< log-space step size
+  HyperPrior prior;          ///< acts as regularizer (MAP, strictly speaking)
+};
+
+/// Derivative-free coordinate search for the MAP hyperparameters.
+/// Returns the best theta found; `gp` is left fitted with it.
+HyperSample fit_hyperparams_mle(GpRegressor& gp, const Matrix& x,
+                                const Vector& y, const MleOptions& opts,
+                                Rng& rng);
+
+}  // namespace stormtune::gp

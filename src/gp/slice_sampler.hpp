@@ -1,0 +1,35 @@
+// Univariate and coordinate-wise slice sampling.
+//
+// Spearmint marginalizes GP hyperparameters by MCMC rather than point
+// estimation; slice sampling (Neal 2003) with stepping-out is the sampler it
+// uses. We apply it coordinate-by-coordinate over the log-hyperparameter
+// vector, with the GP log marginal likelihood plus log prior as the target.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace stormtune::gp {
+
+struct SliceOptions {
+  double width = 1.0;       ///< initial bracket width
+  int max_step_out = 20;    ///< stepping-out iterations per side
+  int max_shrink = 100;     ///< shrink iterations before giving up
+};
+
+/// Draw one sample from the unnormalized log density `log_density`,
+/// starting at x0, using the stepping-out slice sampler.
+/// Returns x0 unchanged if the sampler cannot find an acceptable point
+/// (pathological densities), so callers always get a valid state.
+double slice_sample_1d(const std::function<double(double)>& log_density,
+                       double x0, Rng& rng, const SliceOptions& opts = {});
+
+/// One full sweep of coordinate-wise slice sampling over `x` in place.
+/// `log_density` receives the full vector.
+void slice_sample_sweep(
+    const std::function<double(const std::vector<double>&)>& log_density,
+    std::vector<double>& x, Rng& rng, const SliceOptions& opts = {});
+
+}  // namespace stormtune::gp

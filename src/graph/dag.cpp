@@ -1,0 +1,88 @@
+#include "graph/dag.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace stormtune::graph {
+
+Dag::Dag(std::size_t num_vertices) : out_(num_vertices), in_(num_vertices) {
+  STORMTUNE_REQUIRE(num_vertices > 0, "Dag: need at least one vertex");
+}
+
+void Dag::add_edge(std::size_t u, std::size_t v) {
+  STORMTUNE_REQUIRE(u < num_vertices() && v < num_vertices(),
+                    "Dag::add_edge: vertex out of range");
+  STORMTUNE_REQUIRE(u != v, "Dag::add_edge: self-loop");
+  STORMTUNE_REQUIRE(!has_edge(u, v), "Dag::add_edge: duplicate edge");
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool Dag::has_edge(std::size_t u, std::size_t v) const {
+  STORMTUNE_REQUIRE(u < num_vertices(), "Dag::has_edge: vertex out of range");
+  return std::find(out_[u].begin(), out_[u].end(), v) != out_[u].end();
+}
+
+std::vector<std::size_t> Dag::sources() const {
+  std::vector<std::size_t> s;
+  for (std::size_t v = 0; v < num_vertices(); ++v) {
+    if (in_[v].empty()) s.push_back(v);
+  }
+  return s;
+}
+
+std::vector<std::size_t> Dag::sinks() const {
+  std::vector<std::size_t> s;
+  for (std::size_t v = 0; v < num_vertices(); ++v) {
+    if (out_[v].empty()) s.push_back(v);
+  }
+  return s;
+}
+
+std::vector<std::size_t> Dag::topological_order() const {
+  std::vector<std::size_t> indeg(num_vertices());
+  for (std::size_t v = 0; v < num_vertices(); ++v) indeg[v] = in_[v].size();
+  std::queue<std::size_t> ready;
+  for (std::size_t v = 0; v < num_vertices(); ++v) {
+    if (indeg[v] == 0) ready.push(v);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(num_vertices());
+  while (!ready.empty()) {
+    const std::size_t v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (std::size_t w : out_[v]) {
+      if (--indeg[w] == 0) ready.push(w);
+    }
+  }
+  STORMTUNE_REQUIRE(order.size() == num_vertices(),
+                    "Dag::topological_order: graph has a cycle");
+  return order;
+}
+
+bool Dag::is_acyclic() const {
+  try {
+    (void)topological_order();
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+bool Dag::fully_connected_to_graph() const {
+  for (std::size_t v = 0; v < num_vertices(); ++v) {
+    if (in_[v].empty() && out_[v].empty()) return false;
+  }
+  return true;
+}
+
+double Dag::average_out_degree() const {
+  return static_cast<double>(num_edges_) /
+         static_cast<double>(num_vertices());
+}
+
+}  // namespace stormtune::graph

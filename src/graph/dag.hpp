@@ -1,0 +1,56 @@
+// Directed acyclic graph used for topology structure.
+//
+// Storm topologies are DAGs of spouts (sources) and bolts; the synthetic
+// benchmark topologies of Section IV-B are random layer-by-layer DAGs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stormtune::graph {
+
+class Dag {
+ public:
+  explicit Dag(std::size_t num_vertices);
+
+  std::size_t num_vertices() const { return out_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Add edge u -> v. Rejects self-loops and duplicate edges.
+  void add_edge(std::size_t u, std::size_t v);
+
+  bool has_edge(std::size_t u, std::size_t v) const;
+
+  const std::vector<std::size_t>& out_edges(std::size_t v) const {
+    return out_[v];
+  }
+  const std::vector<std::size_t>& in_edges(std::size_t v) const {
+    return in_[v];
+  }
+
+  std::size_t out_degree(std::size_t v) const { return out_[v].size(); }
+  std::size_t in_degree(std::size_t v) const { return in_[v].size(); }
+
+  /// Vertices with no incoming edges (spouts, in Storm terms).
+  std::vector<std::size_t> sources() const;
+  /// Vertices with no outgoing edges.
+  std::vector<std::size_t> sinks() const;
+
+  /// Kahn topological order; throws stormtune::Error if the graph is cyclic.
+  std::vector<std::size_t> topological_order() const;
+
+  bool is_acyclic() const;
+
+  /// True when every vertex has at least one edge (in or out).
+  bool fully_connected_to_graph() const;
+
+  double average_out_degree() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> out_;
+  std::vector<std::vector<std::size_t>> in_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace stormtune::graph

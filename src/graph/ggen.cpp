@@ -1,0 +1,109 @@
+#include "graph/ggen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace stormtune::graph {
+
+LayeredDag ggen_layer_by_layer(const GgenParams& params, Rng& rng) {
+  STORMTUNE_REQUIRE(params.vertices >= 2, "ggen: need at least 2 vertices");
+  STORMTUNE_REQUIRE(params.layers >= 2 && params.layers <= params.vertices,
+                    "ggen: layers must be in [2, vertices]");
+  STORMTUNE_REQUIRE(params.edge_probability > 0.0 &&
+                        params.edge_probability <= 1.0,
+                    "ggen: edge probability must be in (0, 1]");
+
+  const std::size_t v = params.vertices;
+  const std::size_t l = params.layers;
+
+  // Even distribution of vertices over layers; the first (v mod l) layers
+  // receive one extra vertex. Vertex ids are assigned layer-major so that
+  // id order is a valid topological order.
+  std::vector<std::size_t> layer_of(v);
+  std::vector<std::vector<std::size_t>> members(l);
+  {
+    std::size_t next = 0;
+    for (std::size_t layer = 0; layer < l; ++layer) {
+      std::size_t count = v / l + (layer < v % l ? 1 : 0);
+      for (std::size_t i = 0; i < count; ++i) {
+        layer_of[next] = layer;
+        members[layer].push_back(next);
+        ++next;
+      }
+    }
+  }
+
+  Dag dag(v);
+  for (std::size_t a = 0; a < v; ++a) {
+    for (std::size_t b = a + 1; b < v; ++b) {
+      if (layer_of[a] == layer_of[b]) continue;  // same layer: never linked
+      if (rng.bernoulli(params.edge_probability)) dag.add_edge(a, b);
+    }
+  }
+
+  // Constraint (1) of Section IV-B: every vertex connected to at least one
+  // other vertex. Attach isolated vertices to a random vertex of an
+  // adjacent layer (downstream when possible, upstream for the last layer).
+  for (std::size_t a = 0; a < v; ++a) {
+    if (dag.in_degree(a) > 0 || dag.out_degree(a) > 0) continue;
+    const std::size_t layer = layer_of[a];
+    if (layer + 1 < l) {
+      const auto& next = members[layer + 1];
+      const std::size_t b = next[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(next.size()) - 1))];
+      dag.add_edge(a, b);
+    } else {
+      const auto& prev = members[layer - 1];
+      const std::size_t b = prev[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(prev.size()) - 1))];
+      dag.add_edge(b, a);
+    }
+  }
+
+  return LayeredDag{std::move(dag), std::move(layer_of)};
+}
+
+GraphStats compute_stats(const LayeredDag& g) {
+  GraphStats s;
+  s.vertices = g.dag.num_vertices();
+  s.edges = g.dag.num_edges();
+  s.layers = g.layer_of.empty()
+                 ? 0
+                 : 1 + *std::max_element(g.layer_of.begin(), g.layer_of.end());
+  s.sources = g.dag.sources().size();
+  s.sinks = g.dag.sinks().size();
+  s.avg_out_degree = g.dag.average_out_degree();
+  return s;
+}
+
+std::uint64_t find_seed_matching(const GgenParams& params,
+                                 const GraphStats& target,
+                                 std::size_t attempts,
+                                 std::uint64_t first_seed) {
+  STORMTUNE_REQUIRE(attempts > 0, "find_seed_matching: attempts must be > 0");
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::uint64_t best_seed = first_seed;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    const std::uint64_t seed = first_seed + i;
+    Rng rng(seed);
+    const LayeredDag g = ggen_layer_by_layer(params, rng);
+    const GraphStats s = compute_stats(g);
+    const double cost =
+        std::abs(static_cast<double>(s.edges) -
+                 static_cast<double>(target.edges)) +
+        2.0 * std::abs(static_cast<double>(s.sources) -
+                       static_cast<double>(target.sources)) +
+        2.0 * std::abs(static_cast<double>(s.sinks) -
+                       static_cast<double>(target.sinks));
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_seed = seed;
+    }
+  }
+  return best_seed;
+}
+
+}  // namespace stormtune::graph

@@ -1,0 +1,58 @@
+// GGen-style "layer-by-layer" random DAG generation (Cordeiro et al. 2010).
+//
+// The paper generated its three synthetic topologies with GGen's
+// layer-by-layer method: V vertices spread over L layers, and each pair of
+// vertices in distinct layers (u earlier than v) connected with probability
+// P. Two validity constraints from Section IV-B are enforced here: every
+// vertex must touch at least one edge, and edges only run to strictly
+// downstream layers.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/dag.hpp"
+
+namespace stormtune::graph {
+
+struct GgenParams {
+  std::size_t vertices = 10;
+  std::size_t layers = 4;
+  double edge_probability = 0.4;
+};
+
+struct LayeredDag {
+  Dag dag;
+  std::vector<std::size_t> layer_of;  ///< layer index per vertex (0-based)
+};
+
+/// Generate a layer-by-layer DAG. Vertices are distributed over the layers
+/// as evenly as possible (every layer non-empty); each cross-layer
+/// downstream pair becomes an edge with probability `edge_probability`;
+/// isolated vertices are then connected to a uniformly random vertex in an
+/// adjacent layer so the "all vertices connected" constraint holds.
+LayeredDag ggen_layer_by_layer(const GgenParams& params, Rng& rng);
+
+struct GraphStats {
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  std::size_t layers = 0;
+  std::size_t sources = 0;
+  std::size_t sinks = 0;
+  double avg_out_degree = 0.0;
+};
+
+GraphStats compute_stats(const LayeredDag& g);
+
+/// Search `attempts` seeds and return the one whose generated graph most
+/// closely matches `target` (weighted L1 distance over edge/source/sink
+/// counts). Used to re-create graphs with the same statistics as the
+/// paper's Table II.
+std::uint64_t find_seed_matching(const GgenParams& params,
+                                 const GraphStats& target,
+                                 std::size_t attempts,
+                                 std::uint64_t first_seed = 1);
+
+}  // namespace stormtune::graph

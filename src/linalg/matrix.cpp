@@ -1,0 +1,128 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace stormtune {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  STORMTUNE_REQUIRE(cols_ == other.rows(), "Matrix::multiply: shape mismatch");
+  Matrix out(rows_, other.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const auto orow = other.row(k);
+      const auto out_row = out.row(i);
+      for (std::size_t j = 0; j < other.cols(); ++j) {
+        out_row[j] += aik * orow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::multiply(const Vector& v) const {
+  STORMTUNE_REQUIRE(cols_ == v.size(), "Matrix::multiply: vector size mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const auto r = row(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += r[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Cholesky::Cholesky(const Matrix& a) {
+  STORMTUNE_REQUIRE(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    STORMTUNE_REQUIRE(diag > 0.0, "Cholesky: matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      const auto li = l_.row(i);
+      const auto lj = l_.row(j);
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      l_(i, j) = s / ljj;
+    }
+  }
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+  const std::size_t n = size();
+  STORMTUNE_REQUIRE(b.size() == n, "Cholesky::solve_lower: size mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const auto li = l_.row(i);
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * y[k];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::solve_lower_transpose(const Vector& y) const {
+  const std::size_t n = size();
+  STORMTUNE_REQUIRE(y.size() == n,
+                    "Cholesky::solve_lower_transpose: size mismatch");
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l_(k, i) * x[k];
+    x[i] = s / l_(i, i);
+  }
+  return x;
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  return solve_lower_transpose(solve_lower(b));
+}
+
+double Cholesky::log_determinant() const {
+  double ld = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) ld += std::log(l_(i, i));
+  return 2.0 * ld;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  STORMTUNE_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+Vector axpy(const Vector& a, double s, const Vector& b) {
+  STORMTUNE_REQUIRE(a.size() == b.size(), "axpy: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+}  // namespace stormtune

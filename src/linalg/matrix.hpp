@@ -1,0 +1,96 @@
+// Dense linear algebra sized for Gaussian-process regression.
+//
+// GP training solves systems with the n×n kernel matrix (n = number of
+// optimizer observations, at most a few hundred in this paper's setting), so
+// a straightforward cache-friendly row-major implementation with Cholesky
+// factorization is both sufficient and fast.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stormtune {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  Matrix transposed() const;
+
+  /// this * other; dimension-checked.
+  Matrix multiply(const Matrix& other) const;
+
+  /// this * v; dimension-checked.
+  Vector multiply(const Vector& v) const;
+
+  bool empty() const { return data_.empty(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+///
+/// Throws stormtune::Error if the matrix is not (numerically) SPD. GP code
+/// relies on that exception to trigger jitter escalation.
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& a);
+
+  const Matrix& lower() const { return l_; }
+
+  /// Solve A x = b via forward + backward substitution.
+  Vector solve(const Vector& b) const;
+
+  /// Solve L y = b (forward substitution only).
+  Vector solve_lower(const Vector& b) const;
+
+  /// Solve L^T x = y (backward substitution only).
+  Vector solve_lower_transpose(const Vector& y) const;
+
+  /// log|A| = 2 * sum(log diag(L)).
+  double log_determinant() const;
+
+  std::size_t size() const { return l_.rows(); }
+
+ private:
+  Matrix l_;
+};
+
+/// Dot product; dimension-checked.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+/// a + s * b, dimension-checked.
+Vector axpy(const Vector& a, double s, const Vector& b);
+
+}  // namespace stormtune

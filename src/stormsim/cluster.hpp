@@ -1,0 +1,90 @@
+// Cluster hardware description and simulator cost model.
+//
+// Defaults reproduce the paper's evaluation environment (Section IV-C):
+// 80 iMacs with 4 x 2.7 GHz cores and gigabit NICs (a theoretical
+// 128 MB/s), one Storm worker per machine, and a separate master VM that
+// runs the coordination services (job tracker / Zookeeper), on which the
+// simulator places the Trident batch coordinator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace stormtune::sim {
+
+/// Task-to-worker placement policy (see scheduler.hpp).
+enum class SchedulerPolicy {
+  kRoundRobin,  ///< Storm EvenScheduler: task i -> worker (i mod W)
+  kRandom,      ///< uniform random worker per task
+  kLoadAware,   ///< heaviest tasks first onto the least-loaded worker
+};
+
+std::string to_string(SchedulerPolicy policy);
+
+struct ClusterSpec {
+  std::size_t num_machines = 80;
+  std::size_t cores_per_machine = 4;
+  std::size_t workers_per_machine = 1;
+  /// NIC egress capacity per machine, bytes per second (1 Gbps ~ 128 MB/s).
+  double nic_bytes_per_sec = 128.0 * 1024 * 1024;
+  /// Soft memory budget per machine for in-flight batch data, bytes.
+  /// Exceeding it slows the machine down (GC/paging pressure).
+  double memory_soft_bytes = 4.0 * 1024 * 1024 * 1024;
+
+  std::size_t num_workers() const { return num_machines * workers_per_machine; }
+  std::size_t total_cores() const { return num_machines * cores_per_machine; }
+};
+
+/// Cost-model constants of the discrete-event simulation. All "unit" values
+/// are compute units; the paper calibrates 1 unit ~ 1 ms of busy-wait on an
+/// unloaded core (Section IV-B1).
+struct SimParams {
+  /// Task placement policy (Storm's even scheduler by default).
+  SchedulerPolicy scheduler = SchedulerPolicy::kRoundRobin;
+  /// Wall milliseconds per compute unit at full core speed.
+  double compute_unit_ms = 1.0;
+  /// Serialized size of one tuple on the wire.
+  double tuple_bytes = 512.0;
+  /// In-memory footprint of one tuple (for the memory-pressure model).
+  double tuple_memory_bytes = 1024.0;
+  /// Deserialization cost per received tuple, compute units (receiver
+  /// threads burn this; ~5 us per tuple by default).
+  double recv_units_per_tuple = 0.005;
+  /// Acker bookkeeping cost per emitted tuple, compute units (~2 us).
+  double ack_units_per_tuple = 0.002;
+  /// Serial coordinator work per batch commit, compute units (Trident
+  /// batch bookkeeping + Zookeeper round trips).
+  double commit_units_per_batch = 60.0;
+  /// Fixed network latency per edge hop, ms.
+  double network_latency_ms = 1.0;
+  /// Measurement window, seconds of simulated time (the paper processed
+  /// data for two minutes per optimization step).
+  double duration_s = 120.0;
+  /// CPU cores consumed per deployed task instance by queue polling /
+  /// scheduling / heartbeats, independent of useful work (Storm 0.9.x
+  /// executors busy-poll). This is what makes blind over-parallelization
+  /// "only waste resources on context switching" (Section IV-B2): enough
+  /// tasks per machine erode its effective capacity toward zero.
+  double task_poll_cores = 0.02;
+  /// Resident memory per deployed task instance (JVM executor buffers,
+  /// queues). Oversized deployments eat into the soft budget and, past the
+  /// hard limit, OOM the workers — the "zero performance" configurations
+  /// the paper's early-stopping rule reacts to.
+  double task_memory_bytes = 64.0 * 1024 * 1024;
+  /// Hard memory limit as a multiple of the soft budget; exceeding it
+  /// crashes the run (zero throughput, `crashed` set in the result).
+  double memory_hard_multiple = 2.0;
+  /// Multiplicative slowdown strength when a machine's share of in-flight
+  /// batch memory exceeds the soft budget.
+  double memory_pressure_factor = 4.0;
+  /// Std-dev of the multiplicative Gaussian measurement noise (students on
+  /// the iMacs, cluster jitter). Applied once to the reported throughput.
+  double throughput_noise_sd = 0.02;
+  /// Probability that a machine runs a background (student) load for the
+  /// whole run, and the core-speed factor it then gets.
+  double background_load_prob = 0.0;
+  double background_load_factor = 0.5;
+};
+
+}  // namespace stormtune::sim

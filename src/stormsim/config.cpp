@@ -1,0 +1,86 @@
+#include "stormsim/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace stormtune::sim {
+
+std::vector<int> TopologyConfig::normalized_hints(
+    const Topology& topology) const {
+  const std::size_t n = topology.num_nodes();
+  std::vector<int> hints = parallelism_hints;
+  if (hints.empty()) hints.assign(n, 1);
+  STORMTUNE_REQUIRE(hints.size() == n,
+                    "TopologyConfig: hint count does not match topology");
+  for (int& h : hints) h = std::max(h, 1);
+  if (max_tasks <= 0) return hints;
+  long long total = std::accumulate(hints.begin(), hints.end(), 0LL);
+  if (total <= max_tasks) return hints;
+  const double scale = static_cast<double>(max_tasks) /
+                       static_cast<double>(total);
+  for (int& h : hints) {
+    h = std::max(1, static_cast<int>(std::lround(h * scale)));
+  }
+  // Proportional scaling with a floor of 1 can still overshoot when many
+  // nodes round up; trim the largest hints until the cap holds (or every
+  // hint is already 1, in which case the cap is infeasible and the floor
+  // wins — a topology always needs one task per node).
+  total = std::accumulate(hints.begin(), hints.end(), 0LL);
+  while (total > max_tasks) {
+    auto it = std::max_element(hints.begin(), hints.end());
+    if (*it <= 1) break;
+    --*it;
+    --total;
+  }
+  return hints;
+}
+
+int TopologyConfig::effective_ackers(std::size_t num_workers) const {
+  return num_ackers > 0 ? num_ackers : static_cast<int>(num_workers);
+}
+
+void TopologyConfig::validate(const Topology& topology) const {
+  STORMTUNE_REQUIRE(parallelism_hints.empty() ||
+                        parallelism_hints.size() == topology.num_nodes(),
+                    "TopologyConfig: hint count does not match topology");
+  for (int h : parallelism_hints) {
+    STORMTUNE_REQUIRE(h >= 1, "TopologyConfig: hints must be >= 1");
+  }
+  STORMTUNE_REQUIRE(batch_size >= 1, "TopologyConfig: batch_size must be >= 1");
+  STORMTUNE_REQUIRE(batch_parallelism >= 1,
+                    "TopologyConfig: batch_parallelism must be >= 1");
+  STORMTUNE_REQUIRE(worker_threads >= 1,
+                    "TopologyConfig: worker_threads must be >= 1");
+  STORMTUNE_REQUIRE(receiver_threads >= 1,
+                    "TopologyConfig: receiver_threads must be >= 1");
+  STORMTUNE_REQUIRE(num_ackers >= 0,
+                    "TopologyConfig: num_ackers must be >= 0");
+  STORMTUNE_REQUIRE(max_tasks >= 0, "TopologyConfig: max_tasks must be >= 0");
+}
+
+std::string TopologyConfig::describe() const {
+  std::string s = "hints=[";
+  for (std::size_t i = 0; i < parallelism_hints.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(parallelism_hints[i]);
+  }
+  s += "] bs=" + std::to_string(batch_size) +
+       " bp=" + std::to_string(batch_parallelism) +
+       " wt=" + std::to_string(worker_threads) +
+       " rt=" + std::to_string(receiver_threads) +
+       " ackers=" + std::to_string(num_ackers);
+  if (max_tasks > 0) s += " max_tasks=" + std::to_string(max_tasks);
+  return s;
+}
+
+TopologyConfig uniform_hint_config(const Topology& topology, int hint) {
+  STORMTUNE_REQUIRE(hint >= 1, "uniform_hint_config: hint must be >= 1");
+  TopologyConfig c;
+  c.parallelism_hints.assign(topology.num_nodes(), hint);
+  return c;
+}
+
+}  // namespace stormtune::sim

@@ -1,0 +1,68 @@
+#include "stormsim/dot.hpp"
+
+#include <cstdio>
+
+namespace stormtune::sim {
+namespace {
+
+std::string escaped(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Topology& topology, const DotOptions& options) {
+  std::string out = "digraph topology {\n  rankdir=LR;\n";
+  std::vector<int> hints;
+  if (options.config) hints = options.config->normalized_hints(topology);
+
+  for (std::size_t v = 0; v < topology.num_nodes(); ++v) {
+    const Node& node = topology.node(v);
+    std::string label = escaped(node.name);
+    if (options.show_costs) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "\\ntc=%.3g sel=%.3g",
+                    node.time_complexity, node.selectivity);
+      label += buf;
+    }
+    if (options.config) {
+      label += "\\nx" + std::to_string(hints[v]);
+    }
+    out += "  n" + std::to_string(v) + " [label=\"" + label + "\"";
+    out += node.kind == NodeKind::kSpout ? ", shape=box" : ", shape=ellipse";
+    if (node.contentious) {
+      out += ", style=filled, fillcolor=lightcoral";
+    }
+    out += "];\n";
+  }
+  for (const Edge& e : topology.edges()) {
+    out += "  n" + std::to_string(e.from) + " -> n" + std::to_string(e.to);
+    if (options.show_groupings) {
+      out += " [label=\"" + to_string(e.grouping) + "\"]";
+    }
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const graph::Dag& dag, const std::string& name) {
+  std::string out = "digraph " + name + " {\n  rankdir=LR;\n";
+  for (std::size_t v = 0; v < dag.num_vertices(); ++v) {
+    out += "  n" + std::to_string(v) + ";\n";
+  }
+  for (std::size_t v = 0; v < dag.num_vertices(); ++v) {
+    for (std::size_t w : dag.out_edges(v)) {
+      out += "  n" + std::to_string(v) + " -> n" + std::to_string(w) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace stormtune::sim

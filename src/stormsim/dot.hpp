@@ -1,0 +1,31 @@
+// Graphviz DOT export of topologies.
+//
+// Render a topology for inspection (`dot -Tpng`): spouts as boxes, bolts as
+// ellipses, contentious bolts highlighted, edges labeled with grouping, and
+// optional per-node load/parallelism annotations from a configuration.
+#pragma once
+
+#include <string>
+
+#include "graph/dag.hpp"
+#include "stormsim/config.hpp"
+#include "stormsim/topology.hpp"
+
+namespace stormtune::sim {
+
+struct DotOptions {
+  /// Annotate nodes with time complexity and selectivity.
+  bool show_costs = true;
+  /// Annotate edges with their grouping strategy.
+  bool show_groupings = true;
+  /// When non-null, annotate each node with its normalized parallelism.
+  const TopologyConfig* config = nullptr;
+};
+
+/// DOT representation of a logical topology.
+std::string to_dot(const Topology& topology, const DotOptions& options = {});
+
+/// DOT representation of a plain DAG (vertex ids only).
+std::string to_dot(const graph::Dag& dag, const std::string& name = "dag");
+
+}  // namespace stormtune::sim

@@ -1,0 +1,717 @@
+#include "stormsim/engine.hpp"
+
+#include "stormsim/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace stormtune::sim {
+namespace {
+
+using JobId = std::size_t;
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+enum class JobKind : std::uint8_t {
+  kSpoutEmit,  // spout task injecting its share of a batch
+  kReceive,    // worker-side deserialization of a task's inbound tuples
+  kCompute,    // bolt task processing its share of a batch
+  kAck,        // acker bookkeeping for one node's emissions in a batch
+  kCommit,     // serial coordinator work committing a batch
+};
+
+struct Job {
+  JobKind kind;
+  std::size_t node = kNone;    // topology node (spout/bolt) or kNone
+  std::size_t task = kNone;    // serial-gate id (task instance)
+  std::size_t worker = kNone;  // worker whose pools gate this job
+  std::size_t batch = 0;
+  double work = 0.0;  // core-milliseconds at full speed
+};
+
+/// Processor-sharing machine: all active jobs progress at the same rate
+/// min(1, cores/active) * speed_factor, tracked with a shared virtual
+/// service clock V. A job entering with `work` remaining departs when V
+/// reaches its entry V plus work.
+struct MachineState {
+  double cores = 4.0;           // physical cores (capacity accounting)
+  double effective_cores = 4.0; // physical minus per-task polling overhead
+  double base_speed_factor = 1.0;  // background ("student") load, fixed per run
+  double speed_factor = 1.0;       // base x current memory pressure
+
+  double virtual_service = 0.0;  // V
+  double last_update = 0.0;
+  std::uint64_t version = 0;  // invalidates stale departure events
+
+  // Min-heap of (V_end, job) for active jobs.
+  using Entry = std::pair<double, JobId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> active;
+
+  double busy_core_ms = 0.0;  // integrated busy cores (capacity accounting)
+  double egress_bytes = 0.0;
+
+  double rate() const {
+    if (active.empty()) return 0.0;
+    const double k = static_cast<double>(active.size());
+    return std::min(1.0, effective_cores / k) * speed_factor;
+  }
+
+  void advance(double now) {
+    if (now > last_update) {
+      const double dt = now - last_update;
+      virtual_service += dt * rate();
+      busy_core_ms +=
+          dt * std::min(static_cast<double>(active.size()), cores);
+      last_update = now;
+    }
+  }
+};
+
+struct WorkerState {
+  std::size_t machine = 0;
+  int exec_active = 0;
+  std::deque<JobId> exec_queue;
+  int recv_active = 0;
+  std::deque<JobId> recv_queue;
+};
+
+struct TaskGate {
+  bool busy = false;
+  std::deque<JobId> pending;
+};
+
+struct BatchState {
+  bool live = false;
+  double emit_time = 0.0;
+  std::size_t nodes_done = 0;
+  std::size_t acks_pending = 0;
+  bool processing_done = false;
+  bool commit_submitted = false;
+  std::vector<std::size_t> edges_pending;  // per node: in-edges not yet arrived
+  std::vector<double> node_ready_time;     // per node: inputs-complete time
+};
+
+enum class EventKind : std::uint8_t { kMachineDeparture, kEdgeArrival };
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  // FIFO tie-break for determinism
+  EventKind kind = EventKind::kMachineDeparture;
+  std::size_t a = 0;      // machine id | destination node
+  std::uint64_t b = 0;    // machine version | batch id
+};
+
+struct EventLater {
+  bool operator()(const Event& x, const Event& y) const {
+    if (x.time != y.time) return x.time > y.time;
+    return x.seq > y.seq;
+  }
+};
+
+class Simulation {
+ public:
+  Simulation(const Topology& topology, const TopologyConfig& config,
+             const ClusterSpec& cluster, const SimParams& params,
+             std::uint64_t seed)
+      : topo_(topology), config_(config), cluster_(cluster), params_(params),
+        rng_(seed) {
+    topo_.validate();
+    config_.validate(topo_);
+    build_deployment();
+    precompute_batch_profile();
+  }
+
+  SimResult run();
+
+ private:
+  // ---- setup ----
+  void build_deployment();
+  void precompute_batch_profile();
+
+  // ---- event plumbing ----
+  void push_event(double time, EventKind kind, std::size_t a,
+                  std::uint64_t b) {
+    events_.push(Event{time, seq_++, kind, a, b});
+  }
+  void schedule_machine_departure(std::size_t m);
+  void update_memory_pressure();
+
+  // ---- job lifecycle ----
+  JobId make_job(JobKind kind, std::size_t node, std::size_t task,
+                 std::size_t worker, std::size_t batch, double work);
+  void submit(JobId id);            // task gate -> worker gate -> machine
+  void enter_worker_gate(JobId id); // worker pool -> machine
+  void start_on_machine(JobId id);
+  void finish_job(JobId id);
+
+  // ---- topology progress ----
+  void emit_ready_batches();
+  void emit_batch();
+  void node_completed(std::size_t node, std::size_t batch);
+  void edge_arrived(std::size_t node, std::size_t batch);
+  void maybe_commit(std::size_t batch);
+  void batch_committed(std::size_t batch);
+
+  bool task_gated(JobKind k) const { return k != JobKind::kReceive; }
+
+  // ---- inputs ----
+  Topology topo_;
+  TopologyConfig config_;
+  ClusterSpec cluster_;
+  SimParams params_;
+  Rng rng_;
+
+  // ---- deployment (static per run) ----
+  std::vector<int> hints_;                     // per node, normalized
+  std::vector<std::vector<std::size_t>> node_tasks_;  // node -> task ids
+  std::vector<std::size_t> acker_tasks_;
+  std::size_t coordinator_task_ = 0;
+  std::vector<TaskGate> tasks_;
+  std::vector<std::size_t> task_worker_;       // task -> worker
+  std::vector<WorkerState> workers_;
+  std::vector<MachineState> machines_;         // last one is the master VM
+  std::size_t master_machine_ = 0;
+  std::size_t master_worker_ = 0;
+
+  // ---- per-batch workload profile (identical for every batch) ----
+  std::vector<double> in_tuples_;       // per node
+  std::vector<double> out_tuples_;      // per node
+  std::vector<double> compute_work_;    // per node, per task, core-ms
+  std::vector<double> recv_work_;       // per node, per task, core-ms
+  std::vector<double> ack_work_;        // per node, core-ms
+  std::vector<double> edge_delay_ms_;   // per edge
+  std::vector<double> edge_bytes_per_sender_;  // per edge
+  std::vector<std::vector<std::size_t>> edge_sender_machines_;  // per edge
+  double batch_memory_bytes_ = 0.0;
+
+  // ---- dynamic state ----
+  std::vector<Job> jobs_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0.0;
+  double memory_pressure_ = 1.0;
+  double static_memory_share_ = 0.0;  // per-machine bytes for task overhead
+  std::vector<BatchState> batches_;
+  /// Per batch, per node: outstanding spout-emit/compute jobs.
+  std::vector<std::vector<std::size_t>> node_jobs_remaining_;
+  std::size_t batches_emitted_ = 0;
+  std::size_t batches_inflight_ = 0;
+  std::size_t batches_committed_ = 0;
+  double total_latency_ms_ = 0.0;
+  double duration_ms_ = 0.0;
+
+  // ---- per-node statistics (bottleneck attribution) ----
+  std::vector<double> node_stage_sum_ms_;
+  std::vector<double> node_stage_max_ms_;
+  std::vector<std::size_t> node_batches_done_;
+  std::vector<double> node_busy_core_ms_;
+};
+
+void Simulation::build_deployment() {
+  hints_ = config_.normalized_hints(topo_);
+  node_stage_sum_ms_.assign(topo_.num_nodes(), 0.0);
+  node_stage_max_ms_.assign(topo_.num_nodes(), 0.0);
+  node_batches_done_.assign(topo_.num_nodes(), 0);
+  node_busy_core_ms_.assign(topo_.num_nodes(), 0.0);
+
+  const std::size_t num_workers = cluster_.num_workers();
+  STORMTUNE_REQUIRE(num_workers > 0, "simulate: cluster has no workers");
+
+  machines_.resize(cluster_.num_machines + 1);
+  for (auto& m : machines_) {
+    m.cores = static_cast<double>(cluster_.cores_per_machine);
+    if (params_.background_load_prob > 0.0 &&
+        rng_.bernoulli(params_.background_load_prob)) {
+      m.base_speed_factor = params_.background_load_factor;
+    }
+    m.speed_factor = m.base_speed_factor;
+  }
+  master_machine_ = machines_.size() - 1;
+  machines_[master_machine_].base_speed_factor = 1.0;  // dedicated VM
+  machines_[master_machine_].speed_factor = 1.0;
+
+  workers_.resize(num_workers + 1);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    workers_[w].machine = w / cluster_.workers_per_machine;
+  }
+  master_worker_ = num_workers;
+  workers_[master_worker_].machine = master_machine_;
+
+  // Plan the task placement with the configured scheduler policy (Storm's
+  // even scheduler by default).
+  const Assignment assignment = assign_tasks(
+      topo_, hints_, config_.effective_ackers(num_workers), num_workers,
+      params_.scheduler, /*seed=*/rng_());
+  node_tasks_ = assignment.node_tasks;
+  acker_tasks_ = assignment.acker_tasks;
+  task_worker_ = assignment.task_worker;
+  tasks_.resize(task_worker_.size());
+
+  // The coordinator lives on the master VM, outside the worker round-robin.
+  tasks_.emplace_back();
+  task_worker_.push_back(master_worker_);
+  coordinator_task_ = tasks_.size() - 1;
+
+  // Per-task polling/scheduling overhead erodes each machine's effective
+  // capacity; grossly over-provisioned deployments approach zero capacity
+  // ("only waste resources on context switching", Section IV-B2).
+  std::vector<std::size_t> tasks_on_machine(machines_.size(), 0);
+  for (std::size_t t = 0; t + 1 < tasks_.size(); ++t) {  // skip coordinator
+    ++tasks_on_machine[workers_[task_worker_[t]].machine];
+  }
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    machines_[m].effective_cores = std::max(
+        0.05, machines_[m].cores -
+                  params_.task_poll_cores *
+                      static_cast<double>(tasks_on_machine[m]));
+  }
+}
+
+void Simulation::precompute_batch_profile() {
+  const double bs = static_cast<double>(config_.batch_size);
+  in_tuples_ = topo_.input_tuples_per_batch(bs);
+  out_tuples_ = topo_.emitted_tuples_per_batch(bs);
+
+  const std::size_t n = topo_.num_nodes();
+  compute_work_.resize(n);
+  recv_work_.resize(n);
+  ack_work_.resize(n);
+  batch_memory_bytes_ = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const Node& node = topo_.node(v);
+    const double ntasks = static_cast<double>(hints_[v]);
+    const double contention = node.contentious ? ntasks : 1.0;
+    compute_work_[v] = in_tuples_[v] / ntasks * node.time_complexity *
+                       contention * params_.compute_unit_ms;
+    recv_work_[v] = node.kind == NodeKind::kBolt
+                        ? in_tuples_[v] / ntasks *
+                              params_.recv_units_per_tuple *
+                              params_.compute_unit_ms
+                        : 0.0;
+    ack_work_[v] = out_tuples_[v] * params_.ack_units_per_tuple *
+                   params_.compute_unit_ms;
+    batch_memory_bytes_ += in_tuples_[v] * params_.tuple_memory_bytes;
+  }
+
+  // Per-edge transfer profile. A fraction (1 - 1/M) of tuples cross machine
+  // boundaries under shuffle grouping with evenly spread tasks.
+  const double m = static_cast<double>(cluster_.num_machines);
+  const double cross_fraction = m > 1.0 ? 1.0 - 1.0 / m : 0.0;
+  const auto& edges = topo_.edges();
+  const std::vector<double> edge_tuples =
+      topo_.edge_tuples_per_batch(static_cast<double>(config_.batch_size));
+  edge_delay_ms_.resize(edges.size());
+  edge_bytes_per_sender_.resize(edges.size());
+  edge_sender_machines_.resize(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const std::size_t from = edges[e].from;
+    std::vector<std::size_t> senders;
+    for (std::size_t t : node_tasks_[from]) {
+      const std::size_t mach = workers_[task_worker_[t]].machine;
+      if (std::find(senders.begin(), senders.end(), mach) == senders.end()) {
+        senders.push_back(mach);
+      }
+    }
+    edge_sender_machines_[e] = std::move(senders);
+    const double bytes = edge_tuples[e] * params_.tuple_bytes *
+                         cross_fraction;
+    const double nsenders =
+        std::max<std::size_t>(edge_sender_machines_[e].size(), 1);
+    edge_bytes_per_sender_[e] = bytes / nsenders;
+    const double transfer_ms =
+        bytes / (cluster_.nic_bytes_per_sec * nsenders) * 1000.0;
+    edge_delay_ms_[e] = params_.network_latency_ms + transfer_ms;
+  }
+}
+
+void Simulation::schedule_machine_departure(std::size_t m) {
+  MachineState& mach = machines_[m];
+  ++mach.version;
+  if (mach.active.empty()) return;
+  const double rate = mach.rate();
+  STORMTUNE_REQUIRE(rate > 0.0, "simulate: machine with jobs but zero rate");
+  const double remaining =
+      std::max(0.0, mach.active.top().first - mach.virtual_service);
+  push_event(now_ + remaining / rate, EventKind::kMachineDeparture, m,
+             mach.version);
+}
+
+void Simulation::update_memory_pressure() {
+  // In-flight batch data spread over the worker machines; exceeding the
+  // soft budget slows every worker machine down (GC/paging pressure).
+  const double inflight_bytes =
+      batch_memory_bytes_ * static_cast<double>(batches_inflight_);
+  const double share = static_memory_share_ +
+                       inflight_bytes /
+                           static_cast<double>(cluster_.num_machines);
+  const double over =
+      std::max(0.0, share / cluster_.memory_soft_bytes - 1.0);
+  const double pressure = 1.0 / (1.0 + params_.memory_pressure_factor * over);
+  if (pressure == memory_pressure_) return;
+  memory_pressure_ = pressure;
+  for (std::size_t m = 0; m < master_machine_; ++m) {
+    MachineState& mach = machines_[m];
+    mach.advance(now_);
+    mach.speed_factor = mach.base_speed_factor * pressure;
+    schedule_machine_departure(m);
+  }
+}
+
+JobId Simulation::make_job(JobKind kind, std::size_t node, std::size_t task,
+                           std::size_t worker, std::size_t batch,
+                           double work) {
+  jobs_.push_back(Job{kind, node, task, worker, batch, work});
+  return jobs_.size() - 1;
+}
+
+void Simulation::submit(JobId id) {
+  const Job& job = jobs_[id];
+  if (task_gated(job.kind)) {
+    TaskGate& gate = tasks_[job.task];
+    if (gate.busy) {
+      gate.pending.push_back(id);
+      return;
+    }
+    gate.busy = true;
+  }
+  enter_worker_gate(id);
+}
+
+void Simulation::enter_worker_gate(JobId id) {
+  const Job& job = jobs_[id];
+  WorkerState& w = workers_[job.worker];
+  if (job.kind == JobKind::kReceive) {
+    if (w.recv_active >= config_.receiver_threads) {
+      w.recv_queue.push_back(id);
+      return;
+    }
+    ++w.recv_active;
+  } else if (job.kind == JobKind::kCommit) {
+    // The coordinator is not bounded by a worker executor pool.
+  } else {
+    if (w.exec_active >= config_.worker_threads) {
+      w.exec_queue.push_back(id);
+      return;
+    }
+    ++w.exec_active;
+  }
+  start_on_machine(id);
+}
+
+void Simulation::start_on_machine(JobId id) {
+  const Job& job = jobs_[id];
+  MachineState& mach = machines_[workers_[job.worker].machine];
+  mach.advance(now_);
+  mach.active.emplace(mach.virtual_service + job.work, id);
+  schedule_machine_departure(workers_[job.worker].machine);
+}
+
+void Simulation::finish_job(JobId id) {
+  const Job job = jobs_[id];
+  WorkerState& w = workers_[job.worker];
+
+  // Release the worker pool slot and admit the next queued job.
+  if (job.kind == JobKind::kReceive) {
+    --w.recv_active;
+    if (!w.recv_queue.empty()) {
+      const JobId next = w.recv_queue.front();
+      w.recv_queue.pop_front();
+      ++w.recv_active;
+      start_on_machine(next);
+    }
+  } else if (job.kind != JobKind::kCommit) {
+    --w.exec_active;
+    if (!w.exec_queue.empty()) {
+      const JobId next = w.exec_queue.front();
+      w.exec_queue.pop_front();
+      ++w.exec_active;
+      start_on_machine(next);
+    }
+  }
+
+  // Release the task gate and admit its next pending job.
+  if (task_gated(job.kind)) {
+    TaskGate& gate = tasks_[job.task];
+    gate.busy = false;
+    if (!gate.pending.empty()) {
+      const JobId next = gate.pending.front();
+      gate.pending.pop_front();
+      gate.busy = true;
+      enter_worker_gate(next);
+    }
+  }
+
+  // Completion semantics per kind.
+  switch (job.kind) {
+    case JobKind::kSpoutEmit:
+    case JobKind::kCompute: {
+      node_busy_core_ms_[job.node] += job.work;
+      auto& remaining = node_jobs_remaining_[job.batch];
+      STORMTUNE_REQUIRE(remaining[job.node] > 0,
+                        "simulate: node job accounting underflow");
+      if (--remaining[job.node] == 0) node_completed(job.node, job.batch);
+      break;
+    }
+    case JobKind::kReceive: {
+      // Receiver done: the task's compute job may now run.
+      const double work = compute_work_[job.node];
+      const JobId compute = make_job(JobKind::kCompute, job.node, job.task,
+                                     job.worker, job.batch, work);
+      submit(compute);
+      break;
+    }
+    case JobKind::kAck: {
+      BatchState& b = batches_[job.batch];
+      STORMTUNE_REQUIRE(b.acks_pending > 0,
+                        "simulate: ack accounting underflow");
+      --b.acks_pending;
+      maybe_commit(job.batch);
+      break;
+    }
+    case JobKind::kCommit: {
+      batch_committed(job.batch);
+      break;
+    }
+  }
+}
+
+void Simulation::emit_ready_batches() {
+  while (batches_inflight_ <
+             static_cast<std::size_t>(config_.batch_parallelism) &&
+         now_ < duration_ms_) {
+    emit_batch();
+  }
+}
+
+void Simulation::emit_batch() {
+  const std::size_t batch = batches_emitted_++;
+  ++batches_inflight_;
+  batches_.emplace_back();
+  node_jobs_remaining_.emplace_back(topo_.num_nodes(), 0);
+  BatchState& b = batches_.back();
+  b.live = true;
+  b.emit_time = now_;
+  b.edges_pending.resize(topo_.num_nodes());
+  b.node_ready_time.assign(topo_.num_nodes(), 0.0);
+  for (std::size_t v = 0; v < topo_.num_nodes(); ++v) {
+    b.edges_pending[v] = topo_.in_edge_ids(v).size();
+  }
+  update_memory_pressure();
+
+  for (std::size_t s : topo_.spouts()) {
+    b.node_ready_time[s] = now_;
+    auto& remaining = node_jobs_remaining_[batch];
+    remaining[s] = node_tasks_[s].size();
+    for (std::size_t t : node_tasks_[s]) {
+      const JobId id = make_job(JobKind::kSpoutEmit, s, t, task_worker_[t],
+                                batch, compute_work_[s]);
+      submit(id);
+    }
+  }
+}
+
+void Simulation::node_completed(std::size_t node, std::size_t batch) {
+  BatchState& b = batches_[batch];
+
+  const double stage_ms = now_ - b.node_ready_time[node];
+  node_stage_sum_ms_[node] += stage_ms;
+  node_stage_max_ms_[node] = std::max(node_stage_max_ms_[node], stage_ms);
+  ++node_batches_done_[node];
+
+  // Acker bookkeeping for this node's emissions.
+  if (ack_work_[node] > 0.0 && !acker_tasks_.empty()) {
+    ++b.acks_pending;
+    const std::size_t acker =
+        acker_tasks_[(node + batch * topo_.num_nodes()) %
+                     acker_tasks_.size()];
+    const JobId id = make_job(JobKind::kAck, node, acker, task_worker_[acker],
+                              batch, ack_work_[node]);
+    submit(id);
+  }
+
+  // Propagate tuples downstream (network transfer per edge).
+  for (std::size_t eid : topo_.out_edge_ids(node)) {
+    const Edge& e = topo_.edges()[eid];
+    for (std::size_t m : edge_sender_machines_[eid]) {
+      machines_[m].egress_bytes += edge_bytes_per_sender_[eid];
+    }
+    push_event(now_ + edge_delay_ms_[eid], EventKind::kEdgeArrival, e.to,
+               batch);
+  }
+
+  if (++b.nodes_done == topo_.num_nodes()) {
+    b.processing_done = true;
+    maybe_commit(batch);
+  }
+}
+
+void Simulation::edge_arrived(std::size_t node, std::size_t batch) {
+  BatchState& b = batches_[batch];
+  STORMTUNE_REQUIRE(b.edges_pending[node] > 0,
+                    "simulate: edge accounting underflow");
+  if (--b.edges_pending[node] > 0) return;
+  b.node_ready_time[node] = now_;
+
+  // All inputs arrived: deserialization then compute, one pair per task.
+  auto& remaining = node_jobs_remaining_[batch];
+  remaining[node] = node_tasks_[node].size();
+  for (std::size_t t : node_tasks_[node]) {
+    if (recv_work_[node] > 0.0) {
+      const JobId recv = make_job(JobKind::kReceive, node, t, task_worker_[t],
+                                  batch, recv_work_[node]);
+      submit(recv);
+    } else {
+      const JobId compute = make_job(JobKind::kCompute, node, t,
+                                     task_worker_[t], batch,
+                                     compute_work_[node]);
+      submit(compute);
+    }
+  }
+}
+
+void Simulation::maybe_commit(std::size_t batch) {
+  BatchState& b = batches_[batch];
+  if (!b.processing_done || b.acks_pending > 0 || b.commit_submitted) return;
+  b.commit_submitted = true;
+  const double work =
+      params_.commit_units_per_batch * params_.compute_unit_ms;
+  const JobId id = make_job(JobKind::kCommit, kNone, coordinator_task_,
+                            master_worker_, batch, work);
+  submit(id);
+}
+
+void Simulation::batch_committed(std::size_t batch) {
+  BatchState& b = batches_[batch];
+  b.live = false;
+  STORMTUNE_REQUIRE(batches_inflight_ > 0,
+                    "simulate: inflight accounting underflow");
+  --batches_inflight_;
+  if (now_ <= duration_ms_) {
+    ++batches_committed_;
+    total_latency_ms_ += now_ - b.emit_time;
+  }
+  update_memory_pressure();
+  emit_ready_batches();
+}
+
+SimResult Simulation::run() {
+  duration_ms_ = params_.duration_s * 1000.0;
+
+  // Static per-machine memory footprint of the deployment itself. Past the
+  // hard limit the worker JVMs OOM before doing useful work — the paper's
+  // "zero performance" runs.
+  static_memory_share_ = static_cast<double>(tasks_.size()) *
+                         params_.task_memory_bytes /
+                         static_cast<double>(cluster_.num_machines);
+  const double hard_limit =
+      cluster_.memory_soft_bytes * params_.memory_hard_multiple;
+  const double first_batch_share =
+      batch_memory_bytes_ / static_cast<double>(cluster_.num_machines);
+  if (static_memory_share_ + first_batch_share > hard_limit) {
+    SimResult crashed;
+    crashed.crashed = true;
+    std::size_t total_tasks = 0;
+    for (const auto& ts : node_tasks_) total_tasks += ts.size();
+    crashed.total_tasks = total_tasks;
+    return crashed;
+  }
+
+  emit_ready_batches();
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    if (ev.time > duration_ms_) break;
+    now_ = ev.time;
+    switch (ev.kind) {
+      case EventKind::kMachineDeparture: {
+        MachineState& mach = machines_[ev.a];
+        if (ev.b != mach.version) break;  // superseded by a later change
+        mach.advance(now_);
+        STORMTUNE_REQUIRE(!mach.active.empty(),
+                          "simulate: departure from idle machine");
+        const JobId id = mach.active.top().second;
+        // Guard against floating-point shortfall in the virtual clock.
+        mach.virtual_service =
+            std::max(mach.virtual_service, mach.active.top().first);
+        mach.active.pop();
+        schedule_machine_departure(ev.a);
+        finish_job(id);
+        break;
+      }
+      case EventKind::kEdgeArrival: {
+        edge_arrived(ev.a, static_cast<std::size_t>(ev.b));
+        break;
+      }
+    }
+  }
+
+  SimResult r;
+  r.batches_committed = batches_committed_;
+  r.batches_emitted = batches_emitted_;
+  r.tuples_committed = static_cast<double>(batches_committed_) *
+                       static_cast<double>(config_.batch_size);
+  r.noiseless_throughput = r.tuples_committed / params_.duration_s;
+  const double noise =
+      params_.throughput_noise_sd > 0.0
+          ? std::max(0.0, 1.0 + rng_.normal(0.0, params_.throughput_noise_sd))
+          : 1.0;
+  r.throughput_tuples_per_s = r.noiseless_throughput * noise;
+  r.mean_batch_latency_ms =
+      batches_committed_ > 0
+          ? total_latency_ms_ / static_cast<double>(batches_committed_)
+          : 0.0;
+
+  double total_egress = 0.0;
+  double peak_util = 0.0;
+  double busy = 0.0;
+  for (std::size_t m = 0; m < master_machine_; ++m) {
+    total_egress += machines_[m].egress_bytes;
+    const double rate = machines_[m].egress_bytes / params_.duration_s;
+    peak_util = std::max(peak_util, rate / cluster_.nic_bytes_per_sec);
+    machines_[m].advance(std::min(now_, duration_ms_));
+    busy += machines_[m].busy_core_ms;
+  }
+  r.network_bytes_per_s_per_worker =
+      total_egress / params_.duration_s /
+      static_cast<double>(cluster_.num_workers());
+  r.peak_nic_utilization = peak_util;
+  r.cpu_utilization =
+      busy / (duration_ms_ * static_cast<double>(cluster_.total_cores()));
+
+  std::size_t total_tasks = 0;
+  for (const auto& ts : node_tasks_) total_tasks += ts.size();
+  r.total_tasks = total_tasks;
+
+  r.node_stats.resize(topo_.num_nodes());
+  for (std::size_t v = 0; v < topo_.num_nodes(); ++v) {
+    NodeStats& ns = r.node_stats[v];
+    ns.name = topo_.node(v).name;
+    ns.tasks = node_tasks_[v].size();
+    ns.batches_processed = node_batches_done_[v];
+    ns.mean_stage_ms =
+        node_batches_done_[v] > 0
+            ? node_stage_sum_ms_[v] /
+                  static_cast<double>(node_batches_done_[v])
+            : 0.0;
+    ns.max_stage_ms = node_stage_max_ms_[v];
+    ns.busy_core_ms = node_busy_core_ms_[v];
+  }
+  return r;
+}
+
+}  // namespace
+
+SimResult simulate(const Topology& topology, const TopologyConfig& config,
+                   const ClusterSpec& cluster, const SimParams& params,
+                   std::uint64_t seed) {
+  Simulation sim(topology, config, cluster, params, seed);
+  return sim.run();
+}
+
+}  // namespace stormtune::sim

@@ -1,0 +1,46 @@
+// Discrete-event simulator of a Storm/Trident deployment.
+//
+// This is the substitute for the paper's physical 80-machine cluster: it
+// turns (topology, configuration) into a measured throughput, reproducing
+// the mechanisms that make the configuration-performance landscape
+// non-trivial:
+//
+//  * machines are processor-sharing servers — every runnable job on a
+//    machine progresses at rate min(1, cores/active) x speed factor, so
+//    over-parallelization causes genuine time-sharing slowdown;
+//  * each task instance is serial (Storm executors are single-threaded),
+//    so a node's batch work parallelizes only across its tasks;
+//  * each worker has a bounded executor pool (`worker_threads`) and a
+//    bounded receiver pool (`receiver_threads`) that gate job admission;
+//  * contentious bolts pay the paper's penalty: per-tuple cost multiplied
+//    by the bolt's total task count (Section IV-B2);
+//  * Trident mini-batches: at most `batch_parallelism` batches in flight;
+//    a bolt starts a batch only after all upstream nodes finished it; a
+//    batch commits through a serial coordinator on the master machine;
+//  * ackers do per-tuple bookkeeping that must finish before commit;
+//  * tuples crossing machines incur transfer latency and are accounted
+//    against sender NICs (Figure 3's network-load metric);
+//  * in-flight batch data causes memory pressure that slows machines once
+//    a soft budget is exceeded (why unbounded batch sizes stop paying off);
+//  * reported throughput carries multiplicative measurement noise and
+//    optional background "student" load (Section IV-C1).
+#pragma once
+
+#include <cstdint>
+
+#include "stormsim/cluster.hpp"
+#include "stormsim/config.hpp"
+#include "stormsim/metrics.hpp"
+#include "stormsim/topology.hpp"
+
+namespace stormtune::sim {
+
+/// Simulate one evaluation run and return its measurements.
+///
+/// `seed` drives all stochastic elements (noise, background load); the same
+/// seed yields a bit-identical result.
+SimResult simulate(const Topology& topology, const TopologyConfig& config,
+                   const ClusterSpec& cluster, const SimParams& params,
+                   std::uint64_t seed);
+
+}  // namespace stormtune::sim

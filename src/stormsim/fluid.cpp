@@ -1,0 +1,92 @@
+#include "stormsim/fluid.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace stormtune::sim {
+
+FluidEstimate fluid_estimate(const Topology& topology,
+                             const TopologyConfig& config,
+                             const ClusterSpec& cluster,
+                             const SimParams& params) {
+  topology.validate();
+  config.validate(topology);
+  const std::vector<int> hints = config.normalized_hints(topology);
+  const double bs = static_cast<double>(config.batch_size);
+  const std::vector<double> input = topology.input_tuples_per_batch(bs);
+  const std::vector<double> emitted = topology.emitted_tuples_per_batch(bs);
+
+  const std::size_t n = topology.num_nodes();
+  std::vector<double> stage_ms(n);
+  double work_per_batch = 0.0;  // core-ms
+  for (std::size_t v = 0; v < n; ++v) {
+    const Node& node = topology.node(v);
+    const double ntasks = static_cast<double>(hints[v]);
+    const double contention = node.contentious ? ntasks : 1.0;
+    const double per_task = input[v] / ntasks * node.time_complexity *
+                            contention * params.compute_unit_ms;
+    const double recv = node.kind == NodeKind::kBolt
+                            ? input[v] / ntasks *
+                                  params.recv_units_per_tuple *
+                                  params.compute_unit_ms
+                            : 0.0;
+    stage_ms[v] = per_task + recv;
+    work_per_batch += (per_task + recv) * ntasks +
+                      emitted[v] * params.ack_units_per_tuple *
+                          params.compute_unit_ms;
+  }
+
+  // Critical path: longest chain of stage times plus per-hop latency, in
+  // topological order, plus the commit stage.
+  std::vector<double> finish(n, 0.0);
+  for (std::size_t v : topology.topological_order()) {
+    double start = 0.0;
+    for (std::size_t eid : topology.in_edge_ids(v)) {
+      const Edge& e = topology.edges()[eid];
+      start = std::max(start, finish[e.from] + params.network_latency_ms);
+    }
+    finish[v] = start + stage_ms[v];
+  }
+  const double commit_ms =
+      params.commit_units_per_batch * params.compute_unit_ms;
+  const double critical_path =
+      *std::max_element(finish.begin(), finish.end()) + commit_ms;
+
+  FluidEstimate est;
+  est.critical_path_ms = critical_path;
+  const double slowest_stage =
+      *std::max_element(stage_ms.begin(), stage_ms.end());
+  est.stage_limited = slowest_stage > 0.0 ? 1000.0 / slowest_stage : 1e300;
+  const double capacity_core_ms_per_s =
+      static_cast<double>(cluster.total_cores()) * 1000.0;
+  est.cpu_limited = work_per_batch > 0.0
+                        ? capacity_core_ms_per_s / work_per_batch
+                        : 1e300;
+  est.commit_limited = commit_ms > 0.0 ? 1000.0 / commit_ms : 1e300;
+  est.pipeline_limited =
+      critical_path > 0.0
+          ? static_cast<double>(config.batch_parallelism) * 1000.0 /
+                critical_path
+          : 1e300;
+
+  double batches_per_s = est.stage_limited;
+  est.bottleneck = FluidEstimate::Bottleneck::kStage;
+  if (est.cpu_limited < batches_per_s) {
+    batches_per_s = est.cpu_limited;
+    est.bottleneck = FluidEstimate::Bottleneck::kCpu;
+  }
+  if (est.commit_limited < batches_per_s) {
+    batches_per_s = est.commit_limited;
+    est.bottleneck = FluidEstimate::Bottleneck::kCommit;
+  }
+  if (est.pipeline_limited < batches_per_s) {
+    batches_per_s = est.pipeline_limited;
+    est.bottleneck = FluidEstimate::Bottleneck::kPipelineDepth;
+  }
+  est.throughput_tuples_per_s = batches_per_s * bs;
+  return est;
+}
+
+}  // namespace stormtune::sim

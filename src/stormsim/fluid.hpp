@@ -1,0 +1,37 @@
+// Closed-form bottleneck approximation of the simulator.
+//
+// The paper's premise is that no usable closed-form model of the system
+// exists (Section III-C) — but coarse upper bounds do, and they are useful
+// for validating the discrete-event engine and as an ablation baseline:
+// a tuner driven by this fluid model instead of measurements shows what
+// cost-model-based configuration (the related work of Section II-A) can and
+// cannot capture.
+#pragma once
+
+#include "stormsim/cluster.hpp"
+#include "stormsim/config.hpp"
+#include "stormsim/topology.hpp"
+
+namespace stormtune::sim {
+
+struct FluidEstimate {
+  double throughput_tuples_per_s = 0.0;
+  /// Which bound was binding.
+  enum class Bottleneck { kStage, kCpu, kCommit, kPipelineDepth } bottleneck =
+      Bottleneck::kStage;
+  double stage_limited = 0.0;     ///< slowest node stage, batches/s
+  double cpu_limited = 0.0;       ///< total cluster compute, batches/s
+  double commit_limited = 0.0;    ///< serial coordinator, batches/s
+  double pipeline_limited = 0.0;  ///< bp / critical-path latency, batches/s
+  double critical_path_ms = 0.0;
+};
+
+/// Estimate steady-state throughput as the minimum of four fluid bounds:
+/// slowest stage, aggregate CPU, serial commit, and pipeline depth
+/// (batch_parallelism over the batch critical-path latency).
+FluidEstimate fluid_estimate(const Topology& topology,
+                             const TopologyConfig& config,
+                             const ClusterSpec& cluster,
+                             const SimParams& params);
+
+}  // namespace stormtune::sim

@@ -1,0 +1,18 @@
+#include "stormsim/metrics.hpp"
+
+namespace stormtune::sim {
+
+std::size_t SimResult::bottleneck_node() const {
+  std::size_t best = static_cast<std::size_t>(-1);
+  double worst = -1.0;
+  for (std::size_t v = 0; v < node_stats.size(); ++v) {
+    if (node_stats[v].batches_processed == 0) continue;
+    if (node_stats[v].mean_stage_ms > worst) {
+      worst = node_stats[v].mean_stage_ms;
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace stormtune::sim

@@ -1,0 +1,66 @@
+// Result of one simulated evaluation run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stormtune::sim {
+
+/// Per-node measurements, for bottleneck attribution.
+struct NodeStats {
+  std::string name;
+  std::size_t tasks = 0;
+  /// Batches this node finished inside the measurement window.
+  std::size_t batches_processed = 0;
+  /// Mean wall time from "all inputs arrived" (spouts: batch emission) to
+  /// the node finishing the batch — the node's stage time including
+  /// queueing and time-sharing.
+  double mean_stage_ms = 0.0;
+  /// Worst observed stage time.
+  double max_stage_ms = 0.0;
+  /// Useful work performed, core-milliseconds across all tasks.
+  double busy_core_ms = 0.0;
+};
+
+struct SimResult {
+  /// Committed-tuple throughput over the measurement window, tuples/s.
+  /// This is the objective the optimizers maximize. Zero when no batch
+  /// committed within the window ("zero performance" in the paper's
+  /// early-stopping rule).
+  double throughput_tuples_per_s = 0.0;
+  /// Throughput before measurement noise was applied (for tests).
+  double noiseless_throughput = 0.0;
+
+  std::size_t batches_committed = 0;
+  std::size_t batches_emitted = 0;
+  double tuples_committed = 0.0;
+
+  /// Mean end-to-end latency of committed batches, ms.
+  double mean_batch_latency_ms = 0.0;
+
+  /// Average egress network load per worker over the window, bytes/s.
+  double network_bytes_per_s_per_worker = 0.0;
+  /// Peak over machines of average egress rate, as a fraction of NIC
+  /// capacity (saturation indicator; the paper verified this stayed low).
+  double peak_nic_utilization = 0.0;
+
+  /// Fraction of total core-time spent executing jobs.
+  double cpu_utilization = 0.0;
+
+  /// Total task instances deployed (after max-task normalization).
+  std::size_t total_tasks = 0;
+
+  /// True when the deployment exceeded the hard memory limit and the
+  /// workers OOM-crashed before processing anything (throughput is 0).
+  bool crashed = false;
+
+  /// Per-node bottleneck attribution, ordered by node id.
+  std::vector<NodeStats> node_stats;
+
+  /// Index of the node with the largest mean stage time; SIZE_MAX when no
+  /// node finished a batch.
+  std::size_t bottleneck_node() const;
+};
+
+}  // namespace stormtune::sim

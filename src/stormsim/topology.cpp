@@ -1,0 +1,215 @@
+#include "stormsim/topology.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace stormtune::sim {
+
+std::string to_string(Grouping g) {
+  switch (g) {
+    case Grouping::kShuffle: return "shuffle";
+    case Grouping::kFields: return "fields";
+    case Grouping::kGlobal: return "global";
+    case Grouping::kAll: return "all";
+  }
+  return "unknown";
+}
+
+std::size_t Topology::add_spout(std::string name, double time_complexity,
+                                double selectivity) {
+  STORMTUNE_REQUIRE(time_complexity >= 0.0,
+                    "Topology: time complexity must be >= 0");
+  STORMTUNE_REQUIRE(selectivity >= 0.0, "Topology: selectivity must be >= 0");
+  Node n;
+  n.name = std::move(name);
+  n.kind = NodeKind::kSpout;
+  n.time_complexity = time_complexity;
+  n.selectivity = selectivity;
+  nodes_.push_back(std::move(n));
+  in_edges_.emplace_back();
+  out_edges_.emplace_back();
+  return nodes_.size() - 1;
+}
+
+std::size_t Topology::add_bolt(std::string name, double time_complexity,
+                               bool contentious, double selectivity) {
+  STORMTUNE_REQUIRE(time_complexity >= 0.0,
+                    "Topology: time complexity must be >= 0");
+  STORMTUNE_REQUIRE(selectivity >= 0.0, "Topology: selectivity must be >= 0");
+  Node n;
+  n.name = std::move(name);
+  n.kind = NodeKind::kBolt;
+  n.time_complexity = time_complexity;
+  n.contentious = contentious;
+  n.selectivity = selectivity;
+  nodes_.push_back(std::move(n));
+  in_edges_.emplace_back();
+  out_edges_.emplace_back();
+  return nodes_.size() - 1;
+}
+
+void Topology::connect(std::size_t from, std::size_t to, Grouping grouping) {
+  STORMTUNE_REQUIRE(from < nodes_.size() && to < nodes_.size(),
+                    "Topology::connect: node id out of range");
+  STORMTUNE_REQUIRE(from != to, "Topology::connect: self-loop");
+  STORMTUNE_REQUIRE(nodes_[to].kind == NodeKind::kBolt,
+                    "Topology::connect: cannot send tuples into a spout");
+  Edge e;
+  e.from = from;
+  e.to = to;
+  e.grouping = grouping;
+  edges_.push_back(e);
+  out_edges_[from].push_back(edges_.size() - 1);
+  in_edges_[to].push_back(edges_.size() - 1);
+  // Catch cycles immediately rather than at validate() time.
+  if (!to_dag().is_acyclic()) {
+    out_edges_[from].pop_back();
+    in_edges_[to].pop_back();
+    edges_.pop_back();
+    STORMTUNE_REQUIRE(false, "Topology::connect: edge would create a cycle");
+  }
+}
+
+const Node& Topology::node(std::size_t id) const {
+  STORMTUNE_REQUIRE(id < nodes_.size(), "Topology::node: id out of range");
+  return nodes_[id];
+}
+
+Node& Topology::node(std::size_t id) {
+  STORMTUNE_REQUIRE(id < nodes_.size(), "Topology::node: id out of range");
+  return nodes_[id];
+}
+
+std::vector<std::size_t> Topology::spouts() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::kSpout) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Topology::bolts() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::kBolt) out.push_back(i);
+  }
+  return out;
+}
+
+const std::vector<std::size_t>& Topology::in_edge_ids(std::size_t id) const {
+  STORMTUNE_REQUIRE(id < nodes_.size(), "Topology: id out of range");
+  return in_edges_[id];
+}
+
+const std::vector<std::size_t>& Topology::out_edge_ids(std::size_t id) const {
+  STORMTUNE_REQUIRE(id < nodes_.size(), "Topology: id out of range");
+  return out_edges_[id];
+}
+
+graph::Dag Topology::to_dag() const {
+  graph::Dag dag(nodes_.size());
+  for (const Edge& e : edges_) {
+    if (!dag.has_edge(e.from, e.to)) dag.add_edge(e.from, e.to);
+  }
+  return dag;
+}
+
+std::vector<std::size_t> Topology::topological_order() const {
+  return to_dag().topological_order();
+}
+
+void Topology::validate() const {
+  STORMTUNE_REQUIRE(!spouts().empty(), "Topology: needs at least one spout");
+  const graph::Dag dag = to_dag();
+  STORMTUNE_REQUIRE(dag.is_acyclic(), "Topology: graph has a cycle");
+  // Every bolt must be reachable from some spout, otherwise it would never
+  // receive data (the batch-completion tracker would stall forever).
+  std::vector<bool> reachable(nodes_.size(), false);
+  std::vector<std::size_t> stack = spouts();
+  for (std::size_t s : stack) reachable[s] = true;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t eid : out_edges_[v]) {
+      const std::size_t w = edges_[eid].to;
+      if (!reachable[w]) {
+        reachable[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    STORMTUNE_REQUIRE(reachable[v],
+                      "Topology: node '" + nodes_[v].name +
+                          "' is not reachable from any spout");
+  }
+}
+
+std::vector<double> Topology::input_tuples_per_batch(double batch_size) const {
+  STORMTUNE_REQUIRE(batch_size > 0.0, "Topology: batch size must be > 0");
+  const auto sp = spouts();
+  STORMTUNE_REQUIRE(!sp.empty(), "Topology: needs at least one spout");
+  std::vector<double> input(nodes_.size(), 0.0);
+  const double share = batch_size / static_cast<double>(sp.size());
+  for (std::size_t s : sp) input[s] = share;
+  for (std::size_t v : topological_order()) {
+    const double emitted = input[v] * nodes_[v].selectivity;
+    const double per_edge =
+        nodes_[v].split_output && !out_edges_[v].empty()
+            ? emitted / static_cast<double>(out_edges_[v].size())
+            : emitted;
+    for (std::size_t eid : out_edges_[v]) {
+      input[edges_[eid].to] += per_edge;
+    }
+  }
+  return input;
+}
+
+std::vector<double> Topology::emitted_tuples_per_batch(
+    double batch_size) const {
+  std::vector<double> e = input_tuples_per_batch(batch_size);
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    e[v] *= nodes_[v].selectivity;
+  }
+  return e;
+}
+
+std::vector<double> Topology::edge_tuples_per_batch(double batch_size) const {
+  const std::vector<double> emitted = emitted_tuples_per_batch(batch_size);
+  std::vector<double> per_edge(edges_.size(), 0.0);
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (out_edges_[v].empty()) continue;
+    const double share =
+        nodes_[v].split_output
+            ? emitted[v] / static_cast<double>(out_edges_[v].size())
+            : emitted[v];
+    for (std::size_t eid : out_edges_[v]) per_edge[eid] = share;
+  }
+  return per_edge;
+}
+
+std::vector<double> Topology::base_parallelism_weights() const {
+  std::vector<double> w(nodes_.size(), 0.0);
+  for (std::size_t v : topological_order()) {
+    if (nodes_[v].kind == NodeKind::kSpout) {
+      w[v] = 1.0;
+    } else {
+      double sum = 0.0;
+      for (std::size_t eid : in_edges_[v]) sum += w[edges_[eid].from];
+      w[v] = std::max(sum, 1.0);
+    }
+  }
+  return w;
+}
+
+double Topology::compute_units_per_batch(double batch_size) const {
+  const std::vector<double> input = input_tuples_per_batch(batch_size);
+  double total = 0.0;
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    total += input[v] * nodes_[v].time_complexity;
+  }
+  return total;
+}
+
+}  // namespace stormtune::sim

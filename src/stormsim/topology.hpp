@@ -1,0 +1,123 @@
+// Logical Storm/Trident topology model.
+//
+// A topology is a DAG of spouts (sources) and bolts (Section III-A of the
+// paper, Figure 1). Each node carries the workload attributes the paper's
+// synthetic benchmark manipulates (Section IV-B): per-tuple *time
+// complexity* in compute units (1 unit ~ 1 ms on an unloaded core), a
+// *resource contention* flag (per-tuple cost multiplied by the node's total
+// task count, negating parallelism), and a *selectivity* (output tuples per
+// input tuple). Edges carry a grouping strategy; the synthetic benchmark
+// uses shuffle grouping throughout.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace stormtune::sim {
+
+enum class NodeKind { kSpout, kBolt };
+
+enum class Grouping { kShuffle, kFields, kGlobal, kAll };
+
+std::string to_string(Grouping g);
+
+struct Node {
+  std::string name;
+  NodeKind kind = NodeKind::kBolt;
+  /// Compute units consumed per processed tuple (1 unit ~ 1 ms).
+  double time_complexity = 20.0;
+  /// When set, the per-tuple cost is multiplied by the node's total task
+  /// count (a globally contended resource; Section IV-B2).
+  bool contentious = false;
+  /// Output tuples emitted per input tuple (Section IV-B3).
+  double selectivity = 1.0;
+  /// Fan-out semantics over this node's out-edges. When false (Storm
+  /// subscriber semantics) every out-edge carries the full emission; when
+  /// true the emission is split evenly over the out-edges — the paper's
+  /// synthetic benchmark semantics ("tuples are evenly shuffled among
+  /// downstream bolts", Section IV-B4).
+  bool split_output = false;
+};
+
+struct Edge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  Grouping grouping = Grouping::kShuffle;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Add a spout; returns its node id.
+  std::size_t add_spout(std::string name, double time_complexity = 20.0,
+                        double selectivity = 1.0);
+  /// Add a bolt; returns its node id.
+  std::size_t add_bolt(std::string name, double time_complexity = 20.0,
+                       bool contentious = false, double selectivity = 1.0);
+
+  /// Connect two existing nodes; edges must respect spout/bolt roles
+  /// (nothing flows *into* a spout) and must keep the graph acyclic.
+  void connect(std::size_t from, std::size_t to,
+               Grouping grouping = Grouping::kShuffle);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+  const Node& node(std::size_t id) const;
+  Node& node(std::size_t id);
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  std::vector<std::size_t> spouts() const;
+  std::vector<std::size_t> bolts() const;
+
+  /// Edges entering / leaving a node (indices into edges()).
+  const std::vector<std::size_t>& in_edge_ids(std::size_t id) const;
+  const std::vector<std::size_t>& out_edge_ids(std::size_t id) const;
+
+  /// Build the structural DAG (edge multiplicity collapsed).
+  graph::Dag to_dag() const;
+
+  /// Topological order of node ids.
+  std::vector<std::size_t> topological_order() const;
+
+  /// Validate structure: at least one spout, acyclic, every bolt reachable
+  /// from a spout. Throws stormtune::Error on violation.
+  void validate() const;
+
+  /// Tuples entering each node per batch of `batch_size` spout tuples.
+  /// The batch is split evenly over the spouts; a bolt's input is the sum
+  /// of its upstream emissions (every subscriber receives the full stream);
+  /// emissions are inputs scaled by selectivity. For spouts, "input" is the
+  /// number of tuples they inject.
+  std::vector<double> input_tuples_per_batch(double batch_size) const;
+
+  /// Tuples emitted by each node per batch (inputs scaled by selectivity;
+  /// sinks emit 0 externally but their value is still selectivity-scaled,
+  /// which matters only for acker bookkeeping).
+  std::vector<double> emitted_tuples_per_batch(double batch_size) const;
+
+  /// Tuples carried by each edge per batch (full emission for duplicate
+  /// fan-out; emission / out-degree for split fan-out).
+  std::vector<double> edge_tuples_per_batch(double batch_size) const;
+
+  /// The "base parallelism weight" of Section V-A: spouts weigh 1, each
+  /// bolt weighs the sum of its parents' weights (counting edge
+  /// multiplicity).
+  std::vector<double> base_parallelism_weights() const;
+
+  /// Sum over nodes of input tuples x time complexity, i.e. compute units
+  /// needed to process one batch (ignoring contention multipliers).
+  double compute_units_per_batch(double batch_size) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> in_edges_;
+  std::vector<std::vector<std::size_t>> out_edges_;
+};
+
+}  // namespace stormtune::sim

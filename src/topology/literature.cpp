@@ -1,0 +1,205 @@
+#include "topology/literature.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace stormtune::topo {
+
+sim::Topology build_linear_road() {
+  using sim::Grouping;
+  sim::Topology t;
+
+  // Ingestion: position reports from the vehicles (one tuple per report),
+  // parsed and routed by expressway.
+  const auto reports = t.add_spout("position_reports", 0.01);
+  const auto parser = t.add_bolt("parser", 0.02);
+  const auto router = t.add_bolt("xway_router", 0.01);
+  t.connect(reports, parser, Grouping::kShuffle);
+  t.connect(parser, router, Grouping::kShuffle);
+  // The router partitions reports across the four expressways.
+  t.node(router).split_output = true;
+
+  // Per-expressway pipeline (4 expressways x 11 operators = 44):
+  // segment statistics -> average speed -> vehicle counting, accident
+  // detection (stopped-car correlation), toll computation and notification.
+  std::vector<std::size_t> xway_tolls;
+  std::vector<std::size_t> xway_accidents;
+  std::vector<std::size_t> xway_histories;
+  for (int x = 0; x < 4; ++x) {
+    const std::string p = "x" + std::to_string(x) + "_";
+    const auto seg_stats = t.add_bolt(p + "seg_stats", 0.05);
+    const auto avg_speed = t.add_bolt(p + "avg_speed", 0.03, false, 0.2);
+    const auto veh_count = t.add_bolt(p + "veh_count", 0.02, false, 0.2);
+    const auto stop_detect = t.add_bolt(p + "stop_detect", 0.04, false, 0.05);
+    const auto acc_detect = t.add_bolt(p + "acc_detect", 0.06, false, 0.5);
+    const auto acc_notify = t.add_bolt(p + "acc_notify", 0.02);
+    const auto toll_calc = t.add_bolt(p + "toll_calc", 0.08);
+    const auto toll_assess = t.add_bolt(p + "toll_assess", 0.03);
+    const auto toll_notify = t.add_bolt(p + "toll_notify", 0.02);
+    const auto seg_hist = t.add_bolt(p + "seg_history", 0.02, false, 0.1);
+    const auto lane_filter = t.add_bolt(p + "lane_filter", 0.01, false, 0.8);
+
+    t.connect(router, lane_filter, Grouping::kFields);
+    t.connect(lane_filter, seg_stats, Grouping::kFields);
+    t.connect(seg_stats, avg_speed, Grouping::kFields);
+    t.connect(seg_stats, veh_count, Grouping::kFields);
+    t.connect(lane_filter, stop_detect, Grouping::kFields);
+    t.connect(stop_detect, acc_detect, Grouping::kFields);
+    t.connect(acc_detect, acc_notify, Grouping::kShuffle);
+    t.connect(avg_speed, toll_calc, Grouping::kFields);
+    t.connect(veh_count, toll_calc, Grouping::kFields);
+    t.connect(acc_detect, toll_calc, Grouping::kFields);
+    t.connect(toll_calc, toll_assess, Grouping::kFields);
+    t.connect(toll_assess, toll_notify, Grouping::kShuffle);
+    t.connect(seg_stats, seg_hist, Grouping::kFields);
+    xway_tolls.push_back(toll_assess);
+    xway_accidents.push_back(acc_notify);
+    xway_histories.push_back(seg_hist);
+  }
+
+  // Historical queries (type 2/3 of the benchmark): account balances and
+  // daily expenditures, fed by the toll assessments; plus the travel-time
+  // estimation path over the segment histories.
+  const auto balance_q = t.add_spout("balance_queries", 0.005);
+  const auto daily_q = t.add_spout("daily_expenditure_queries", 0.005);
+  const auto balance_join = t.add_bolt("balance_join", 0.05);
+  const auto balance_resp = t.add_bolt("balance_response", 0.02);
+  const auto daily_join = t.add_bolt("daily_join", 0.05);
+  const auto daily_resp = t.add_bolt("daily_response", 0.02);
+  const auto toll_store = t.add_bolt("toll_store", 0.03, false, 0.2);
+  const auto acc_store = t.add_bolt("accident_store", 0.02, false, 0.2);
+  const auto travel_est = t.add_bolt("travel_time_estimator", 0.10, false,
+                                     0.5);
+  const auto hist_agg = t.add_bolt("history_aggregator", 0.04, false, 0.3);
+  const auto acc_monitor = t.add_bolt("accident_monitor", 0.02, false, 0.5);
+  const auto toll_audit = t.add_bolt("toll_audit", 0.02, false, 0.1);
+  const auto sink = t.add_bolt("output_writer", 0.01, false, 0.0);
+
+  for (const auto toll : xway_tolls) {
+    t.connect(toll, toll_store, Grouping::kFields);
+  }
+  for (const auto acc : xway_accidents) {
+    t.connect(acc, acc_store, Grouping::kFields);
+  }
+  t.connect(balance_q, balance_join, Grouping::kFields);
+  t.connect(toll_store, balance_join, Grouping::kFields);
+  t.connect(balance_join, balance_resp, Grouping::kShuffle);
+  t.connect(daily_q, daily_join, Grouping::kFields);
+  t.connect(toll_store, daily_join, Grouping::kFields);
+  t.connect(daily_join, daily_resp, Grouping::kShuffle);
+  for (const auto hist : xway_histories) {
+    t.connect(hist, hist_agg, Grouping::kFields);
+  }
+  t.connect(hist_agg, travel_est, Grouping::kFields);
+  t.connect(toll_store, travel_est, Grouping::kFields);
+  t.connect(acc_store, travel_est, Grouping::kFields);
+  t.connect(acc_store, acc_monitor, Grouping::kShuffle);
+  t.connect(toll_store, toll_audit, Grouping::kShuffle);
+  t.connect(acc_monitor, sink, Grouping::kShuffle);
+  t.connect(toll_audit, sink, Grouping::kShuffle);
+  t.connect(balance_resp, sink, Grouping::kShuffle);
+  t.connect(daily_resp, sink, Grouping::kShuffle);
+  t.connect(travel_est, sink, Grouping::kShuffle);
+
+  t.validate();
+  STORMTUNE_REQUIRE(t.num_nodes() == 60,
+                    "linear road must have 60 operators (Table III)");
+  return t;
+}
+
+sim::Topology build_dissemination() {
+  using sim::Grouping;
+  sim::Topology t;
+
+  // One feed, filtered and replicated down a dissemination tree to
+  // regional delivery operators (the Aurora data-dissemination problem).
+  const auto feed = t.add_spout("feed", 0.01);
+  const auto parse = t.add_bolt("parse", 0.02);
+  const auto dedupe = t.add_bolt("dedupe", 0.03, false, 0.8);
+  t.connect(feed, parse, Grouping::kShuffle);
+  t.connect(parse, dedupe, Grouping::kFields);
+
+  // Every deduplicated item is also archived (the dissemination problem
+  // keeps a historical store alongside the live feeds).
+  const auto archive = t.add_bolt("archive", 0.02, false, 0.0);
+  t.connect(dedupe, archive, Grouping::kShuffle);
+
+  // Three topic filters (each subscriber category sees the full stream and
+  // keeps its slice).
+  std::vector<std::size_t> topics;
+  for (const char* topic : {"news", "markets", "weather"}) {
+    const auto f = t.add_bolt(std::string("topic_") + topic, 0.02, false,
+                              0.35);
+    t.connect(dedupe, f, Grouping::kShuffle);
+    topics.push_back(f);
+  }
+
+  // Per-topic processing: enrich -> prioritize, then four regional
+  // delivery chains per topic (union -> format -> deliver).
+  // 3 topics x (2 + 3 regions x 3) = 33 operators.
+  for (std::size_t i = 0; i < topics.size(); ++i) {
+    const std::string p = "t" + std::to_string(i) + "_";
+    const auto enrich = t.add_bolt(p + "enrich", 0.04);
+    const auto prioritize = t.add_bolt(p + "prioritize", 0.02);
+    t.connect(topics[i], enrich, Grouping::kShuffle);
+    t.connect(enrich, prioritize, Grouping::kFields);
+    t.node(prioritize).split_output = true;  // regions partition the stream
+    for (int r = 0; r < 3; ++r) {
+      const std::string q = p + "r" + std::to_string(r) + "_";
+      const auto region_union = t.add_bolt(q + "union", 0.01);
+      const auto format = t.add_bolt(q + "format", 0.03);
+      const auto deliver = t.add_bolt(q + "deliver", 0.02, false, 0.0);
+      t.connect(prioritize, region_union, Grouping::kFields);
+      t.connect(region_union, format, Grouping::kShuffle);
+      t.connect(format, deliver, Grouping::kShuffle);
+    }
+  }
+
+  t.validate();
+  STORMTUNE_REQUIRE(t.num_nodes() == 39 + 1,
+                    "dissemination must have 40 operators (Table III)");
+  return t;
+}
+
+sim::Topology build_linear_road_compact() {
+  using sim::Grouping;
+  sim::Topology t;
+  const auto reports = t.add_spout("position_reports", 0.01);
+  const auto forwarder = t.add_bolt("forwarder", 0.01);
+  const auto seg_stats = t.add_bolt("segment_statistics", 0.06, false, 0.3);
+  const auto acc_detect = t.add_bolt("accident_detector", 0.05, false, 0.2);
+  const auto toll_calc = t.add_bolt("toll_calculator", 0.08);
+  const auto toll_notify = t.add_bolt("toll_notifier", 0.02);
+  const auto sink = t.add_bolt("output", 0.01, false, 0.0);
+  t.connect(reports, forwarder, Grouping::kShuffle);
+  t.connect(forwarder, seg_stats, Grouping::kFields);
+  t.connect(forwarder, acc_detect, Grouping::kFields);
+  t.connect(seg_stats, toll_calc, Grouping::kFields);
+  t.connect(acc_detect, toll_calc, Grouping::kFields);
+  t.connect(toll_calc, toll_notify, Grouping::kShuffle);
+  t.connect(toll_notify, sink, Grouping::kShuffle);
+  t.validate();
+  STORMTUNE_REQUIRE(t.num_nodes() == 7,
+                    "compact linear road must have 7 operators (Table III)");
+  return t;
+}
+
+sim::Topology build_debs13() {
+  using sim::Grouping;
+  sim::Topology t;
+  // DEBS'13 Grand Challenge: soccer-player sensor stream, ball-possession
+  // query: sensor ingestion -> possession detection -> aggregation.
+  const auto sensors = t.add_spout("sensor_stream", 0.005);
+  const auto possession = t.add_bolt("possession_detector", 0.03, false, 0.1);
+  const auto aggregate = t.add_bolt("possession_aggregator", 0.02, false,
+                                    0.0);
+  t.connect(sensors, possession, Grouping::kFields);
+  t.connect(possession, aggregate, Grouping::kGlobal);
+  t.validate();
+  STORMTUNE_REQUIRE(t.num_nodes() == 3,
+                    "DEBS'13 query must have 3 operators (Table III)");
+  return t;
+}
+
+}  // namespace stormtune::topo

@@ -1,0 +1,36 @@
+// The literature topologies the paper surveys in Table III, as buildable
+// workloads.
+//
+// The paper justifies its 10/50/100-vertex benchmark sizes by surveying
+// published stream topologies: the Aurora data-dissemination problem
+// (~40 operators), the Linear Road benchmark (~60 operators in its 2004
+// form, 7 in the 2013 operator-state-management reformulation), and the
+// DEBS'13 Grand Challenge query (3 operators). Building them makes the
+// survey executable: each returns a validated topology with plausible
+// per-stage costs and selectivities that can be simulated and tuned like
+// the paper's own benchmarks.
+#pragma once
+
+#include "stormsim/topology.hpp"
+
+namespace stormtune::topo {
+
+/// Linear Road (Arasu et al., VLDB 2004), 60 operators: position-report
+/// ingestion, per-expressway segment statistics, accident detection, toll
+/// calculation and notification, plus the historical account-balance and
+/// daily-expenditure query paths.
+sim::Topology build_linear_road();
+
+/// The Aurora data-dissemination problem (Abadi et al., VLDB J. 2003),
+/// 40 operators: one feed fanned out through a filter/union dissemination
+/// tree to regional delivery operators.
+sim::Topology build_dissemination();
+
+/// The 2013 operator-state-management reformulation of Linear Road
+/// (Castro Fernandez et al., SIGMOD 2013), 7 operators.
+sim::Topology build_linear_road_compact();
+
+/// DEBS'13 Grand Challenge query (Aniello et al.), 3 operators.
+sim::Topology build_debs13();
+
+}  // namespace stormtune::topo

@@ -1,0 +1,140 @@
+#include "topology/sundog.hpp"
+
+#include "topology/synthetic.hpp"
+
+namespace stormtune::topo {
+
+sim::Topology build_sundog() {
+  sim::Topology t;
+  using sim::Grouping;
+
+  // ---- Phase 1: reading, preprocessing, counting ----
+  // HDFS reader: emits one tuple per input line (~6 us/line).
+  const auto hdfs1 = t.add_spout("HDFS1", 0.006);
+  // Dictionary filter: keeps lines containing dictionary terms (~20%).
+  const auto filter = t.add_bolt("Filter", 0.006, false, 0.20);
+  t.connect(hdfs1, filter, Grouping::kShuffle);
+
+  // Preprocessing steps build entity pairs from terms.
+  const auto pps1 = t.add_bolt("PPS1", 0.028, false, 1.2);
+  const auto pps2 = t.add_bolt("PPS2", 0.023, false, 1.0);
+  const auto pps3 = t.add_bolt("PPS3", 0.023, false, 1.0);
+  t.connect(filter, pps1, Grouping::kShuffle);
+  t.connect(pps1, pps2, Grouping::kFields);
+  t.connect(pps2, pps3, Grouping::kFields);
+
+  // Counters aggregate search events / unique users per entity (pair);
+  // aggregation collapses volume sharply (selectivity 0.05).
+  const auto cnt1 = t.add_bolt("CNT1", 0.028, false, 0.05);
+  const auto cnt2 = t.add_bolt("CNT2", 0.028, false, 0.05);
+  const auto cnt3 = t.add_bolt("CNT3", 0.023, false, 0.05);
+  const auto cnt4 = t.add_bolt("CNT4", 0.023, false, 0.05);
+  const auto cnt5 = t.add_bolt("CNT5", 0.023, false, 0.05);
+  t.connect(filter, cnt1, Grouping::kFields);
+  t.connect(filter, cnt2, Grouping::kFields);
+  t.connect(pps3, cnt3, Grouping::kFields);
+  t.connect(pps3, cnt4, Grouping::kFields);
+  t.connect(pps3, cnt5, Grouping::kFields);
+
+  // Term statistics stored in the external key-value store (dummied out in
+  // the paper's modified system; cheap pass-through here).
+  const auto dkvs1 = t.add_bolt("DKVS1", 0.010, false, 0.5);
+  t.connect(cnt1, dkvs1, Grouping::kShuffle);
+  t.connect(cnt2, dkvs1, Grouping::kShuffle);
+
+  // ---- Phase 2: feature computation ----
+  const auto fc1 = t.add_bolt("FC1", 0.26);
+  const auto fc2 = t.add_bolt("FC2", 0.26);
+  const auto fc3 = t.add_bolt("FC3", 0.26);
+  const auto fc4 = t.add_bolt("FC4", 0.26);
+  const auto fc5 = t.add_bolt("FC5", 0.26);
+  const auto fc6 = t.add_bolt("FC6", 0.26);
+  const auto fc7 = t.add_bolt("FC7", 0.26);
+  t.connect(cnt1, fc1, Grouping::kFields);
+  t.connect(cnt3, fc1, Grouping::kFields);
+  t.connect(cnt1, fc2, Grouping::kFields);
+  t.connect(cnt4, fc2, Grouping::kFields);
+  t.connect(cnt2, fc3, Grouping::kFields);
+  t.connect(cnt5, fc3, Grouping::kFields);
+  t.connect(cnt3, fc4, Grouping::kFields);
+  t.connect(cnt4, fc4, Grouping::kFields);
+  t.connect(cnt4, fc5, Grouping::kFields);
+  t.connect(cnt5, fc5, Grouping::kFields);
+  t.connect(cnt3, fc6, Grouping::kFields);
+  t.connect(cnt5, fc6, Grouping::kFields);
+  t.connect(cnt1, fc7, Grouping::kFields);
+  t.connect(cnt5, fc7, Grouping::kFields);
+
+  // Semi-static feature lookup (entity types etc.) from the second DKVS
+  // table, keyed by the filtered entity stream.
+  const auto dkvs2 = t.add_bolt("DKVS2", 0.020, false, 0.05);
+  t.connect(filter, dkvs2, Grouping::kFields);
+
+  // ---- Phase 3: merging and ranking ----
+  const auto m1 = t.add_bolt("M1", 0.08);
+  const auto m2 = t.add_bolt("M2", 0.08);
+  const auto m3 = t.add_bolt("M3", 0.08);
+  t.connect(fc1, m1, Grouping::kFields);
+  t.connect(fc2, m1, Grouping::kFields);
+  t.connect(fc3, m1, Grouping::kFields);
+  t.connect(fc4, m2, Grouping::kFields);
+  t.connect(fc5, m2, Grouping::kFields);
+  t.connect(fc6, m3, Grouping::kFields);
+  t.connect(fc7, m3, Grouping::kFields);
+  t.connect(dkvs2, m1, Grouping::kFields);
+  t.connect(dkvs2, m2, Grouping::kFields);
+  t.connect(dkvs2, m3, Grouping::kFields);
+
+  // Decision-tree scoring of every merged entity pair — the heaviest
+  // per-record stage of the pipeline.
+  const auto r1 = t.add_bolt("R1", 0.035);
+  t.connect(m1, r1, Grouping::kShuffle);
+  t.connect(m2, r1, Grouping::kShuffle);
+  t.connect(m3, r1, Grouping::kShuffle);
+
+  // Result writers back to HDFS.
+  const auto hdfs2 = t.add_bolt("HDFS2", 0.027, false, 0.0);
+  const auto hdfs3 = t.add_bolt("HDFS3", 0.020, false, 0.0);
+  t.connect(r1, hdfs2, Grouping::kShuffle);
+  t.connect(dkvs1, hdfs3, Grouping::kShuffle);
+
+  t.validate();
+  return t;
+}
+
+sim::TopologyConfig sundog_baseline_config(const sim::Topology& topology,
+                                           int hint) {
+  sim::TopologyConfig c = sim::uniform_hint_config(topology, hint);
+  c.batch_size = 50000;
+  c.batch_parallelism = 5;
+  c.worker_threads = 8;
+  c.receiver_threads = 1;
+  c.num_ackers = 0;  // Storm default: one per worker host (80 in the paper)
+  return c;
+}
+
+sim::SimParams sundog_sim_params() {
+  sim::SimParams p;
+  p.compute_unit_ms = 1.0;
+  p.tuple_bytes = 220.0;          // a text line on the wire
+  p.tuple_memory_bytes = 2048.0;  // deserialized line + Trident bookkeeping
+  p.recv_units_per_tuple = 0.005;
+  p.ack_units_per_tuple = 0.002;
+  p.commit_units_per_batch = 80.0;  // Trident commit + Zookeeper round trips
+  p.network_latency_ms = 1.0;
+  p.duration_s = 120.0;
+  p.throughput_noise_sd = 0.02;
+  // One-GB effective per-machine budget for in-flight batch buffers: the
+  // worker JVMs page/GC-thrash once bs x bp outgrows it, which is what stops
+  // "bigger is always better" for the batch parameters.
+  p.memory_pressure_factor = 4.0;
+  return p;
+}
+
+sim::ClusterSpec sundog_cluster() {
+  sim::ClusterSpec c = paper_cluster();
+  c.memory_soft_bytes = 1.0 * 1024 * 1024 * 1024;
+  return c;
+}
+
+}  // namespace stormtune::topo

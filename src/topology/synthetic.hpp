@@ -1,0 +1,75 @@
+// Synthetic benchmark topologies (Section IV-B of the paper).
+//
+// Three layer-by-layer GGen graphs — Small (10 vertices), Medium (50) and
+// Large (100), Table II — are turned into Storm topologies whose sources
+// are spouts and whose remaining vertices are bolts linked with shuffle
+// grouping. Workload modifiers reproduce the paper's experimental axes:
+//  * time-complexity imbalance: constant 20 compute units per tuple, or
+//    uniform in [0, 40] (mean 20);
+//  * resource contention: bolts are flagged contentious until the flagged
+//    share of *total compute units* (not node count) reaches the requested
+//    fraction (Section IV-B2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/ggen.hpp"
+#include "stormsim/cluster.hpp"
+#include "stormsim/topology.hpp"
+
+namespace stormtune::topo {
+
+enum class TopologySize { kSmall, kMedium, kLarge };
+
+std::string to_string(TopologySize size);
+
+/// GGen parameters of Table II for the given benchmark size.
+graph::GgenParams table2_params(TopologySize size);
+
+/// The statistics the paper reports in Table II for this size.
+graph::GraphStats table2_paper_stats(TopologySize size);
+
+/// Fixed generator seed per size, pre-searched so the generated graph's
+/// statistics closely match Table II.
+std::uint64_t table2_seed(TopologySize size);
+
+/// Full workload description for a synthetic benchmark topology.
+struct SyntheticSpec {
+  TopologySize size = TopologySize::kSmall;
+  /// 0% TiIm (constant 20 units) when false; 100% TiIm (uniform 0-40) when
+  /// true.
+  bool time_imbalance = false;
+  /// Fraction of total compute units flagged resource-contentious
+  /// (the paper uses 0.0 and 0.25).
+  double contention_fraction = 0.0;
+  /// Seed for the workload modifiers (time draws, contention selection).
+  std::uint64_t workload_seed = 7;
+  double mean_time_complexity = 20.0;
+};
+
+/// Generate the benchmark graph for `spec.size` and apply the workload
+/// modifiers. Deterministic given the spec.
+sim::Topology build_synthetic(const SyntheticSpec& spec);
+
+/// Convert an arbitrary layered DAG into a topology (sources become
+/// spouts); exposed for custom graphs and tests.
+sim::Topology topology_from_dag(const graph::LayeredDag& g,
+                                double time_complexity = 20.0);
+
+/// Apply uniform [0, 2*mean) time complexities in place.
+void apply_time_imbalance(sim::Topology& t, double mean, Rng& rng);
+
+/// Flag a random subset of bolts as contentious until the flagged share of
+/// total compute units reaches `fraction` (greedy, random order).
+void apply_contention(sim::Topology& t, double fraction, Rng& rng);
+
+/// Simulation cost-model defaults used for all synthetic-topology
+/// experiments.
+sim::SimParams synthetic_sim_params();
+
+/// The paper's 80-machine student-lab cluster.
+sim::ClusterSpec paper_cluster();
+
+}  // namespace stormtune::topo

@@ -1,0 +1,136 @@
+#include "tuning/config_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace stormtune::tuning {
+
+std::vector<int> hints_from_multiplier(const std::vector<double>& weights,
+                                       double multiplier) {
+  STORMTUNE_REQUIRE(multiplier > 0.0,
+                    "hints_from_multiplier: multiplier must be > 0");
+  std::vector<int> hints(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    hints[i] = std::max(1, static_cast<int>(std::lround(
+                               multiplier * weights[i])));
+  }
+  return hints;
+}
+
+ConfigSpace::ConfigSpace(const sim::Topology& topology, SpaceOptions options,
+                         sim::TopologyConfig defaults)
+    : num_nodes_(topology.num_nodes()),
+      base_weights_(topology.base_parallelism_weights()),
+      options_(options),
+      defaults_(std::move(defaults)) {
+  defaults_.validate(topology);
+  std::vector<bo::ParamSpec> specs;
+  if (options_.tune_hints) {
+    if (options_.informed) {
+      specs.push_back(bo::ParamSpec::real("weight_multiplier", 0.05,
+                                          options_.multiplier_max,
+                                          /*log_scale=*/true));
+    } else {
+      for (std::size_t v = 0; v < num_nodes_; ++v) {
+        specs.push_back(bo::ParamSpec::integer(
+            "hint_" + topology.node(v).name, 1, options_.hint_max));
+      }
+    }
+    if (options_.tune_max_tasks) {
+      specs.push_back(bo::ParamSpec::integer("max_tasks",
+                                             options_.max_tasks_min,
+                                             options_.max_tasks_max));
+    }
+  }
+  if (options_.tune_batch) {
+    specs.push_back(bo::ParamSpec::integer("batch_size",
+                                           options_.batch_size_min,
+                                           options_.batch_size_max,
+                                           /*log_scale=*/true));
+    specs.push_back(bo::ParamSpec::integer("batch_parallelism", 1,
+                                           options_.batch_parallelism_max));
+  }
+  if (options_.tune_concurrency) {
+    specs.push_back(bo::ParamSpec::integer("worker_threads", 1,
+                                           options_.worker_threads_max));
+    specs.push_back(bo::ParamSpec::integer("receiver_threads", 1,
+                                           options_.receiver_threads_max));
+    specs.push_back(bo::ParamSpec::integer("num_ackers", 1,
+                                           options_.ackers_max));
+  }
+  STORMTUNE_REQUIRE(!specs.empty(), "ConfigSpace: nothing to tune");
+  space_ = bo::ParamSpace(std::move(specs));
+}
+
+sim::TopologyConfig ConfigSpace::decode(const bo::ParamValues& values) const {
+  STORMTUNE_REQUIRE(values.size() == space_.dim(),
+                    "ConfigSpace::decode: size mismatch");
+  sim::TopologyConfig c = defaults_;
+  std::size_t i = 0;
+  if (options_.tune_hints) {
+    if (options_.informed) {
+      c.parallelism_hints = hints_from_multiplier(base_weights_, values[i++]);
+    } else {
+      c.parallelism_hints.resize(num_nodes_);
+      for (std::size_t v = 0; v < num_nodes_; ++v) {
+        c.parallelism_hints[v] = static_cast<int>(std::lround(values[i++]));
+      }
+    }
+    if (options_.tune_max_tasks) {
+      c.max_tasks = static_cast<int>(std::lround(values[i++]));
+    }
+  }
+  if (options_.tune_batch) {
+    c.batch_size = static_cast<int>(std::lround(values[i++]));
+    c.batch_parallelism = static_cast<int>(std::lround(values[i++]));
+  }
+  if (options_.tune_concurrency) {
+    c.worker_threads = static_cast<int>(std::lround(values[i++]));
+    c.receiver_threads = static_cast<int>(std::lround(values[i++]));
+    c.num_ackers = static_cast<int>(std::lround(values[i++]));
+  }
+  STORMTUNE_REQUIRE(i == values.size(), "ConfigSpace::decode: leftover values");
+  return c;
+}
+
+bo::ParamValues ConfigSpace::encode(const sim::TopologyConfig& config) const {
+  bo::ParamValues values;
+  values.reserve(space_.dim());
+  if (options_.tune_hints) {
+    if (options_.informed) {
+      // Best-effort inverse: average ratio of hints to weights.
+      double sum = 0.0;
+      const auto& hints = config.parallelism_hints;
+      STORMTUNE_REQUIRE(hints.size() == num_nodes_,
+                        "ConfigSpace::encode: hint count mismatch");
+      for (std::size_t v = 0; v < num_nodes_; ++v) {
+        sum += static_cast<double>(hints[v]) / base_weights_[v];
+      }
+      values.push_back(sum / static_cast<double>(num_nodes_));
+    } else {
+      STORMTUNE_REQUIRE(config.parallelism_hints.size() == num_nodes_,
+                        "ConfigSpace::encode: hint count mismatch");
+      for (int h : config.parallelism_hints) {
+        values.push_back(static_cast<double>(h));
+      }
+    }
+    if (options_.tune_max_tasks) {
+      values.push_back(static_cast<double>(
+          config.max_tasks > 0 ? config.max_tasks : options_.max_tasks_max));
+    }
+  }
+  if (options_.tune_batch) {
+    values.push_back(static_cast<double>(config.batch_size));
+    values.push_back(static_cast<double>(config.batch_parallelism));
+  }
+  if (options_.tune_concurrency) {
+    values.push_back(static_cast<double>(config.worker_threads));
+    values.push_back(static_cast<double>(config.receiver_threads));
+    values.push_back(static_cast<double>(std::max(config.num_ackers, 1)));
+  }
+  return space_.canonicalize(std::move(values));
+}
+
+}  // namespace stormtune::tuning

@@ -1,0 +1,70 @@
+// Mapping between optimizer parameter vectors and topology configurations.
+//
+// The paper's experiments tune different parameter blocks (Section V):
+//  * "h"        — one parallelism hint per node plus the max-tasks cap;
+//  * informed   — a single float multiplier over the topology's base
+//                 parallelism weights (Section V-A);
+//  * "bs bp"    — Trident batch size and batch parallelism;
+//  * "cc"       — worker threads, receiver threads, acker count.
+// A ConfigSpace selects blocks, exposes the corresponding bo::ParamSpace,
+// and decodes optimizer vectors into complete TopologyConfigs, filling
+// un-tuned fields from a default configuration.
+#pragma once
+
+#include <vector>
+
+#include "bayesopt/param_space.hpp"
+#include "stormsim/config.hpp"
+#include "stormsim/topology.hpp"
+
+namespace stormtune::tuning {
+
+struct SpaceOptions {
+  bool tune_hints = true;
+  /// Informed mode: replace the per-node hints with one multiplier over the
+  /// base parallelism weights. Ignored unless tune_hints is set.
+  bool informed = false;
+  bool tune_max_tasks = true;
+  bool tune_batch = false;
+  bool tune_concurrency = false;
+
+  int hint_max = 30;
+  double multiplier_max = 10.0;
+  int max_tasks_min = 10;
+  int max_tasks_max = 1000;
+  int batch_size_min = 10000;
+  int batch_size_max = 500000;
+  int batch_parallelism_max = 32;
+  int worker_threads_max = 32;
+  int receiver_threads_max = 8;
+  int ackers_max = 320;
+};
+
+class ConfigSpace {
+ public:
+  ConfigSpace(const sim::Topology& topology, SpaceOptions options,
+              sim::TopologyConfig defaults);
+
+  const bo::ParamSpace& space() const { return space_; }
+  const SpaceOptions& options() const { return options_; }
+
+  /// Turn an optimizer assignment into a full deployment configuration.
+  sim::TopologyConfig decode(const bo::ParamValues& values) const;
+
+  /// Inverse of decode for the tuned blocks (used to warm-start optimizers
+  /// from a known configuration).
+  bo::ParamValues encode(const sim::TopologyConfig& config) const;
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<double> base_weights_;
+  SpaceOptions options_;
+  sim::TopologyConfig defaults_;
+  bo::ParamSpace space_;
+};
+
+/// Hints derived from base weights: hint_i = max(1, round(m * w_i)).
+std::vector<int> hints_from_multiplier(const std::vector<double>& weights,
+                                       double multiplier);
+
+}  // namespace stormtune::tuning

@@ -1,0 +1,91 @@
+#include "tuning/experiment.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace stormtune::tuning {
+
+ExperimentResult run_experiment(Tuner& tuner, Objective& objective,
+                                const ExperimentOptions& options) {
+  STORMTUNE_REQUIRE(options.max_steps > 0,
+                    "run_experiment: max_steps must be > 0");
+  ExperimentResult r;
+  r.strategy = tuner.name();
+  std::size_t zero_streak = 0;
+  double total_suggest = 0.0;
+
+  for (std::size_t step = 1; step <= options.max_steps; ++step) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto config = tuner.next();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!config) break;
+
+    const double throughput = objective.evaluate(*config);
+    tuner.report(*config, throughput);
+
+    StepRecord rec;
+    rec.step = step;
+    rec.throughput = throughput;
+    rec.suggest_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    total_suggest += rec.suggest_seconds;
+    r.max_suggest_seconds = std::max(r.max_suggest_seconds,
+                                     rec.suggest_seconds);
+    r.trace.push_back(rec);
+
+    if (throughput > r.best_throughput) {
+      r.best_throughput = throughput;
+      r.best_config = *config;
+      r.best_step = step;
+    }
+
+    if (throughput <= 0.0) {
+      if (++zero_streak >= options.zero_streak_stop &&
+          options.zero_streak_stop > 0) {
+        break;
+      }
+    } else {
+      zero_streak = 0;
+    }
+  }
+  STORMTUNE_REQUIRE(!r.trace.empty(), "run_experiment: tuner proposed nothing");
+  r.mean_suggest_seconds =
+      total_suggest / static_cast<double>(r.trace.size());
+
+  if (options.best_config_reps > 0 && r.best_step > 0) {
+    r.best_rep_values.reserve(options.best_config_reps);
+    for (std::size_t i = 0; i < options.best_config_reps; ++i) {
+      r.best_rep_values.push_back(objective.evaluate(r.best_config));
+    }
+    r.best_rep_stats = summarize(r.best_rep_values);
+  }
+  return r;
+}
+
+ExperimentResult run_campaign(
+    const std::function<std::unique_ptr<Tuner>(std::size_t)>& make_tuner,
+    Objective& objective, const ExperimentOptions& options,
+    std::size_t passes, std::vector<ExperimentResult>* all_passes) {
+  STORMTUNE_REQUIRE(passes > 0, "run_campaign: passes must be > 0");
+  ExperimentResult best;
+  bool have_best = false;
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    std::unique_ptr<Tuner> tuner = make_tuner(pass);
+    STORMTUNE_REQUIRE(tuner != nullptr, "run_campaign: factory returned null");
+    ExperimentResult r = run_experiment(*tuner, objective, options);
+    const double score = options.best_config_reps > 0 ? r.best_rep_stats.mean
+                                                      : r.best_throughput;
+    const double best_score = options.best_config_reps > 0
+                                  ? best.best_rep_stats.mean
+                                  : best.best_throughput;
+    if (all_passes) all_passes->push_back(r);
+    if (!have_best || score > best_score) {
+      best = std::move(r);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace stormtune::tuning

@@ -1,0 +1,65 @@
+// Experiment driver implementing the paper's evaluation protocol.
+//
+// Section V-A: up to 60 optimization steps (180 for the bo180 runs); the
+// linear-ascent strategies stop early after three consecutive
+// zero-performance measurements; every step's suggestion wall-time is
+// recorded (Figure 7); afterwards the best configuration is re-run 30
+// times (Figures 4 and 8 report mean/min/max of those repetitions); the
+// whole procedure is run twice and the better pass is reported.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "tuning/objective.hpp"
+#include "tuning/tuner.hpp"
+
+namespace stormtune::tuning {
+
+struct ExperimentOptions {
+  std::size_t max_steps = 60;
+  /// Stop after this many consecutive zero-performance runs (paper: 3).
+  std::size_t zero_streak_stop = 3;
+  /// Repetitions of the best configuration after the optimization.
+  std::size_t best_config_reps = 30;
+};
+
+struct StepRecord {
+  std::size_t step = 0;  ///< 1-based
+  double throughput = 0.0;
+  double suggest_seconds = 0.0;  ///< wall-time the tuner took to propose
+};
+
+struct ExperimentResult {
+  std::string strategy;
+  std::vector<StepRecord> trace;
+  sim::TopologyConfig best_config;
+  double best_throughput = 0.0;  ///< best single measurement during tuning
+  std::size_t best_step = 0;     ///< 1-based step that first hit the best
+  /// Statistics of re-running best_config `best_config_reps` times.
+  Summary best_rep_stats{};
+  /// The raw repetition measurements (for significance tests, Fig. 8a).
+  std::vector<double> best_rep_values;
+  double mean_suggest_seconds = 0.0;
+  double max_suggest_seconds = 0.0;
+};
+
+/// Run one optimization pass: propose/evaluate/report until the step budget
+/// or the zero-performance stop, then re-evaluate the best configuration.
+ExperimentResult run_experiment(Tuner& tuner, Objective& objective,
+                                const ExperimentOptions& options);
+
+/// The paper's full protocol: run `passes` independent experiment passes
+/// (the factory builds a fresh tuner each time) and return the pass whose
+/// re-evaluated best configuration has the highest mean throughput.
+/// All passes are returned through `all_passes` when non-null.
+ExperimentResult run_campaign(
+    const std::function<std::unique_ptr<Tuner>(std::size_t pass)>& make_tuner,
+    Objective& objective, const ExperimentOptions& options,
+    std::size_t passes = 2,
+    std::vector<ExperimentResult>* all_passes = nullptr);
+
+}  // namespace stormtune::tuning

@@ -1,0 +1,21 @@
+#include "tuning/objective.hpp"
+
+namespace stormtune::tuning {
+
+SimObjective::SimObjective(sim::Topology topology, sim::ClusterSpec cluster,
+                           sim::SimParams params, std::uint64_t seed)
+    : topology_(std::move(topology)), cluster_(cluster), params_(params),
+      seed_(seed) {
+  topology_.validate();
+}
+
+double SimObjective::evaluate(const sim::TopologyConfig& config) {
+  // Derive a distinct seed per evaluation so measurement noise is fresh,
+  // while the whole campaign stays reproducible from `seed_`.
+  const std::uint64_t run_seed =
+      seed_ + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(++evaluations_);
+  last_ = sim::simulate(topology_, config, cluster_, params_, run_seed);
+  return last_.throughput_tuples_per_s;
+}
+
+}  // namespace stormtune::tuning

@@ -1,0 +1,48 @@
+// The blackbox objective: configuration -> measured throughput.
+//
+// The paper treats the deployed application as a blackbox function sampled
+// by running it on the cluster for two minutes (Section III-C). Here an
+// evaluation is one simulator run; each call uses a fresh noise seed, so
+// repeated evaluations of the same configuration scatter the way repeated
+// cluster runs did.
+#pragma once
+
+#include <cstdint>
+
+#include "stormsim/cluster.hpp"
+#include "stormsim/config.hpp"
+#include "stormsim/engine.hpp"
+#include "stormsim/topology.hpp"
+
+namespace stormtune::tuning {
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+  /// One measurement run; returns throughput in tuples/s (>= 0).
+  virtual double evaluate(const sim::TopologyConfig& config) = 0;
+};
+
+/// Objective backed by the discrete-event simulator.
+class SimObjective final : public Objective {
+ public:
+  SimObjective(sim::Topology topology, sim::ClusterSpec cluster,
+               sim::SimParams params, std::uint64_t seed);
+
+  double evaluate(const sim::TopologyConfig& config) override;
+
+  /// Full result of the most recent evaluation (network stats etc.).
+  const sim::SimResult& last_result() const { return last_; }
+  const sim::Topology& topology() const { return topology_; }
+  std::size_t num_evaluations() const { return evaluations_; }
+
+ private:
+  sim::Topology topology_;
+  sim::ClusterSpec cluster_;
+  sim::SimParams params_;
+  std::uint64_t seed_;
+  std::size_t evaluations_ = 0;
+  sim::SimResult last_;
+};
+
+}  // namespace stormtune::tuning

@@ -1,0 +1,68 @@
+#include "tuning/tuner.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace stormtune::tuning {
+
+PlaTuner::PlaTuner(const sim::Topology& topology,
+                   sim::TopologyConfig defaults, bool informed)
+    : num_nodes_(topology.num_nodes()),
+      weights_(topology.base_parallelism_weights()),
+      defaults_(std::move(defaults)),
+      informed_(informed) {
+  defaults_.validate(topology);
+}
+
+std::optional<sim::TopologyConfig> PlaTuner::next() {
+  ++step_;
+  sim::TopologyConfig c = defaults_;
+  if (informed_) {
+    c.parallelism_hints =
+        hints_from_multiplier(weights_, static_cast<double>(step_));
+  } else {
+    c.parallelism_hints.assign(num_nodes_, step_);
+  }
+  return c;
+}
+
+void PlaTuner::report(const sim::TopologyConfig&, double) {
+  // Linear ascent is open-loop: the schedule does not depend on outcomes.
+  // (The experiment driver applies the paper's stop-after-three-zero rule.)
+}
+
+BayesTuner::BayesTuner(ConfigSpace space, bo::BayesOptOptions options,
+                       std::string name)
+    : space_(std::move(space)),
+      opt_(space_.space(), options),
+      name_(std::move(name)) {}
+
+std::optional<sim::TopologyConfig> BayesTuner::next() {
+  pending_ = opt_.suggest();
+  return space_.decode(*pending_);
+}
+
+void BayesTuner::report(const sim::TopologyConfig& config,
+                        double throughput) {
+  // Prefer the exact suggested vector when it matches the evaluated
+  // configuration; fall back to re-encoding (e.g. when the driver evaluated
+  // a configuration this tuner did not propose).
+  bo::ParamValues x = pending_ && space_.decode(*pending_).describe() ==
+                                      config.describe()
+                          ? *pending_
+                          : space_.encode(config);
+  pending_.reset();
+  opt_.observe(std::move(x), throughput);
+}
+
+RandomTuner::RandomTuner(ConfigSpace space, std::uint64_t seed)
+    : space_(std::move(space)), rng_(seed) {}
+
+std::optional<sim::TopologyConfig> RandomTuner::next() {
+  return space_.decode(space_.space().sample(rng_));
+}
+
+void RandomTuner::report(const sim::TopologyConfig&, double) {}
+
+}  // namespace stormtune::tuning

@@ -1,0 +1,87 @@
+// Tuning strategies: pla, ipla, bo, ibo (and random search).
+//
+// All strategies implement the same propose/report protocol so the
+// experiment driver (experiment.hpp) can run them interchangeably:
+//  * PlaTuner       — the paper's "parallel linear ascent" baseline: set the
+//                     same hint on every node and increase it by one per
+//                     step; the informed variant scales the base
+//                     parallelism weights instead (ipla).
+//  * BayesTuner     — Bayesian Optimization over a ConfigSpace (bo); with
+//                     an informed ConfigSpace this is ibo.
+//  * RandomTuner    — uniform random search, an extra sanity baseline.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bayesopt/bayesopt.hpp"
+#include "common/rng.hpp"
+#include "tuning/config_space.hpp"
+
+namespace stormtune::tuning {
+
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+  /// Next configuration to evaluate; nullopt when the strategy is done.
+  virtual std::optional<sim::TopologyConfig> next() = 0;
+  /// Report the measured performance of the last next() configuration.
+  virtual void report(const sim::TopologyConfig& config,
+                      double throughput) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Parallel linear ascent: step k deploys hint k on every node (plain) or
+/// hints round(k * weight_i) (informed).
+class PlaTuner final : public Tuner {
+ public:
+  PlaTuner(const sim::Topology& topology, sim::TopologyConfig defaults,
+           bool informed);
+
+  std::optional<sim::TopologyConfig> next() override;
+  void report(const sim::TopologyConfig& config, double throughput) override;
+  std::string name() const override { return informed_ ? "ipla" : "pla"; }
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<double> weights_;
+  sim::TopologyConfig defaults_;
+  bool informed_;
+  int step_ = 0;
+};
+
+/// Bayesian Optimization over a ConfigSpace.
+class BayesTuner final : public Tuner {
+ public:
+  BayesTuner(ConfigSpace space, bo::BayesOptOptions options,
+             std::string name = "bo");
+
+  std::optional<sim::TopologyConfig> next() override;
+  void report(const sim::TopologyConfig& config, double throughput) override;
+  std::string name() const override { return name_; }
+
+  const bo::BayesOpt& optimizer() const { return opt_; }
+
+ private:
+  ConfigSpace space_;
+  bo::BayesOpt opt_;
+  std::string name_;
+  std::optional<bo::ParamValues> pending_;
+};
+
+/// Uniform random search over a ConfigSpace.
+class RandomTuner final : public Tuner {
+ public:
+  RandomTuner(ConfigSpace space, std::uint64_t seed);
+
+  std::optional<sim::TopologyConfig> next() override;
+  void report(const sim::TopologyConfig& config, double throughput) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  ConfigSpace space_;
+  Rng rng_;
+};
+
+}  // namespace stormtune::tuning

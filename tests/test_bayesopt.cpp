@@ -1,0 +1,273 @@
+#include "bayesopt/bayesopt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace stormtune::bo {
+namespace {
+
+// Negated Branin function (maximization); global maxima value ~ -0.397887.
+double neg_branin(double x1, double x2) {
+  const double a = 1.0, b = 5.1 / (4.0 * M_PI * M_PI), c = 5.0 / M_PI;
+  const double r = 6.0, s = 10.0, t = 1.0 / (8.0 * M_PI);
+  const double v = a * std::pow(x2 - b * x1 * x1 + c * x1 - r, 2) +
+                   s * (1.0 - t) * std::cos(x1) + s;
+  return -v;
+}
+
+ParamSpace branin_space() {
+  return ParamSpace({ParamSpec::real("x1", -5.0, 10.0),
+                     ParamSpec::real("x2", 0.0, 15.0)});
+}
+
+BayesOptOptions fast_options(std::uint64_t seed) {
+  BayesOptOptions o;
+  o.hyper_mode = HyperMode::kMle;
+  o.num_candidates = 256;
+  o.local_search_iters = 10;
+  o.initial_design = 5;
+  o.seed = seed;
+  return o;
+}
+
+TEST(BayesOpt, SuggestsWithinBounds) {
+  BayesOpt opt(branin_space(), fast_options(1));
+  for (int i = 0; i < 8; ++i) {
+    const ParamValues x = opt.suggest();
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_GE(x[0], -5.0);
+    EXPECT_LE(x[0], 10.0);
+    EXPECT_GE(x[1], 0.0);
+    EXPECT_LE(x[1], 15.0);
+    opt.observe(x, neg_branin(x[0], x[1]));
+  }
+  EXPECT_EQ(opt.num_observations(), 8u);
+}
+
+TEST(BayesOpt, BestTracksMaximum) {
+  BayesOpt opt(branin_space(), fast_options(2));
+  opt.observe({0.0, 5.0}, -10.0);
+  opt.observe({1.0, 2.0}, -3.0);
+  opt.observe({2.0, 2.0}, -7.0);
+  const auto best = opt.best();
+  EXPECT_DOUBLE_EQ(best.y, -3.0);
+  EXPECT_EQ(best.step, 1u);
+  EXPECT_DOUBLE_EQ(best.x[0], 1.0);
+}
+
+TEST(BayesOpt, BestWithoutObservationsThrows) {
+  BayesOpt opt(branin_space(), fast_options(3));
+  EXPECT_THROW(opt.best(), Error);
+}
+
+TEST(BayesOpt, ObserveRejectsNonFinite) {
+  BayesOpt opt(branin_space(), fast_options(4));
+  EXPECT_THROW(opt.observe({0.0, 5.0},
+                           std::numeric_limits<double>::quiet_NaN()),
+               Error);
+}
+
+TEST(BayesOpt, BeatsRandomSearchOnBranin) {
+  // Property the paper relies on: with the same evaluation budget, the
+  // Bayesian optimizer should find markedly better points than uniform
+  // random sampling. Compare average best over several seeds.
+  const int budget = 30;
+  double bo_total = 0.0, rand_total = 0.0;
+  const int trials = 3;
+  for (int trial = 0; trial < trials; ++trial) {
+    BayesOpt opt(branin_space(), fast_options(100 + trial));
+    for (int i = 0; i < budget; ++i) {
+      const ParamValues x = opt.suggest();
+      opt.observe(x, neg_branin(x[0], x[1]));
+    }
+    bo_total += opt.best().y;
+
+    Rng rng(200 + trial);
+    const ParamSpace space = branin_space();
+    double best_rand = -1e300;
+    for (int i = 0; i < budget; ++i) {
+      const ParamValues x = space.sample(rng);
+      best_rand = std::max(best_rand, neg_branin(x[0], x[1]));
+    }
+    rand_total += best_rand;
+  }
+  EXPECT_GT(bo_total / trials, rand_total / trials);
+  // And it should get close to the global optimum (-0.3979).
+  EXPECT_GT(bo_total / trials, -2.5);
+}
+
+TEST(BayesOpt, HandlesConstantObjective) {
+  BayesOpt opt(branin_space(), fast_options(5));
+  for (int i = 0; i < 10; ++i) {
+    const ParamValues x = opt.suggest();
+    opt.observe(x, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(opt.best().y, 1.0);
+}
+
+TEST(BayesOpt, IntegerParametersStayIntegral) {
+  ParamSpace space({ParamSpec::integer("a", 1, 20),
+                    ParamSpec::integer("b", 1, 20)});
+  BayesOpt opt(space, fast_options(6));
+  for (int i = 0; i < 10; ++i) {
+    const ParamValues x = opt.suggest();
+    EXPECT_DOUBLE_EQ(x[0], std::round(x[0]));
+    EXPECT_DOUBLE_EQ(x[1], std::round(x[1]));
+    // Quadratic with max at (12, 7).
+    const double y = -std::pow(x[0] - 12.0, 2) - std::pow(x[1] - 7.0, 2);
+    opt.observe(x, y);
+  }
+  EXPECT_GT(opt.best().y, -200.0);
+}
+
+TEST(BayesOpt, SliceSamplingModeRuns) {
+  BayesOptOptions o = fast_options(7);
+  o.hyper_mode = HyperMode::kSliceSample;
+  o.hyper_samples = 3;
+  o.hyper_burn_in = 3;
+  BayesOpt opt(branin_space(), o);
+  for (int i = 0; i < 8; ++i) {
+    const ParamValues x = opt.suggest();
+    opt.observe(x, neg_branin(x[0], x[1]));
+  }
+  EXPECT_EQ(opt.num_observations(), 8u);
+}
+
+TEST(BayesOpt, FixedHyperModeRuns) {
+  BayesOptOptions o = fast_options(8);
+  o.hyper_mode = HyperMode::kFixed;
+  BayesOpt opt(branin_space(), o);
+  for (int i = 0; i < 8; ++i) {
+    const ParamValues x = opt.suggest();
+    opt.observe(x, neg_branin(x[0], x[1]));
+  }
+  EXPECT_EQ(opt.num_observations(), 8u);
+}
+
+TEST(BayesOpt, StateRoundTripPreservesHistory) {
+  BayesOpt opt(branin_space(), fast_options(9));
+  for (int i = 0; i < 6; ++i) {
+    const ParamValues x = opt.suggest();
+    opt.observe(x, neg_branin(x[0], x[1]));
+  }
+  const Json state = opt.save_state();
+  BayesOpt resumed = BayesOpt::load_state(state);
+  EXPECT_EQ(resumed.num_observations(), opt.num_observations());
+  EXPECT_DOUBLE_EQ(resumed.best().y, opt.best().y);
+  EXPECT_EQ(resumed.best().step, opt.best().step);
+  // Resumed optimizer keeps working.
+  const ParamValues x = resumed.suggest();
+  resumed.observe(x, neg_branin(x[0], x[1]));
+  EXPECT_EQ(resumed.num_observations(), opt.num_observations() + 1);
+}
+
+TEST(BayesOpt, StateSurvivesTextSerialization) {
+  BayesOpt opt(branin_space(), fast_options(10));
+  for (int i = 0; i < 4; ++i) {
+    const ParamValues x = opt.suggest();
+    opt.observe(x, neg_branin(x[0], x[1]));
+  }
+  const std::string text = opt.save_state().dump(2);
+  BayesOpt resumed = BayesOpt::load_state(Json::parse(text));
+  EXPECT_DOUBLE_EQ(resumed.best().y, opt.best().y);
+}
+
+TEST(BayesOpt, OptionsJsonRoundTrip) {
+  BayesOptOptions o;
+  o.kernel = gp::KernelFamily::kMatern32;
+  o.ard = true;
+  o.acquisition = AcquisitionKind::kUpperConfidenceBound;
+  o.hyper_mode = HyperMode::kMle;
+  o.hyper_samples = 9;
+  o.xi = 0.25;
+  o.seed = 777;
+  const BayesOptOptions back = BayesOptOptions::from_json(o.to_json());
+  EXPECT_EQ(back.kernel, o.kernel);
+  EXPECT_EQ(back.ard, o.ard);
+  EXPECT_EQ(back.acquisition, o.acquisition);
+  EXPECT_EQ(back.hyper_mode, o.hyper_mode);
+  EXPECT_EQ(back.hyper_samples, o.hyper_samples);
+  EXPECT_DOUBLE_EQ(back.xi, o.xi);
+  EXPECT_EQ(back.seed, o.seed);
+}
+
+TEST(BayesOpt, ExploresAfterInitialDesign) {
+  // Suggestions after the initial design should not all collapse onto a
+  // single point when observations differ.
+  BayesOpt opt(branin_space(), fast_options(11));
+  for (int i = 0; i < 12; ++i) {
+    const ParamValues x = opt.suggest();
+    opt.observe(x, neg_branin(x[0], x[1]));
+  }
+  const auto& obs = opt.observations();
+  bool distinct = false;
+  for (std::size_t i = 6; i < obs.size(); ++i) {
+    if (std::abs(obs[i].x[0] - obs[5].x[0]) > 1e-6) distinct = true;
+  }
+  EXPECT_TRUE(distinct);
+}
+
+TEST(BayesOpt, SuggestBatchReturnsDistinctPoints) {
+  BayesOpt opt(branin_space(), fast_options(30));
+  for (int i = 0; i < 8; ++i) {
+    const ParamValues x = opt.suggest();
+    opt.observe(x, neg_branin(x[0], x[1]));
+  }
+  const auto batch = opt.suggest_batch(4);
+  ASSERT_EQ(batch.size(), 4u);
+  // The constant liar should push proposals apart: at least one pair must
+  // be clearly separated.
+  double max_dist = 0.0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_GE(batch[i][0], -5.0);
+    EXPECT_LE(batch[i][0], 10.0);
+    for (std::size_t j = i + 1; j < batch.size(); ++j) {
+      const double dx = batch[i][0] - batch[j][0];
+      const double dy = batch[i][1] - batch[j][1];
+      max_dist = std::max(max_dist, dx * dx + dy * dy);
+    }
+  }
+  EXPECT_GT(max_dist, 1e-6);
+  // The real optimizer's history is untouched.
+  EXPECT_EQ(opt.num_observations(), 8u);
+}
+
+TEST(BayesOpt, SuggestBatchWorksWithEmptyHistory) {
+  BayesOpt opt(branin_space(), fast_options(31));
+  const auto batch = opt.suggest_batch(3);
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(opt.num_observations(), 0u);
+}
+
+TEST(BayesOpt, SuggestBatchRejectsZero) {
+  BayesOpt opt(branin_space(), fast_options(32));
+  EXPECT_THROW(opt.suggest_batch(0), Error);
+}
+
+// Acquisition sweep: each acquisition function must drive a working loop.
+class AcquisitionSweep : public ::testing::TestWithParam<AcquisitionKind> {};
+
+TEST_P(AcquisitionSweep, OptimizesQuadratic) {
+  BayesOptOptions o = fast_options(21);
+  o.acquisition = GetParam();
+  ParamSpace space({ParamSpec::real("x", -4.0, 4.0)});
+  BayesOpt opt(space, o);
+  for (int i = 0; i < 20; ++i) {
+    const ParamValues x = opt.suggest();
+    opt.observe(x, -x[0] * x[0]);
+  }
+  EXPECT_GT(opt.best().y, -1.0);  // |x| < 1 found
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAcquisitions, AcquisitionSweep,
+    ::testing::Values(AcquisitionKind::kExpectedImprovement,
+                      AcquisitionKind::kProbabilityOfImprovement,
+                      AcquisitionKind::kUpperConfidenceBound));
+
+}  // namespace
+}  // namespace stormtune::bo

@@ -1,0 +1,128 @@
+#include "stormsim/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace stormtune::sim {
+namespace {
+
+Topology three_node() {
+  Topology t;
+  const auto s = t.add_spout("S");
+  const auto b1 = t.add_bolt("B1");
+  const auto b2 = t.add_bolt("B2");
+  t.connect(s, b1);
+  t.connect(b1, b2);
+  return t;
+}
+
+TEST(TopologyConfig, EmptyHintsDefaultToOne) {
+  const Topology t = three_node();
+  TopologyConfig c;
+  const auto hints = c.normalized_hints(t);
+  EXPECT_EQ(hints, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(TopologyConfig, NoCapPassesHintsThrough) {
+  const Topology t = three_node();
+  TopologyConfig c;
+  c.parallelism_hints = {5, 10, 15};
+  EXPECT_EQ(c.normalized_hints(t), (std::vector<int>{5, 10, 15}));
+}
+
+TEST(TopologyConfig, MaxTasksScalesProportionally) {
+  // Paper Section V-A: hints normalized so the task sum respects max-tasks.
+  const Topology t = three_node();
+  TopologyConfig c;
+  c.parallelism_hints = {10, 20, 30};
+  c.max_tasks = 30;
+  const auto hints = c.normalized_hints(t);
+  const int total = std::accumulate(hints.begin(), hints.end(), 0);
+  EXPECT_LE(total, 30);
+  // Proportions roughly preserved (1:2:3).
+  EXPECT_LT(hints[0], hints[1]);
+  EXPECT_LT(hints[1], hints[2]);
+}
+
+TEST(TopologyConfig, MaxTasksFloorsAtOne) {
+  const Topology t = three_node();
+  TopologyConfig c;
+  c.parallelism_hints = {100, 1, 1};
+  c.max_tasks = 4;
+  const auto hints = c.normalized_hints(t);
+  for (int h : hints) EXPECT_GE(h, 1);
+  EXPECT_LE(std::accumulate(hints.begin(), hints.end(), 0), 4);
+}
+
+TEST(TopologyConfig, InfeasibleCapStillGivesOneTaskPerNode) {
+  const Topology t = three_node();
+  TopologyConfig c;
+  c.parallelism_hints = {5, 5, 5};
+  c.max_tasks = 2;  // fewer than nodes: floor of 1 per node wins
+  const auto hints = c.normalized_hints(t);
+  EXPECT_EQ(hints, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(TopologyConfig, HintsBelowOneClamped) {
+  const Topology t = three_node();
+  TopologyConfig c;
+  c.parallelism_hints = {0, -3, 2};
+  EXPECT_EQ(c.normalized_hints(t), (std::vector<int>{1, 1, 2}));
+}
+
+TEST(TopologyConfig, EffectiveAckersDefault) {
+  TopologyConfig c;
+  EXPECT_EQ(c.effective_ackers(80), 80);  // Storm default: one per worker
+  c.num_ackers = 5;
+  EXPECT_EQ(c.effective_ackers(80), 5);
+}
+
+TEST(TopologyConfig, ValidateChecksDomains) {
+  const Topology t = three_node();
+  TopologyConfig c;
+  c.batch_size = 0;
+  EXPECT_THROW(c.validate(t), Error);
+  c = TopologyConfig{};
+  c.batch_parallelism = 0;
+  EXPECT_THROW(c.validate(t), Error);
+  c = TopologyConfig{};
+  c.worker_threads = 0;
+  EXPECT_THROW(c.validate(t), Error);
+  c = TopologyConfig{};
+  c.parallelism_hints = {1, 2};  // wrong length
+  EXPECT_THROW(c.validate(t), Error);
+  c = TopologyConfig{};
+  c.parallelism_hints = {1, 2, 0};
+  EXPECT_THROW(c.validate(t), Error);
+}
+
+TEST(TopologyConfig, HintCountMismatchThrowsOnNormalize) {
+  const Topology t = three_node();
+  TopologyConfig c;
+  c.parallelism_hints = {1, 2};
+  EXPECT_THROW(c.normalized_hints(t), Error);
+}
+
+TEST(TopologyConfig, DescribeMentionsAllFields) {
+  TopologyConfig c;
+  c.parallelism_hints = {2, 3};
+  c.batch_size = 100;
+  c.max_tasks = 50;
+  const std::string d = c.describe();
+  EXPECT_NE(d.find("hints=[2,3]"), std::string::npos);
+  EXPECT_NE(d.find("bs=100"), std::string::npos);
+  EXPECT_NE(d.find("max_tasks=50"), std::string::npos);
+}
+
+TEST(UniformHintConfig, SetsSameHintEverywhere) {
+  const Topology t = three_node();
+  const TopologyConfig c = uniform_hint_config(t, 7);
+  EXPECT_EQ(c.parallelism_hints, (std::vector<int>{7, 7, 7}));
+  EXPECT_THROW(uniform_hint_config(t, 0), Error);
+}
+
+}  // namespace
+}  // namespace stormtune::sim

@@ -1,0 +1,156 @@
+#include "tuning/config_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace stormtune::tuning {
+namespace {
+
+sim::Topology demo_topology() {
+  sim::Topology t;
+  const auto s = t.add_spout("S", 10.0);
+  const auto a = t.add_bolt("A", 20.0);
+  const auto b = t.add_bolt("B", 20.0);
+  t.connect(s, a);
+  t.connect(s, b);
+  t.connect(a, b);
+  return t;
+}
+
+sim::TopologyConfig defaults() {
+  sim::TopologyConfig c;
+  c.batch_size = 100;
+  c.batch_parallelism = 4;
+  return c;
+}
+
+TEST(HintsFromMultiplier, RoundsAndFloors) {
+  const std::vector<double> weights{1.0, 1.0, 2.0};
+  EXPECT_EQ(hints_from_multiplier(weights, 1.0),
+            (std::vector<int>{1, 1, 2}));
+  EXPECT_EQ(hints_from_multiplier(weights, 2.5),
+            (std::vector<int>{3, 3, 5}));
+  EXPECT_EQ(hints_from_multiplier(weights, 0.1),
+            (std::vector<int>{1, 1, 1}));  // floor at 1
+  EXPECT_THROW(hints_from_multiplier(weights, 0.0), Error);
+}
+
+TEST(ConfigSpace, HintsOnlySpaceShape) {
+  SpaceOptions opts;
+  opts.tune_hints = true;
+  opts.tune_max_tasks = true;
+  const ConfigSpace cs(demo_topology(), opts, defaults());
+  EXPECT_EQ(cs.space().dim(), 4u);  // 3 hints + max_tasks
+  EXPECT_EQ(cs.space().spec(0).name, "hint_S");
+  EXPECT_EQ(cs.space().spec(3).name, "max_tasks");
+}
+
+TEST(ConfigSpace, InformedSpaceIsOneMultiplier) {
+  SpaceOptions opts;
+  opts.informed = true;
+  opts.tune_max_tasks = false;
+  const ConfigSpace cs(demo_topology(), opts, defaults());
+  EXPECT_EQ(cs.space().dim(), 1u);
+  EXPECT_EQ(cs.space().spec(0).name, "weight_multiplier");
+}
+
+TEST(ConfigSpace, FullSpaceShape) {
+  SpaceOptions opts;
+  opts.tune_batch = true;
+  opts.tune_concurrency = true;
+  const ConfigSpace cs(demo_topology(), opts, defaults());
+  // 3 hints + max_tasks + bs + bp + wt + rt + ackers.
+  EXPECT_EQ(cs.space().dim(), 9u);
+}
+
+TEST(ConfigSpace, DecodeFillsDefaultsForUntunedBlocks) {
+  SpaceOptions opts;
+  opts.tune_max_tasks = false;
+  const ConfigSpace cs(demo_topology(), opts, defaults());
+  const sim::TopologyConfig c = cs.decode({2.0, 3.0, 4.0});
+  EXPECT_EQ(c.parallelism_hints, (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(c.batch_size, 100);        // untouched default
+  EXPECT_EQ(c.batch_parallelism, 4);   // untouched default
+}
+
+TEST(ConfigSpace, DecodeInformedExpandsWeights) {
+  SpaceOptions opts;
+  opts.informed = true;
+  opts.tune_max_tasks = false;
+  const sim::Topology t = demo_topology();
+  const ConfigSpace cs(t, opts, defaults());
+  const sim::TopologyConfig c = cs.decode({3.0});
+  // Weights: S=1, A=1, B=2 -> hints 3, 3, 6.
+  EXPECT_EQ(c.parallelism_hints, (std::vector<int>{3, 3, 6}));
+}
+
+TEST(ConfigSpace, DecodeBatchAndConcurrency) {
+  SpaceOptions opts;
+  opts.tune_hints = false;
+  opts.tune_batch = true;
+  opts.tune_concurrency = true;
+  const ConfigSpace cs(demo_topology(), opts, defaults());
+  const sim::TopologyConfig c =
+      cs.decode({20000.0, 8.0, 16.0, 2.0, 40.0});
+  EXPECT_EQ(c.batch_size, 20000);
+  EXPECT_EQ(c.batch_parallelism, 8);
+  EXPECT_EQ(c.worker_threads, 16);
+  EXPECT_EQ(c.receiver_threads, 2);
+  EXPECT_EQ(c.num_ackers, 40);
+  EXPECT_TRUE(c.parallelism_hints.empty());  // defaults (1 per node)
+}
+
+TEST(ConfigSpace, DecodeRejectsWrongArity) {
+  SpaceOptions opts;
+  const ConfigSpace cs(demo_topology(), opts, defaults());
+  EXPECT_THROW(cs.decode({1.0}), Error);
+}
+
+TEST(ConfigSpace, EncodeDecodeRoundTrip) {
+  SpaceOptions opts;
+  opts.tune_batch = true;
+  const sim::Topology t = demo_topology();
+  const ConfigSpace cs(t, opts, defaults());
+  sim::TopologyConfig c = defaults();
+  c.parallelism_hints = {4, 7, 2};
+  c.max_tasks = 50;
+  c.batch_size = 30000;
+  c.batch_parallelism = 12;
+  const bo::ParamValues v = cs.encode(c);
+  const sim::TopologyConfig back = cs.decode(v);
+  EXPECT_EQ(back.parallelism_hints, c.parallelism_hints);
+  EXPECT_EQ(back.max_tasks, 50);
+  EXPECT_EQ(back.batch_size, 30000);
+  EXPECT_EQ(back.batch_parallelism, 12);
+}
+
+TEST(ConfigSpace, RandomSamplesDecodeToValidConfigs) {
+  SpaceOptions opts;
+  opts.tune_batch = true;
+  opts.tune_concurrency = true;
+  const sim::Topology t = demo_topology();
+  const ConfigSpace cs(t, opts, defaults());
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const sim::TopologyConfig c = cs.decode(cs.space().sample(rng));
+    c.validate(t);
+    EXPECT_GE(c.batch_size, opts.batch_size_min);
+    EXPECT_LE(c.batch_size, opts.batch_size_max);
+    EXPECT_GE(c.batch_parallelism, 1);
+    EXPECT_LE(c.batch_parallelism, opts.batch_parallelism_max);
+  }
+}
+
+TEST(ConfigSpace, NothingToTuneRejected) {
+  SpaceOptions opts;
+  opts.tune_hints = false;
+  EXPECT_THROW(ConfigSpace(demo_topology(), opts, defaults()), Error);
+}
+
+}  // namespace
+}  // namespace stormtune::tuning

@@ -1,0 +1,95 @@
+#include "graph/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace stormtune::graph {
+namespace {
+
+Dag diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  return d;
+}
+
+TEST(Dag, BasicCounts) {
+  const Dag d = diamond();
+  EXPECT_EQ(d.num_vertices(), 4u);
+  EXPECT_EQ(d.num_edges(), 4u);
+  EXPECT_EQ(d.out_degree(0), 2u);
+  EXPECT_EQ(d.in_degree(3), 2u);
+  EXPECT_DOUBLE_EQ(d.average_out_degree(), 1.0);
+}
+
+TEST(Dag, SourcesAndSinks) {
+  const Dag d = diamond();
+  EXPECT_EQ(d.sources(), std::vector<std::size_t>{0});
+  EXPECT_EQ(d.sinks(), std::vector<std::size_t>{3});
+}
+
+TEST(Dag, HasEdge) {
+  const Dag d = diamond();
+  EXPECT_TRUE(d.has_edge(0, 1));
+  EXPECT_FALSE(d.has_edge(1, 0));
+  EXPECT_FALSE(d.has_edge(0, 3));
+}
+
+TEST(Dag, RejectsSelfLoopAndDuplicates) {
+  Dag d(3);
+  EXPECT_THROW(d.add_edge(1, 1), Error);
+  d.add_edge(0, 1);
+  EXPECT_THROW(d.add_edge(0, 1), Error);
+  EXPECT_THROW(d.add_edge(0, 5), Error);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  const Dag d = diamond();
+  const auto order = d.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Dag, CycleDetection) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  EXPECT_TRUE(d.is_acyclic());
+  d.add_edge(2, 0);
+  EXPECT_FALSE(d.is_acyclic());
+  EXPECT_THROW(d.topological_order(), Error);
+}
+
+TEST(Dag, ConnectivityCheck) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  EXPECT_FALSE(d.fully_connected_to_graph());  // vertex 2 isolated
+  d.add_edge(1, 2);
+  EXPECT_TRUE(d.fully_connected_to_graph());
+}
+
+TEST(Dag, SingleVertexGraph) {
+  Dag d(1);
+  EXPECT_TRUE(d.is_acyclic());
+  EXPECT_EQ(d.sources().size(), 1u);
+  EXPECT_EQ(d.sinks().size(), 1u);
+  EXPECT_FALSE(d.fully_connected_to_graph());
+}
+
+TEST(Dag, ZeroVerticesRejected) {
+  EXPECT_THROW(Dag{0}, Error);
+}
+
+}  // namespace
+}  // namespace stormtune::graph

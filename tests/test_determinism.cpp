@@ -1,0 +1,137 @@
+// Cross-cutting determinism guarantees: every stochastic component must be
+// bit-reproducible from its seed, because the paper's evaluation protocol
+// (two optimization passes, 30-repetition re-evaluation, seed-derived noise)
+// is only meaningful if campaigns can be replayed exactly.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bayesopt/bayesopt.hpp"
+#include "stormsim/engine.hpp"
+#include "topology/literature.hpp"
+#include "topology/sundog.hpp"
+#include "topology/synthetic.hpp"
+#include "tuning/experiment.hpp"
+
+namespace stormtune {
+namespace {
+
+TEST(Determinism, SimulatorBitIdenticalAcrossRuns) {
+  const sim::Topology t = topo::build_sundog();
+  sim::SimParams p = topo::sundog_sim_params();
+  p.duration_s = 5.0;
+  p.background_load_prob = 0.2;  // exercise the stochastic paths too
+  const auto cfg = topo::sundog_baseline_config(t);
+  const auto a = sim::simulate(t, cfg, topo::sundog_cluster(), p, 99);
+  const auto b = sim::simulate(t, cfg, topo::sundog_cluster(), p, 99);
+  EXPECT_DOUBLE_EQ(a.throughput_tuples_per_s, b.throughput_tuples_per_s);
+  EXPECT_EQ(a.batches_committed, b.batches_committed);
+  EXPECT_DOUBLE_EQ(a.mean_batch_latency_ms, b.mean_batch_latency_ms);
+  EXPECT_DOUBLE_EQ(a.network_bytes_per_s_per_worker,
+                   b.network_bytes_per_s_per_worker);
+  ASSERT_EQ(a.node_stats.size(), b.node_stats.size());
+  for (std::size_t v = 0; v < a.node_stats.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.node_stats[v].mean_stage_ms,
+                     b.node_stats[v].mean_stage_ms);
+  }
+}
+
+TEST(Determinism, SimulatorSeedChangesOnlyStochasticParts) {
+  topo::SyntheticSpec spec;
+  const sim::Topology t = topo::build_synthetic(spec);
+  sim::SimParams p = topo::synthetic_sim_params();
+  p.duration_s = 5.0;
+  p.throughput_noise_sd = 0.05;
+  const auto cfg = sim::uniform_hint_config(t, 4);
+  const auto a = sim::simulate(t, cfg, topo::paper_cluster(), p, 1);
+  const auto b = sim::simulate(t, cfg, topo::paper_cluster(), p, 2);
+  // The deterministic engine outcome is identical; only the measurement
+  // noise differs.
+  EXPECT_DOUBLE_EQ(a.noiseless_throughput, b.noiseless_throughput);
+  EXPECT_NE(a.throughput_tuples_per_s, b.throughput_tuples_per_s);
+}
+
+TEST(Determinism, BayesOptIdenticalTrajectories) {
+  bo::ParamSpace space({bo::ParamSpec::real("x", 0.0, 1.0),
+                        bo::ParamSpec::integer("k", 1, 10)});
+  bo::BayesOptOptions opts;
+  opts.hyper_mode = bo::HyperMode::kSliceSample;
+  opts.seed = 7;
+  bo::BayesOpt a(space, opts);
+  bo::BayesOpt b(space, opts);
+  for (int i = 0; i < 10; ++i) {
+    const auto xa = a.suggest();
+    const auto xb = b.suggest();
+    ASSERT_EQ(xa, xb) << "diverged at step " << i;
+    const double y = xa[0] - 0.1 * xa[1];
+    a.observe(xa, y);
+    b.observe(xb, y);
+  }
+}
+
+TEST(Determinism, TopologyBuildersAreStable) {
+  // All builders must produce identical structures on repeated calls (no
+  // hidden global state).
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(topo::build_sundog().num_edges(), 41u);
+    EXPECT_EQ(topo::build_linear_road().num_edges(), 82u);
+    EXPECT_EQ(topo::build_dissemination().num_edges(), 39u);
+    topo::SyntheticSpec spec;
+    spec.size = topo::TopologySize::kLarge;
+    EXPECT_EQ(topo::build_synthetic(spec).num_edges(), 170u);
+  }
+}
+
+TEST(Determinism, CampaignReplaysExactly) {
+  topo::SyntheticSpec spec;
+  const sim::Topology t = topo::build_synthetic(spec);
+  sim::SimParams p = topo::synthetic_sim_params();
+  p.duration_s = 5.0;
+  auto run_once = [&]() {
+    tuning::SimObjective obj(t, topo::paper_cluster(), p, 5);
+    tuning::PlaTuner pla(t, sim::TopologyConfig{}, false);
+    tuning::ExperimentOptions eopts;
+    eopts.max_steps = 6;
+    eopts.best_config_reps = 3;
+    return tuning::run_experiment(pla, obj, eopts);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trace[i].throughput, b.trace[i].throughput);
+  }
+  EXPECT_DOUBLE_EQ(a.best_rep_stats.mean, b.best_rep_stats.mean);
+}
+
+// Engine determinism across every scheduler policy and cluster shape.
+class DeterminismSweep
+    : public ::testing::TestWithParam<
+          std::tuple<sim::SchedulerPolicy, std::size_t>> {};
+
+TEST_P(DeterminismSweep, EngineReproducible) {
+  const auto [policy, workers_per_machine] = GetParam();
+  const sim::Topology t = topo::build_linear_road_compact();
+  sim::ClusterSpec cluster;
+  cluster.num_machines = 6;
+  cluster.workers_per_machine = workers_per_machine;
+  sim::SimParams p;
+  p.duration_s = 5.0;
+  p.scheduler = policy;
+  sim::TopologyConfig cfg = sim::uniform_hint_config(t, 3);
+  cfg.batch_size = 200;
+  const auto a = sim::simulate(t, cfg, cluster, p, 42);
+  const auto b = sim::simulate(t, cfg, cluster, p, 42);
+  EXPECT_DOUBLE_EQ(a.throughput_tuples_per_s, b.throughput_tuples_per_s);
+  EXPECT_GT(a.throughput_tuples_per_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndShapes, DeterminismSweep,
+    ::testing::Combine(::testing::Values(sim::SchedulerPolicy::kRoundRobin,
+                                         sim::SchedulerPolicy::kRandom,
+                                         sim::SchedulerPolicy::kLoadAware),
+                       ::testing::Values(1u, 2u, 4u)));
+
+}  // namespace
+}  // namespace stormtune

@@ -1,0 +1,95 @@
+#include "stormsim/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/sundog.hpp"
+#include "topology/synthetic.hpp"
+
+namespace stormtune::sim {
+namespace {
+
+Topology tiny() {
+  Topology t;
+  const auto s = t.add_spout("reader", 2.0);
+  const auto b = t.add_bolt("worker", 5.0, /*contentious=*/true);
+  t.connect(s, b, Grouping::kFields);
+  return t;
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  const std::string dot = to_dot(tiny());
+  EXPECT_NE(dot.find("digraph topology"), std::string::npos);
+  EXPECT_NE(dot.find("reader"), std::string::npos);
+  EXPECT_NE(dot.find("worker"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Dot, ShapesAndContentionHighlight) {
+  const std::string dot = to_dot(tiny());
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // spout
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);  // bolt
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos);     // contentious
+}
+
+TEST(Dot, GroupingLabels) {
+  DotOptions with;
+  const std::string dot = to_dot(tiny(), with);
+  EXPECT_NE(dot.find("label=\"fields\""), std::string::npos);
+  DotOptions without;
+  without.show_groupings = false;
+  EXPECT_EQ(to_dot(tiny(), without).find("label=\"fields\""),
+            std::string::npos);
+}
+
+TEST(Dot, CostAnnotationsToggle) {
+  DotOptions without;
+  without.show_costs = false;
+  EXPECT_EQ(to_dot(tiny(), without).find("tc="), std::string::npos);
+  EXPECT_NE(to_dot(tiny()).find("tc="), std::string::npos);
+}
+
+TEST(Dot, ConfigAnnotatesParallelism) {
+  const Topology t = tiny();
+  TopologyConfig c = uniform_hint_config(t, 7);
+  DotOptions opts;
+  opts.config = &c;
+  const std::string dot = to_dot(t, opts);
+  EXPECT_NE(dot.find("x7"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotesInNames) {
+  Topology t;
+  const auto s = t.add_spout("sp\"out");
+  const auto b = t.add_bolt("b");
+  t.connect(s, b);
+  const std::string dot = to_dot(t);
+  EXPECT_NE(dot.find("sp\\\"out"), std::string::npos);
+}
+
+TEST(Dot, SundogRendersEveryOperator) {
+  const Topology sundog = topo::build_sundog();
+  const std::string dot = to_dot(sundog);
+  for (std::size_t v = 0; v < sundog.num_nodes(); ++v) {
+    EXPECT_NE(dot.find(sundog.node(v).name), std::string::npos);
+  }
+  // One edge line per stream.
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, sundog.num_edges());
+}
+
+TEST(Dot, PlainDagExport) {
+  graph::Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  const std::string dot = to_dot(d, "g");
+  EXPECT_NE(dot.find("digraph g"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stormtune::sim

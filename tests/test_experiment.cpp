@@ -1,0 +1,199 @@
+#include "tuning/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace stormtune::tuning {
+namespace {
+
+sim::Topology demo_topology() {
+  sim::Topology t;
+  const auto s = t.add_spout("S", 10.0);
+  const auto b = t.add_bolt("B", 20.0);
+  t.connect(s, b);
+  return t;
+}
+
+/// Scripted objective: returns a fixed sequence of throughputs.
+class ScriptedObjective final : public Objective {
+ public:
+  explicit ScriptedObjective(std::vector<double> script)
+      : script_(std::move(script)) {}
+
+  double evaluate(const sim::TopologyConfig&) override {
+    const double v = script_[std::min(next_, script_.size() - 1)];
+    ++next_;
+    return v;
+  }
+
+  std::size_t calls() const { return next_; }
+
+ private:
+  std::vector<double> script_;
+  std::size_t next_ = 0;
+};
+
+/// Deterministic objective keyed on the uniform hint value.
+class HintPeakObjective final : public Objective {
+ public:
+  double evaluate(const sim::TopologyConfig& c) override {
+    const double h = static_cast<double>(c.parallelism_hints.at(0));
+    return 100.0 - (h - 7.0) * (h - 7.0);  // peak at hint 7
+  }
+};
+
+ExperimentOptions fast_options() {
+  ExperimentOptions o;
+  o.max_steps = 12;
+  o.best_config_reps = 5;
+  return o;
+}
+
+TEST(RunExperiment, StopsAtMaxSteps) {
+  const sim::Topology t = demo_topology();
+  PlaTuner pla(t, sim::TopologyConfig{}, false);
+  HintPeakObjective obj;
+  const ExperimentResult r = run_experiment(pla, obj, fast_options());
+  EXPECT_EQ(r.trace.size(), 12u);
+  EXPECT_EQ(r.strategy, "pla");
+}
+
+TEST(RunExperiment, FindsPeakOfHintObjective) {
+  const sim::Topology t = demo_topology();
+  PlaTuner pla(t, sim::TopologyConfig{}, false);
+  HintPeakObjective obj;
+  const ExperimentResult r = run_experiment(pla, obj, fast_options());
+  EXPECT_DOUBLE_EQ(r.best_throughput, 100.0);
+  EXPECT_EQ(r.best_step, 7u);  // hint 7 deployed at step 7
+  EXPECT_EQ(r.best_config.parallelism_hints.at(0), 7);
+}
+
+TEST(RunExperiment, ZeroStreakStopsEarly) {
+  // Paper protocol: stop after three consecutive zero-performance runs.
+  const sim::Topology t = demo_topology();
+  PlaTuner pla(t, sim::TopologyConfig{}, false);
+  ScriptedObjective obj({50.0, 40.0, 0.0, 0.0, 0.0, 99.0});
+  ExperimentOptions opts = fast_options();
+  opts.best_config_reps = 0;
+  const ExperimentResult r = run_experiment(pla, obj, opts);
+  EXPECT_EQ(r.trace.size(), 5u);  // 2 positives + 3 zeros
+  EXPECT_DOUBLE_EQ(r.best_throughput, 50.0);
+}
+
+TEST(RunExperiment, ZeroStreakResetsOnSuccess) {
+  const sim::Topology t = demo_topology();
+  PlaTuner pla(t, sim::TopologyConfig{}, false);
+  ScriptedObjective obj({0.0, 0.0, 10.0, 0.0, 0.0, 20.0, 0.0, 0.0, 0.0, 9.0});
+  ExperimentOptions opts = fast_options();
+  opts.best_config_reps = 0;
+  const ExperimentResult r = run_experiment(pla, obj, opts);
+  EXPECT_EQ(r.trace.size(), 9u);  // stops after the 3-zero streak at the end
+  EXPECT_DOUBLE_EQ(r.best_throughput, 20.0);
+}
+
+TEST(RunExperiment, BestConfigReevaluated) {
+  const sim::Topology t = demo_topology();
+  PlaTuner pla(t, sim::TopologyConfig{}, false);
+  HintPeakObjective obj;
+  ExperimentOptions opts = fast_options();
+  opts.best_config_reps = 30;
+  const ExperimentResult r = run_experiment(pla, obj, opts);
+  EXPECT_EQ(r.best_rep_stats.n, 30u);
+  // Deterministic objective: repetitions equal the best measurement.
+  EXPECT_DOUBLE_EQ(r.best_rep_stats.mean, 100.0);
+  EXPECT_DOUBLE_EQ(r.best_rep_stats.min, r.best_rep_stats.max);
+}
+
+TEST(RunExperiment, RecordsSuggestTimes) {
+  const sim::Topology t = demo_topology();
+  PlaTuner pla(t, sim::TopologyConfig{}, false);
+  HintPeakObjective obj;
+  const ExperimentResult r = run_experiment(pla, obj, fast_options());
+  EXPECT_GE(r.mean_suggest_seconds, 0.0);
+  EXPECT_GE(r.max_suggest_seconds, r.mean_suggest_seconds);
+  for (const auto& step : r.trace) {
+    EXPECT_GE(step.suggest_seconds, 0.0);
+  }
+}
+
+TEST(RunExperiment, TraceStepsAreSequential) {
+  const sim::Topology t = demo_topology();
+  PlaTuner pla(t, sim::TopologyConfig{}, false);
+  HintPeakObjective obj;
+  const ExperimentResult r = run_experiment(pla, obj, fast_options());
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    EXPECT_EQ(r.trace[i].step, i + 1);
+  }
+}
+
+TEST(RunCampaign, ReturnsBetterOfTwoPasses) {
+  const sim::Topology t = demo_topology();
+  // Pass 0 sees a poor objective, pass 1 a better one.
+  int pass_counter = 0;
+  ScriptedObjective obj({10.0, 10.0, 10.0, 10.0, 10.0, 10.0,
+                         90.0, 90.0, 90.0, 90.0, 90.0, 90.0});
+  ExperimentOptions opts;
+  opts.max_steps = 6;
+  opts.best_config_reps = 0;
+  std::vector<ExperimentResult> passes;
+  const ExperimentResult best = run_campaign(
+      [&](std::size_t) {
+        ++pass_counter;
+        return std::make_unique<PlaTuner>(t, sim::TopologyConfig{}, false);
+      },
+      obj, opts, 2, &passes);
+  EXPECT_EQ(pass_counter, 2);
+  ASSERT_EQ(passes.size(), 2u);
+  EXPECT_DOUBLE_EQ(best.best_throughput, 90.0);
+}
+
+TEST(RunCampaign, RejectsZeroPasses) {
+  const sim::Topology t = demo_topology();
+  HintPeakObjective obj;
+  EXPECT_THROW(
+      run_campaign(
+          [&](std::size_t) {
+            return std::make_unique<PlaTuner>(t, sim::TopologyConfig{},
+                                              false);
+          },
+          obj, fast_options(), 0),
+      Error);
+}
+
+TEST(SimObjective, EvaluatesAndVariesAcrossCalls) {
+  const sim::Topology t = demo_topology();
+  sim::ClusterSpec cluster;
+  cluster.num_machines = 4;
+  sim::SimParams params;
+  params.duration_s = 10.0;
+  params.throughput_noise_sd = 0.05;
+  SimObjective obj(t, cluster, params, 77);
+  sim::TopologyConfig c = sim::uniform_hint_config(t, 2);
+  c.batch_size = 50;
+  const double a = obj.evaluate(c);
+  const double b = obj.evaluate(c);
+  EXPECT_GT(a, 0.0);
+  EXPECT_GT(b, 0.0);
+  EXPECT_NE(a, b);  // fresh noise seed per evaluation
+  EXPECT_EQ(obj.num_evaluations(), 2u);
+  EXPECT_GT(obj.last_result().batches_committed, 0u);
+}
+
+TEST(SimObjective, ReproducibleAcrossInstances) {
+  const sim::Topology t = demo_topology();
+  sim::ClusterSpec cluster;
+  cluster.num_machines = 4;
+  sim::SimParams params;
+  params.duration_s = 10.0;
+  SimObjective o1(t, cluster, params, 5);
+  SimObjective o2(t, cluster, params, 5);
+  sim::TopologyConfig c = sim::uniform_hint_config(t, 2);
+  c.batch_size = 50;
+  EXPECT_DOUBLE_EQ(o1.evaluate(c), o2.evaluate(c));
+}
+
+}  // namespace
+}  // namespace stormtune::tuning

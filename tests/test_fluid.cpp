@@ -1,0 +1,171 @@
+#include "stormsim/fluid.hpp"
+
+#include "stormsim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace stormtune::sim {
+namespace {
+
+Topology pipeline2(double spout_tc = 10.0, double bolt_tc = 20.0,
+                   bool contentious = false) {
+  Topology t;
+  const auto s = t.add_spout("S", spout_tc);
+  const auto b = t.add_bolt("B", bolt_tc, contentious);
+  t.connect(s, b);
+  return t;
+}
+
+ClusterSpec cluster4() {
+  ClusterSpec c;
+  c.num_machines = 4;
+  c.cores_per_machine = 4;
+  return c;
+}
+
+SimParams params() {
+  SimParams p;
+  p.throughput_noise_sd = 0.0;
+  p.commit_units_per_batch = 10.0;
+  p.recv_units_per_tuple = 0.0;
+  p.ack_units_per_tuple = 0.0;
+  p.network_latency_ms = 0.0;
+  return p;
+}
+
+TEST(Fluid, StageBoundMatchesHandComputation) {
+  const Topology t = pipeline2();
+  TopologyConfig c = uniform_hint_config(t, 1);
+  c.batch_size = 100;
+  c.batch_parallelism = 100;  // pipeline bound irrelevant
+  const FluidEstimate e = fluid_estimate(t, c, cluster4(), params());
+  // Bolt stage: 100 tuples x 20 ms / 1 task = 2000 ms -> 0.5 batches/s.
+  EXPECT_NEAR(e.stage_limited, 0.5, 1e-9);
+}
+
+TEST(Fluid, CpuBoundMatchesHandComputation) {
+  const Topology t = pipeline2();
+  TopologyConfig c = uniform_hint_config(t, 100);  // stage bound removed
+  c.batch_size = 100;
+  c.batch_parallelism = 1000;
+  const FluidEstimate e = fluid_estimate(t, c, cluster4(), params());
+  // Work per batch: 100 x (10 + 20) = 3000 core-ms; capacity 16 cores.
+  EXPECT_NEAR(e.cpu_limited, 16000.0 / 3000.0, 1e-9);
+}
+
+TEST(Fluid, CommitBoundMatchesHandComputation) {
+  const Topology t = pipeline2();
+  TopologyConfig c = uniform_hint_config(t, 1);
+  const FluidEstimate e = fluid_estimate(t, c, cluster4(), params());
+  EXPECT_NEAR(e.commit_limited, 100.0, 1e-9);  // 10 ms serial
+}
+
+TEST(Fluid, PipelineBoundUsesCriticalPath) {
+  const Topology t = pipeline2();
+  TopologyConfig c = uniform_hint_config(t, 1);
+  c.batch_size = 10;
+  c.batch_parallelism = 2;
+  const FluidEstimate e = fluid_estimate(t, c, cluster4(), params());
+  // Critical path: spout 100 ms + bolt 200 ms + commit 10 ms = 310 ms.
+  EXPECT_NEAR(e.critical_path_ms, 310.0, 1e-9);
+  EXPECT_NEAR(e.pipeline_limited, 2.0 * 1000.0 / 310.0, 1e-9);
+}
+
+TEST(Fluid, ThroughputIsMinimumOfBounds) {
+  const Topology t = pipeline2();
+  TopologyConfig c = uniform_hint_config(t, 2);
+  c.batch_size = 50;
+  c.batch_parallelism = 3;
+  const FluidEstimate e = fluid_estimate(t, c, cluster4(), params());
+  const double min_bound =
+      std::min({e.stage_limited, e.cpu_limited, e.commit_limited,
+                e.pipeline_limited});
+  EXPECT_NEAR(e.throughput_tuples_per_s, min_bound * 50.0, 1e-9);
+}
+
+TEST(Fluid, ContentionRemovesStageGainAndBurnsCpu) {
+  const Topology plain = pipeline2(10.0, 20.0, false);
+  const Topology contended = pipeline2(10.0, 20.0, true);
+  TopologyConfig c = uniform_hint_config(plain, 8);
+  c.batch_size = 100;
+  c.batch_parallelism = 50;
+  const FluidEstimate ep = fluid_estimate(plain, c, cluster4(), params());
+  const FluidEstimate ec = fluid_estimate(contended, c, cluster4(), params());
+  // Contended bolt: per-task work is constant in the hint, so the stage
+  // bound equals the hint=1 bound; CPU bound shrinks by ~the hint factor.
+  EXPECT_GT(ep.stage_limited, ec.stage_limited * 7.0);
+  EXPECT_GT(ep.cpu_limited, ec.cpu_limited * 3.0);
+}
+
+TEST(Fluid, BottleneckLabelConsistent) {
+  const Topology t = pipeline2();
+  TopologyConfig c = uniform_hint_config(t, 1);
+  c.batch_size = 1000;
+  c.batch_parallelism = 1000;
+  const FluidEstimate e = fluid_estimate(t, c, cluster4(), params());
+  // Huge batches with hint 1: the bolt stage dominates.
+  EXPECT_EQ(e.bottleneck, FluidEstimate::Bottleneck::kStage);
+}
+
+TEST(Fluid, MaxTasksNormalizationApplied) {
+  const Topology t = pipeline2();
+  TopologyConfig capped = uniform_hint_config(t, 16);
+  capped.max_tasks = 2;  // back to one task per node
+  capped.batch_size = 100;
+  capped.batch_parallelism = 100;
+  TopologyConfig one = uniform_hint_config(t, 1);
+  one.batch_size = 100;
+  one.batch_parallelism = 100;
+  const FluidEstimate ec = fluid_estimate(t, capped, cluster4(), params());
+  const FluidEstimate e1 = fluid_estimate(t, one, cluster4(), params());
+  EXPECT_NEAR(ec.stage_limited, e1.stage_limited, 1e-9);
+}
+
+// Property sweep: the fluid estimate upper-bounds the DES measurement
+// (within slack for the one mechanism the fluid model sequences
+// pessimistically: receive/compute overlap) on every benchmark cell.
+class FluidVsDesSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FluidVsDesSweep, DesDoesNotBeatFluidBound) {
+  const auto [hint, bp] = GetParam();
+  Topology t;
+  const auto s = t.add_spout("S", 10.0);
+  const auto a = t.add_bolt("A", 25.0);
+  const auto b = t.add_bolt("B", 5.0);
+  const auto c = t.add_bolt("C", 15.0);
+  t.connect(s, a);
+  t.connect(s, b);
+  t.connect(a, c);
+  t.connect(b, c);
+  TopologyConfig cfg = uniform_hint_config(t, hint);
+  cfg.batch_size = 100;
+  cfg.batch_parallelism = bp;
+  SimParams p = params();
+  p.duration_s = 15.0;
+  p.throughput_noise_sd = 0.0;
+  const FluidEstimate fluid = fluid_estimate(t, cfg, cluster4(), p);
+  const SimResult des = simulate(t, cfg, cluster4(), p, 3);
+  EXPECT_LE(des.noiseless_throughput,
+            fluid.throughput_tuples_per_s * 1.10)
+      << "hint=" << hint << " bp=" << bp;
+  EXPECT_GT(des.noiseless_throughput, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FluidVsDesSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(1, 4, 16)));
+
+TEST(Fluid, RejectsInvalidInput) {
+  const Topology t = pipeline2();
+  TopologyConfig c = uniform_hint_config(t, 1);
+  c.batch_size = 0;
+  EXPECT_THROW(fluid_estimate(t, c, cluster4(), params()), Error);
+}
+
+}  // namespace
+}  // namespace stormtune::sim

@@ -1,0 +1,153 @@
+#include "graph/ggen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace stormtune::graph {
+namespace {
+
+TEST(Ggen, DeterministicPerSeed) {
+  GgenParams p{20, 4, 0.3};
+  Rng a(42), b(42);
+  const LayeredDag ga = ggen_layer_by_layer(p, a);
+  const LayeredDag gb = ggen_layer_by_layer(p, b);
+  EXPECT_EQ(ga.dag.num_edges(), gb.dag.num_edges());
+  EXPECT_EQ(ga.layer_of, gb.layer_of);
+  for (std::size_t v = 0; v < 20; ++v) {
+    EXPECT_EQ(ga.dag.out_edges(v), gb.dag.out_edges(v));
+  }
+}
+
+TEST(Ggen, LayersNonEmptyAndEven) {
+  GgenParams p{10, 4, 0.4};
+  Rng rng(1);
+  const LayeredDag g = ggen_layer_by_layer(p, rng);
+  std::vector<int> count(4, 0);
+  for (std::size_t v = 0; v < 10; ++v) count[g.layer_of[v]]++;
+  for (int c : count) {
+    EXPECT_GE(c, 2);  // 10 over 4 layers: sizes 3,3,2,2
+    EXPECT_LE(c, 3);
+  }
+}
+
+TEST(Ggen, RejectsInvalidParams) {
+  Rng rng(1);
+  EXPECT_THROW(ggen_layer_by_layer({1, 1, 0.5}, rng), Error);
+  EXPECT_THROW(ggen_layer_by_layer({10, 1, 0.5}, rng), Error);
+  EXPECT_THROW(ggen_layer_by_layer({10, 11, 0.5}, rng), Error);
+  EXPECT_THROW(ggen_layer_by_layer({10, 4, 0.0}, rng), Error);
+  EXPECT_THROW(ggen_layer_by_layer({10, 4, 1.5}, rng), Error);
+}
+
+// Section IV-B constraints as properties over sizes and seeds.
+class GgenProperties
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  static GgenParams params_for(int which) {
+    switch (which) {
+      case 0: return {10, 4, 0.40};
+      case 1: return {50, 5, 0.08};
+      default: return {100, 10, 0.04};
+    }
+  }
+};
+
+TEST_P(GgenProperties, AcyclicLayeredAndConnected) {
+  const auto [which, seed] = GetParam();
+  const GgenParams p = params_for(which);
+  Rng rng(seed);
+  const LayeredDag g = ggen_layer_by_layer(p, rng);
+
+  EXPECT_EQ(g.dag.num_vertices(), p.vertices);
+  EXPECT_TRUE(g.dag.is_acyclic());
+  // Constraint (1): every vertex connected to at least one other vertex.
+  EXPECT_TRUE(g.dag.fully_connected_to_graph());
+  // Layer-by-layer: edges only run to strictly later layers.
+  for (std::size_t v = 0; v < p.vertices; ++v) {
+    for (std::size_t w : g.dag.out_edges(v)) {
+      EXPECT_LT(g.layer_of[v], g.layer_of[w]);
+    }
+  }
+  // All layers used.
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.layers, p.layers);
+  EXPECT_GT(s.sources, 0u);
+  EXPECT_GT(s.sinks, 0u);
+}
+
+TEST_P(GgenProperties, EdgeCountNearExpectation) {
+  const auto [which, seed] = GetParam();
+  const GgenParams p = params_for(which);
+  Rng rng(seed);
+  const LayeredDag g = ggen_layer_by_layer(p, rng);
+  // Expected edges = P * (#cross-layer pairs). Allow 3.5-sigma-ish slack.
+  std::vector<std::size_t> layer_sizes(p.layers, 0);
+  for (std::size_t v = 0; v < p.vertices; ++v) layer_sizes[g.layer_of[v]]++;
+  double pairs = static_cast<double>(p.vertices) * (p.vertices - 1) / 2.0;
+  for (std::size_t l = 0; l < p.layers; ++l) {
+    pairs -= static_cast<double>(layer_sizes[l]) * (layer_sizes[l] - 1) / 2.0;
+  }
+  const double expected = p.edge_probability * pairs;
+  const double sigma = std::sqrt(expected * (1.0 - p.edge_probability));
+  EXPECT_NEAR(static_cast<double>(g.dag.num_edges()), expected,
+              3.5 * sigma + 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, GgenProperties,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 7u, 42u, 1234u)));
+
+TEST(GgenStats, MatchesPaperTable2Shape) {
+  // With the pre-searched seeds, the generated graphs reproduce the
+  // paper's Table II statistics closely (exactness is not required; GGen
+  // itself is random).
+  struct Row {
+    GgenParams params;
+    std::uint64_t seed;
+    std::size_t edges;
+    std::size_t sources;
+    std::size_t sinks;
+  };
+  const Row rows[] = {
+      {{10, 4, 0.40}, 41, 17, 3, 3},
+      {{50, 5, 0.08}, 945, 88, 17, 17},
+      {{100, 10, 0.04}, 6180, 170, 29, 27},
+  };
+  for (const Row& row : rows) {
+    Rng rng(row.seed);
+    const GraphStats s = compute_stats(ggen_layer_by_layer(row.params, rng));
+    EXPECT_NEAR(static_cast<double>(s.edges),
+                static_cast<double>(row.edges),
+                0.25 * static_cast<double>(row.edges));
+    EXPECT_NEAR(static_cast<double>(s.sources),
+                static_cast<double>(row.sources), 6.0);
+    EXPECT_NEAR(static_cast<double>(s.sinks),
+                static_cast<double>(row.sinks), 6.0);
+  }
+}
+
+TEST(FindSeedMatching, FindsCloseSeed) {
+  const GgenParams p{10, 4, 0.40};
+  GraphStats target;
+  target.edges = 17;
+  target.sources = 3;
+  target.sinks = 3;
+  const std::uint64_t seed = find_seed_matching(p, target, 300);
+  Rng rng(seed);
+  const GraphStats s = compute_stats(ggen_layer_by_layer(p, rng));
+  EXPECT_NEAR(static_cast<double>(s.edges), 17.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(s.sources), 3.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(s.sinks), 3.0, 1.0);
+}
+
+TEST(FindSeedMatching, RejectsZeroAttempts) {
+  EXPECT_THROW(find_seed_matching({10, 4, 0.4}, GraphStats{}, 0), Error);
+}
+
+}  // namespace
+}  // namespace stormtune::graph

@@ -1,0 +1,243 @@
+#include "gp/gp_regressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gp/kernel.hpp"
+
+namespace stormtune::gp {
+namespace {
+
+TEST(Kernel, VarianceAtZeroDistance) {
+  for (auto family : {KernelFamily::kSquaredExponential,
+                      KernelFamily::kMatern32, KernelFamily::kMatern52}) {
+    Kernel k(family, 3, /*ard=*/false);
+    k.set_amplitude(2.0);
+    const std::vector<double> x{0.5, -1.0, 2.0};
+    EXPECT_NEAR(k(x, x), 4.0, 1e-12);
+    EXPECT_NEAR(k.variance(), 4.0, 1e-12);
+  }
+}
+
+TEST(Kernel, DecaysWithDistance) {
+  for (auto family : {KernelFamily::kSquaredExponential,
+                      KernelFamily::kMatern32, KernelFamily::kMatern52}) {
+    Kernel k(family, 1, false);
+    const std::vector<double> origin{0.0};
+    double prev = k(origin, origin);
+    for (double d : {0.5, 1.0, 2.0, 4.0}) {
+      const std::vector<double> x{d};
+      const double v = k(origin, x);
+      EXPECT_LT(v, prev);
+      EXPECT_GT(v, 0.0);
+      prev = v;
+    }
+  }
+}
+
+TEST(Kernel, Symmetry) {
+  Kernel k(KernelFamily::kMatern52, 2, true);
+  k.set_lengthscales({0.5, 2.0});
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{-0.5, 3.0};
+  EXPECT_DOUBLE_EQ(k(a, b), k(b, a));
+}
+
+TEST(Kernel, ArdLengthscalesWeightDimensions) {
+  Kernel k(KernelFamily::kSquaredExponential, 2, true);
+  k.set_lengthscales({0.1, 10.0});
+  const std::vector<double> origin{0.0, 0.0};
+  const std::vector<double> dx{1.0, 0.0};  // short lengthscale: decays fast
+  const std::vector<double> dy{0.0, 1.0};  // long lengthscale: decays slowly
+  EXPECT_LT(k(origin, dx), k(origin, dy));
+}
+
+TEST(Kernel, HyperparamRoundTrip) {
+  Kernel k(KernelFamily::kMatern32, 3, true);
+  const std::vector<double> logs{std::log(2.0), std::log(0.5), std::log(1.5),
+                                 std::log(3.0)};
+  k.set_hyperparams(logs);
+  EXPECT_NEAR(k.amplitude(), 2.0, 1e-12);
+  EXPECT_NEAR(k.lengthscales()[0], 0.5, 1e-12);
+  const auto back = k.hyperparams();
+  ASSERT_EQ(back.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(back[i], logs[i], 1e-12);
+}
+
+TEST(Kernel, IsotropicHasSingleLengthscale) {
+  Kernel k(KernelFamily::kMatern52, 5, false);
+  EXPECT_EQ(k.num_hyperparams(), 2u);
+  Kernel ka(KernelFamily::kMatern52, 5, true);
+  EXPECT_EQ(ka.num_hyperparams(), 6u);
+}
+
+TEST(Kernel, Matern52MatchesClosedForm) {
+  Kernel k(KernelFamily::kMatern52, 1, false);
+  const std::vector<double> a{0.0}, b{1.0};
+  const double r = 1.0;
+  const double sr = std::sqrt(5.0) * r;
+  const double expected = (1.0 + sr + sr * sr / 3.0) * std::exp(-sr);
+  EXPECT_NEAR(k(a, b), expected, 1e-14);
+}
+
+TEST(Kernel, RejectsInvalidSettings) {
+  Kernel k(KernelFamily::kSquaredExponential, 2, false);
+  EXPECT_THROW(k.set_amplitude(0.0), Error);
+  EXPECT_THROW(k.set_lengthscales({1.0, 2.0}), Error);  // iso wants 1
+  EXPECT_THROW(k.set_lengthscales({-1.0}), Error);
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(k(a, b), Error);
+}
+
+class GpFit : public ::testing::Test {
+ protected:
+  static Matrix make_x(const std::vector<double>& xs) {
+    Matrix x(xs.size(), 1);
+    for (std::size_t i = 0; i < xs.size(); ++i) x(i, 0) = xs[i];
+    return x;
+  }
+};
+
+TEST_F(GpFit, InterpolatesNoiseFreeData) {
+  Kernel k(KernelFamily::kSquaredExponential, 1, false);
+  k.set_lengthscales({1.0});
+  GpRegressor gp(k, /*noise_variance=*/0.0);
+  const std::vector<double> xs{-2.0, -1.0, 0.0, 1.0, 2.0};
+  Vector y(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) y[i] = std::sin(xs[i]);
+  gp.fit(make_x(xs), y);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const Prediction p = gp.predict(std::vector<double>{xs[i]});
+    EXPECT_NEAR(p.mean, y[i], 1e-5);
+    EXPECT_NEAR(p.variance, 0.0, 1e-5);
+  }
+}
+
+TEST_F(GpFit, VarianceGrowsAwayFromData) {
+  Kernel k(KernelFamily::kMatern52, 1, false);
+  GpRegressor gp(k, 1e-6);
+  gp.fit(make_x({0.0, 1.0}), Vector{0.0, 1.0});
+  const double v_near = gp.predict(std::vector<double>{0.5}).variance;
+  const double v_far = gp.predict(std::vector<double>{10.0}).variance;
+  EXPECT_LT(v_near, v_far);
+  // Far from data the variance approaches the prior amplitude^2.
+  EXPECT_NEAR(v_far, 1.0, 1e-3);
+}
+
+TEST_F(GpFit, MeanRevertsToPriorFarAway) {
+  Kernel k(KernelFamily::kSquaredExponential, 1, false);
+  GpRegressor gp(k, 1e-6, /*mean_value=*/5.0);
+  gp.fit(make_x({0.0}), Vector{7.0});
+  EXPECT_NEAR(gp.predict(std::vector<double>{100.0}).mean, 5.0, 1e-6);
+  EXPECT_NEAR(gp.predict(std::vector<double>{0.0}).mean, 7.0, 1e-3);
+}
+
+TEST_F(GpFit, NoiseSmoothsInterpolation) {
+  Kernel k(KernelFamily::kSquaredExponential, 1, false);
+  GpRegressor noisy(k, 1.0);
+  GpRegressor exact(k, 1e-8);
+  const Matrix x = make_x({0.0});
+  const Vector y{2.0};
+  noisy.fit(x, y);
+  exact.fit(x, y);
+  // With large noise the posterior mean shrinks toward the prior mean 0.
+  EXPECT_LT(noisy.predict(std::vector<double>{0.0}).mean,
+            exact.predict(std::vector<double>{0.0}).mean);
+}
+
+TEST_F(GpFit, LogMarginalLikelihoodPrefersTruthfulNoise) {
+  // Data from a noisy sine; LML should prefer a plausible noise level over
+  // an absurd one.
+  Rng rng(6);
+  std::vector<double> xs;
+  Vector y;
+  for (int i = 0; i < 20; ++i) {
+    const double x = -3.0 + 0.3 * i;
+    xs.push_back(x);
+    y.push_back(std::sin(x) + rng.normal(0.0, 0.1));
+  }
+  Kernel k(KernelFamily::kSquaredExponential, 1, false);
+  GpRegressor good(k, 0.01);   // sd 0.1 — the truth
+  GpRegressor bad(k, 100.0);   // sd 10 — absurd
+  good.fit(make_x(xs), y);
+  bad.fit(make_x(xs), y);
+  EXPECT_GT(good.log_marginal_likelihood(), bad.log_marginal_likelihood());
+}
+
+TEST_F(GpFit, PredictBeforeFitThrows) {
+  Kernel k(KernelFamily::kSquaredExponential, 1, false);
+  GpRegressor gp(k, 0.1);
+  EXPECT_THROW(gp.predict(std::vector<double>{0.0}), Error);
+  EXPECT_THROW(gp.log_marginal_likelihood(), Error);
+}
+
+TEST_F(GpFit, DimensionMismatchThrows) {
+  Kernel k(KernelFamily::kSquaredExponential, 2, false);
+  GpRegressor gp(k, 0.1);
+  EXPECT_THROW(gp.fit(Matrix(3, 1), Vector(3, 0.0)), Error);
+  EXPECT_THROW(gp.fit(Matrix(3, 2), Vector(2, 0.0)), Error);
+}
+
+TEST_F(GpFit, DuplicatedInputsHandledViaJitter) {
+  // Identical rows make the noise-free kernel matrix singular; the jitter
+  // escalation must still produce a usable fit.
+  Kernel k(KernelFamily::kSquaredExponential, 1, false);
+  GpRegressor gp(k, 0.0);
+  Matrix x(3, 1);
+  x(0, 0) = 1.0;
+  x(1, 0) = 1.0;
+  x(2, 0) = 2.0;
+  gp.fit(x, Vector{3.0, 3.0, 5.0});
+  const Prediction p = gp.predict(std::vector<double>{1.0});
+  EXPECT_NEAR(p.mean, 3.0, 0.1);
+}
+
+TEST_F(GpFit, MutatorsInvalidateFit) {
+  Kernel k(KernelFamily::kSquaredExponential, 1, false);
+  GpRegressor gp(k, 0.1);
+  gp.fit(make_x({0.0, 1.0}), Vector{0.0, 1.0});
+  EXPECT_TRUE(gp.fitted());
+  gp.set_noise_variance(0.2);
+  EXPECT_FALSE(gp.fitted());
+}
+
+// Property sweep: posterior variance is non-negative for every kernel
+// family, ARD setting, and dataset size.
+class GpVarianceSweep
+    : public ::testing::TestWithParam<std::tuple<KernelFamily, bool, int>> {};
+
+TEST_P(GpVarianceSweep, PosteriorVarianceNonNegative) {
+  const auto [family, ard, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + (ard ? 7 : 0));
+  Kernel k(family, 3, ard);
+  GpRegressor gp(k, 1e-4);
+  Matrix x(n, 3);
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 3; ++j) x(i, j) = rng.uniform();
+    y[i] = rng.normal();
+  }
+  gp.fit(x, y);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<double> q{rng.uniform(-1.0, 2.0), rng.uniform(-1.0, 2.0),
+                          rng.uniform(-1.0, 2.0)};
+    const Prediction p = gp.predict(q);
+    EXPECT_GE(p.variance, 0.0);
+    EXPECT_TRUE(std::isfinite(p.mean));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, GpVarianceSweep,
+    ::testing::Combine(::testing::Values(KernelFamily::kSquaredExponential,
+                                         KernelFamily::kMatern32,
+                                         KernelFamily::kMatern52),
+                       ::testing::Bool(), ::testing::Values(2, 10, 40)));
+
+}  // namespace
+}  // namespace stormtune::gp

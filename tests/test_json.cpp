@@ -1,0 +1,159 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace stormtune {
+namespace {
+
+TEST(Json, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(nullptr).is_null());
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_DOUBLE_EQ(Json(3.25).as_number(), 3.25);
+  EXPECT_EQ(Json(7).as_int(), 7);
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(Json(1.0).as_string(), Error);
+  EXPECT_THROW(Json("x").as_number(), Error);
+  EXPECT_THROW(Json(true).as_array(), Error);
+  EXPECT_THROW(Json(1.5).as_int(), Error);  // not integral
+}
+
+TEST(Json, ObjectRoundTrip) {
+  Json j;
+  j["name"] = "spearmint";
+  j["steps"] = 60;
+  j["resume"] = true;
+  const std::string text = j.dump();
+  const Json parsed = Json::parse(text);
+  EXPECT_EQ(parsed.at("name").as_string(), "spearmint");
+  EXPECT_EQ(parsed.at("steps").as_int(), 60);
+  EXPECT_TRUE(parsed.at("resume").as_bool());
+}
+
+TEST(Json, ArrayRoundTrip) {
+  JsonArray arr;
+  for (int i = 0; i < 5; ++i) arr.emplace_back(i * 1.5);
+  const Json j(arr);
+  const Json parsed = Json::parse(j.dump());
+  ASSERT_EQ(parsed.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(parsed.at(i).as_number(), static_cast<double>(i) * 1.5);
+  }
+}
+
+TEST(Json, NestedStructureRoundTrip) {
+  Json j;
+  j["obs"] = Json(JsonArray{
+      Json(JsonObject{{"x", Json(JsonArray{Json(1.0), Json(2.0)})},
+                      {"y", Json(0.5)}}),
+  });
+  const Json parsed = Json::parse(j.dump(2));
+  EXPECT_DOUBLE_EQ(parsed.at("obs").at(0).at("y").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(parsed.at("obs").at(0).at("x").at(1).as_number(), 2.0);
+}
+
+TEST(Json, StringEscapes) {
+  const Json j(std::string("line1\nline2\t\"quoted\"\\slash"));
+  const Json parsed = Json::parse(j.dump());
+  EXPECT_EQ(parsed.as_string(), "line1\nline2\t\"quoted\"\\slash");
+}
+
+TEST(Json, UnicodeEscapeParsing) {
+  const Json parsed = Json::parse("\"\\u0041\\u00e9\"");
+  EXPECT_EQ(parsed.as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, NumberPrecisionSurvivesRoundTrip) {
+  const double v = 0.12345678901234567;
+  const Json parsed = Json::parse(Json(v).dump());
+  EXPECT_DOUBLE_EQ(parsed.as_number(), v);
+}
+
+TEST(Json, NegativeAndExponentNumbers) {
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_DOUBLE_EQ(Json::parse("1e-3").as_number(), 0.001);
+  EXPECT_EQ(Json::parse("-7").as_int(), -7);
+}
+
+TEST(Json, ParsesLiteralsAndWhitespace) {
+  EXPECT_TRUE(Json::parse("  null ").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_TRUE(Json::parse(" { } ").is_object());
+  EXPECT_TRUE(Json::parse("[\n]").is_array());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("{\"a\":}"), Error);
+  EXPECT_THROW(Json::parse("tru"), Error);
+  EXPECT_THROW(Json::parse("1 2"), Error);  // trailing garbage
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(Json::parse("--1"), Error);
+}
+
+TEST(Json, ContainsAndMissingKey) {
+  Json j;
+  j["a"] = 1;
+  EXPECT_TRUE(j.contains("a"));
+  EXPECT_FALSE(j.contains("b"));
+  EXPECT_THROW(j.at("b"), Error);
+}
+
+TEST(Json, ArrayIndexOutOfRangeThrows) {
+  const Json j(JsonArray{Json(1.0)});
+  EXPECT_THROW(j.at(1), Error);
+}
+
+TEST(Json, DeterministicKeyOrder) {
+  Json a;
+  a["zebra"] = 1;
+  a["alpha"] = 2;
+  Json b;
+  b["alpha"] = 2;
+  b["zebra"] = 1;
+  EXPECT_EQ(a.dump(), b.dump());  // std::map ordering
+}
+
+TEST(Json, EqualityOperator) {
+  EXPECT_EQ(Json(1.0), Json(1.0));
+  EXPECT_FALSE(Json(1.0) == Json(2.0));
+  Json a;
+  a["k"] = "v";
+  EXPECT_EQ(a, Json::parse("{\"k\":\"v\"}"));
+}
+
+TEST(Json, DeepNestingWithinLimitParses) {
+  std::string text(200, '[');
+  text += "1";
+  text += std::string(200, ']');
+  const Json j = Json::parse(text);
+  EXPECT_TRUE(j.is_array());
+}
+
+TEST(Json, PathologicalNestingRejectedNotCrashed) {
+  // A million-deep array must raise a clean error instead of overflowing
+  // the parser's stack.
+  std::string text(1000000, '[');
+  EXPECT_THROW(Json::parse(text), Error);
+}
+
+TEST(Json, PrettyPrintParsesBack) {
+  Json j;
+  j["list"] = Json(JsonArray{Json(1), Json(2)});
+  j["nested"] = Json(JsonObject{{"deep", Json(true)}});
+  const std::string pretty = j.dump(4);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), j);
+}
+
+}  // namespace
+}  // namespace stormtune

@@ -1,0 +1,174 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace stormtune {
+namespace {
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  // A = B B^T + n * I is SPD for any B.
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  Matrix a = b.multiply(b.transposed());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Matrix, IdentityAndIndexing) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_EQ(i3.rows(), 3u);
+  EXPECT_EQ(i3.cols(), 3u);
+  EXPECT_DOUBLE_EQ(i3(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(1);
+  Matrix a(3, 5);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) a(i, j) = rng.normal();
+  }
+  const Matrix att = a.transposed().transposed();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(att(i, j), a(i, j));
+  }
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  const Vector v{5.0, 6.0};
+  const Vector out = a.multiply(v);
+  EXPECT_DOUBLE_EQ(out[0], 17.0);
+  EXPECT_DOUBLE_EQ(out[1], 39.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.multiply(b), Error);
+  EXPECT_THROW(a.multiply(Vector{1.0, 2.0}), Error);
+}
+
+TEST(Cholesky, FactorReconstructsMatrix) {
+  Rng rng(2);
+  for (std::size_t n : {1u, 2u, 5u, 20u, 50u}) {
+    const Matrix a = random_spd(n, rng);
+    const Cholesky chol(a);
+    const Matrix l = chol.lower();
+    const Matrix llt = l.multiply(l.transposed());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(llt(i, j), a(i, j), 1e-9 * static_cast<double>(n));
+      }
+    }
+  }
+}
+
+TEST(Cholesky, LowerTriangularStructure) {
+  Rng rng(3);
+  const Matrix a = random_spd(6, rng);
+  const Matrix l = Cholesky(a).lower();
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Cholesky, SolveGivesSmallResidual) {
+  Rng rng(4);
+  const std::size_t n = 30;
+  const Matrix a = random_spd(n, rng);
+  Vector b(n);
+  for (auto& x : b) x = rng.normal();
+  const Cholesky chol(a);
+  const Vector x = chol.solve(b);
+  const Vector ax = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[i], b[i], 1e-8);
+  }
+}
+
+TEST(Cholesky, TriangularSolvesCompose) {
+  Rng rng(5);
+  const Matrix a = random_spd(10, rng);
+  Vector b(10);
+  for (auto& x : b) x = rng.normal();
+  const Cholesky chol(a);
+  const Vector y = chol.solve_lower(b);
+  const Vector x = chol.solve_lower_transpose(y);
+  const Vector direct = chol.solve(b);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(x[i], direct[i], 1e-12);
+  }
+}
+
+TEST(Cholesky, LogDeterminantMatchesKnownMatrix) {
+  // diag(4, 9): |A| = 36, log|A| = log(36).
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(1, 1) = 9.0;
+  EXPECT_NEAR(Cholesky(a).log_determinant(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, IdentityHasZeroLogDet) {
+  EXPECT_NEAR(Cholesky(Matrix::identity(7)).log_determinant(), 0.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_THROW(Cholesky{a}, Error);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky{Matrix(2, 3)}, Error);
+}
+
+TEST(Cholesky, SolveSizeMismatchThrows) {
+  const Cholesky chol(Matrix::identity(3));
+  EXPECT_THROW(chol.solve(Vector{1.0, 2.0}), Error);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm2(Vector{3.0, 4.0}), 5.0);
+  EXPECT_THROW(dot(a, Vector{1.0}), Error);
+}
+
+TEST(VectorOps, Axpy) {
+  const Vector a{1.0, 2.0};
+  const Vector b{10.0, 20.0};
+  const Vector c = axpy(a, 0.5, b);
+  EXPECT_DOUBLE_EQ(c[0], 6.0);
+  EXPECT_DOUBLE_EQ(c[1], 12.0);
+}
+
+}  // namespace
+}  // namespace stormtune

@@ -1,0 +1,101 @@
+#include "topology/literature.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stormsim/engine.hpp"
+#include "topology/synthetic.hpp"
+
+namespace stormtune::topo {
+namespace {
+
+sim::SimParams quick_params() {
+  sim::SimParams p;
+  p.duration_s = 10.0;
+  p.throughput_noise_sd = 0.0;
+  return p;
+}
+
+TEST(Literature, OperatorCountsMatchTable3) {
+  EXPECT_EQ(build_linear_road().num_nodes(), 60u);
+  EXPECT_EQ(build_dissemination().num_nodes(), 40u);
+  EXPECT_EQ(build_linear_road_compact().num_nodes(), 7u);
+  EXPECT_EQ(build_debs13().num_nodes(), 3u);
+}
+
+TEST(Literature, AllValidateAndAreDeterministic) {
+  for (int pass = 0; pass < 2; ++pass) {
+    const sim::Topology lr = build_linear_road();
+    lr.validate();
+    EXPECT_EQ(lr.spouts().size(), 3u);  // reports + two query streams
+    const sim::Topology d = build_dissemination();
+    d.validate();
+    EXPECT_EQ(d.spouts().size(), 1u);
+  }
+}
+
+TEST(Literature, LinearRoadSimulatesWithPositiveThroughput) {
+  const sim::Topology t = build_linear_road();
+  sim::TopologyConfig c = sim::uniform_hint_config(t, 4);
+  c.batch_size = 1000;
+  const auto r = sim::simulate(t, c, paper_cluster(), quick_params(), 1);
+  EXPECT_GT(r.throughput_tuples_per_s, 0.0);
+  EXPECT_FALSE(r.crashed);
+}
+
+TEST(Literature, DisseminationSimulatesWithPositiveThroughput) {
+  const sim::Topology t = build_dissemination();
+  sim::TopologyConfig c = sim::uniform_hint_config(t, 4);
+  c.batch_size = 1000;
+  const auto r = sim::simulate(t, c, paper_cluster(), quick_params(), 1);
+  EXPECT_GT(r.throughput_tuples_per_s, 0.0);
+}
+
+TEST(Literature, CompactTopologiesSimulate) {
+  for (const sim::Topology& t :
+       {build_linear_road_compact(), build_debs13()}) {
+    sim::TopologyConfig c = sim::uniform_hint_config(t, 4);
+    c.batch_size = 1000;
+    const auto r = sim::simulate(t, c, paper_cluster(), quick_params(), 2);
+    EXPECT_GT(r.throughput_tuples_per_s, 0.0);
+  }
+}
+
+TEST(Literature, LinearRoadTollPathDominates) {
+  // The toll calculators are the most expensive high-volume stage; with
+  // uniform hints one of the per-expressway pipelines should contain the
+  // bottleneck.
+  const sim::Topology t = build_linear_road();
+  sim::TopologyConfig c = sim::uniform_hint_config(t, 2);
+  c.batch_size = 2000;
+  const auto r = sim::simulate(t, c, paper_cluster(), quick_params(), 1);
+  const std::size_t b = r.bottleneck_node();
+  ASSERT_NE(b, static_cast<std::size_t>(-1));
+  EXPECT_NE(r.node_stats[b].name.find("_"), std::string::npos);
+}
+
+TEST(Literature, ParallelismHelpsLinearRoad) {
+  const sim::Topology t = build_linear_road();
+  sim::TopologyConfig c1 = sim::uniform_hint_config(t, 1);
+  c1.batch_size = 1000;
+  sim::TopologyConfig c4 = sim::uniform_hint_config(t, 4);
+  c4.batch_size = 1000;
+  const auto r1 = sim::simulate(t, c1, paper_cluster(), quick_params(), 1);
+  const auto r4 = sim::simulate(t, c4, paper_cluster(), quick_params(), 1);
+  EXPECT_GT(r4.noiseless_throughput, r1.noiseless_throughput);
+}
+
+TEST(Literature, BaseWeightsReflectJoinStructure) {
+  // The toll calculator joins three streams, so its base weight must
+  // exceed its parents'.
+  const sim::Topology t = build_linear_road();
+  const auto w = t.base_parallelism_weights();
+  double toll_w = 0.0, speed_w = 0.0;
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    if (t.node(v).name == "x0_toll_calc") toll_w = w[v];
+    if (t.node(v).name == "x0_avg_speed") speed_w = w[v];
+  }
+  EXPECT_GT(toll_w, speed_w);
+}
+
+}  // namespace
+}  // namespace stormtune::topo

@@ -1,0 +1,118 @@
+#include "common/loess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace stormtune {
+namespace {
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = lo + (hi - lo) * static_cast<double>(i) /
+                     static_cast<double>(n - 1);
+  }
+  return xs;
+}
+
+TEST(Loess, ReproducesConstantExactly) {
+  const auto x = linspace(0.0, 10.0, 30);
+  const std::vector<double> y(30, 4.2);
+  const auto fit = loess_smooth(x, y);
+  for (double f : fit) EXPECT_NEAR(f, 4.2, 1e-9);
+}
+
+TEST(Loess, ReproducesLineExactly) {
+  // Degree-1 local regression is exact on straight lines.
+  const auto x = linspace(0.0, 10.0, 40);
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 3.0 * x[i] - 1.0;
+  const auto fit = loess_smooth(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(fit[i], y[i], 1e-8);
+  }
+}
+
+TEST(Loess, SmoothsNoiseTowardTrend) {
+  Rng rng(7);
+  const auto x = linspace(0.0, 6.28, 100);
+  std::vector<double> clean(x.size()), noisy(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    clean[i] = std::sin(x[i]);
+    noisy[i] = clean[i] + rng.normal(0.0, 0.3);
+  }
+  const auto fit = loess_smooth(x, noisy, {.span = 0.3, .degree = 1});
+  double mse_noisy = 0.0, mse_fit = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mse_noisy += (noisy[i] - clean[i]) * (noisy[i] - clean[i]);
+    mse_fit += (fit[i] - clean[i]) * (fit[i] - clean[i]);
+  }
+  EXPECT_LT(mse_fit, mse_noisy * 0.5);
+}
+
+TEST(Loess, SpanOneUsesAllPoints) {
+  const auto x = linspace(0.0, 1.0, 10);
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] * x[i];
+  const auto fit = loess_smooth(x, y, {.span = 1.0, .degree = 1});
+  EXPECT_EQ(fit.size(), x.size());
+  for (double f : fit) EXPECT_TRUE(std::isfinite(f));
+}
+
+TEST(Loess, DegreeZeroIsLocalMean) {
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  const std::vector<double> y{0.0, 3.0, 6.0};
+  const auto fit = loess_smooth(x, y, {.span = 1.0, .degree = 0});
+  // Tricube weight of the farthest point is 0, so the middle fit averages
+  // mostly the middle point; all fits must lie within the data range.
+  for (double f : fit) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 6.0);
+  }
+}
+
+TEST(Loess, EvaluatesAtQueryPoints) {
+  const auto x = linspace(0.0, 10.0, 50);
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 2.0 * x[i] + 1.0;
+  const std::vector<double> xq{0.5, 5.25, 9.75};
+  const auto fit = loess_at(x, y, xq);
+  ASSERT_EQ(fit.size(), 3u);
+  for (std::size_t i = 0; i < xq.size(); ++i) {
+    EXPECT_NEAR(fit[i], 2.0 * xq[i] + 1.0, 1e-8);
+  }
+}
+
+TEST(Loess, HandlesDuplicateXValues) {
+  const std::vector<double> x{0.0, 1.0, 1.0, 1.0, 2.0};
+  const std::vector<double> y{0.0, 1.0, 2.0, 3.0, 4.0};
+  const auto fit = loess_smooth(x, y, {.span = 0.75, .degree = 1});
+  for (double f : fit) EXPECT_TRUE(std::isfinite(f));
+}
+
+TEST(Loess, ValidatesInputs) {
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  const std::vector<double> y{0.0, 1.0};
+  EXPECT_THROW(loess_smooth(x, y), Error);  // size mismatch
+  const std::vector<double> y3{0.0, 1.0, 2.0};
+  EXPECT_THROW(loess_smooth(x, y3, {.span = 0.0}), Error);
+  EXPECT_THROW(loess_smooth(x, y3, {.span = 1.5}), Error);
+  EXPECT_THROW(loess_smooth(x, y3, {.span = 0.75, .degree = 2}), Error);
+  const std::vector<double> unsorted{2.0, 0.0, 1.0};
+  EXPECT_THROW(loess_smooth(unsorted, y3), Error);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(loess_smooth(one, one), Error);
+}
+
+TEST(Loess, PaperSpanDefaultIs075) {
+  const LoessOptions opts;
+  EXPECT_DOUBLE_EQ(opts.span, 0.75);
+}
+
+}  // namespace
+}  // namespace stormtune

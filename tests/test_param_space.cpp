@@ -1,0 +1,143 @@
+#include "bayesopt/param_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace stormtune::bo {
+namespace {
+
+ParamSpace demo_space() {
+  return ParamSpace({
+      ParamSpec::integer("hint", 1, 30),
+      ParamSpec::real("multiplier", 0.1, 10.0, /*log_scale=*/true),
+      ParamSpec::real("fraction", 0.0, 1.0),
+  });
+}
+
+TEST(ParamSpace, DimAndLookup) {
+  const ParamSpace s = demo_space();
+  EXPECT_EQ(s.dim(), 3u);
+  EXPECT_EQ(s.index_of("multiplier"), 1u);
+  EXPECT_THROW(s.index_of("nope"), Error);
+}
+
+TEST(ParamSpace, FromUnitHitsBounds) {
+  const ParamSpace s = demo_space();
+  const ParamValues lo = s.from_unit(std::vector<double>{0.0, 0.0, 0.0});
+  const ParamValues hi = s.from_unit(std::vector<double>{1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(lo[0], 1.0);
+  EXPECT_DOUBLE_EQ(hi[0], 30.0);
+  EXPECT_NEAR(lo[1], 0.1, 1e-12);
+  EXPECT_NEAR(hi[1], 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(lo[2], 0.0);
+  EXPECT_DOUBLE_EQ(hi[2], 1.0);
+}
+
+TEST(ParamSpace, IntegerRounding) {
+  const ParamSpace s = demo_space();
+  const ParamValues v = s.from_unit(std::vector<double>{0.5, 0.5, 0.5});
+  EXPECT_DOUBLE_EQ(v[0], std::round(v[0]));
+  EXPECT_GE(v[0], 1.0);
+  EXPECT_LE(v[0], 30.0);
+}
+
+TEST(ParamSpace, LogScaleMidpointIsGeometricMean) {
+  const ParamSpace s = demo_space();
+  const ParamValues v = s.from_unit(std::vector<double>{0.0, 0.5, 0.0});
+  EXPECT_NEAR(v[1], 1.0, 1e-9);  // sqrt(0.1 * 10)
+}
+
+TEST(ParamSpace, UnitRoundTripForFloats) {
+  const ParamSpace s = demo_space();
+  const ParamValues v{7.0, 2.5, 0.3};
+  const auto u = s.to_unit(v);
+  const ParamValues back = s.from_unit(u);
+  EXPECT_DOUBLE_EQ(back[0], 7.0);
+  EXPECT_NEAR(back[1], 2.5, 1e-9);
+  EXPECT_NEAR(back[2], 0.3, 1e-12);
+}
+
+TEST(ParamSpace, ToUnitClampsOutOfRange) {
+  const ParamSpace s = demo_space();
+  const auto u = s.to_unit(std::vector<double>{100.0, 0.001, -5.0});
+  EXPECT_DOUBLE_EQ(u[0], 1.0);
+  EXPECT_DOUBLE_EQ(u[1], 0.0);
+  EXPECT_DOUBLE_EQ(u[2], 0.0);
+}
+
+TEST(ParamSpace, CanonicalizeRoundsAndClamps) {
+  const ParamSpace s = demo_space();
+  const ParamValues c = s.canonicalize({3.4, 99.0, 0.5});
+  EXPECT_DOUBLE_EQ(c[0], 3.0);
+  EXPECT_DOUBLE_EQ(c[1], 10.0);
+  EXPECT_DOUBLE_EQ(c[2], 0.5);
+}
+
+TEST(ParamSpace, SampleRespectsBoundsAndKinds) {
+  const ParamSpace s = demo_space();
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const ParamValues v = s.sample(rng);
+    EXPECT_GE(v[0], 1.0);
+    EXPECT_LE(v[0], 30.0);
+    EXPECT_DOUBLE_EQ(v[0], std::round(v[0]));
+    EXPECT_GE(v[1], 0.1);
+    EXPECT_LE(v[1], 10.0);
+    EXPECT_GE(v[2], 0.0);
+    EXPECT_LE(v[2], 1.0);
+  }
+}
+
+TEST(ParamSpace, LogScaleSamplingCoversDecades) {
+  // With log sampling, values below 1.0 (half the log range) appear about
+  // half the time even though they span only ~9% of the linear range.
+  const ParamSpace s(
+      {ParamSpec::real("m", 0.1, 10.0, /*log_scale=*/true)});
+  Rng rng(17);
+  int below_one = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (s.sample(rng)[0] < 1.0) ++below_one;
+  }
+  EXPECT_NEAR(static_cast<double>(below_one) / n, 0.5, 0.05);
+}
+
+TEST(ParamSpace, JsonRoundTrip) {
+  const ParamSpace s = demo_space();
+  const ParamSpace back = ParamSpace::from_json(s.to_json());
+  ASSERT_EQ(back.dim(), s.dim());
+  for (std::size_t i = 0; i < s.dim(); ++i) {
+    EXPECT_EQ(back.spec(i).name, s.spec(i).name);
+    EXPECT_EQ(back.spec(i).kind, s.spec(i).kind);
+    EXPECT_DOUBLE_EQ(back.spec(i).lo, s.spec(i).lo);
+    EXPECT_DOUBLE_EQ(back.spec(i).hi, s.spec(i).hi);
+    EXPECT_EQ(back.spec(i).log_scale, s.spec(i).log_scale);
+  }
+}
+
+TEST(ParamSpace, RejectsInvalidSpecs) {
+  EXPECT_THROW(ParamSpace(std::vector<ParamSpec>{}), Error);
+  EXPECT_THROW(ParamSpace({ParamSpec::real("bad", 2.0, 1.0)}), Error);
+  EXPECT_THROW(ParamSpace({ParamSpec::real("log0", 0.0, 1.0, true)}), Error);
+}
+
+TEST(ParamSpace, SingletonIntegerRangeAllowed) {
+  const ParamSpace s({ParamSpec::integer("fixed", 5, 5)});
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(s.sample(rng)[0], 5.0);
+  EXPECT_DOUBLE_EQ(s.to_unit(std::vector<double>{5.0})[0], 0.0);
+}
+
+TEST(ParamSpace, DescribeFormatsKindsCorrectly) {
+  const ParamSpace s = demo_space();
+  const std::string d = describe(s, {3.0, 2.5, 0.25});
+  EXPECT_NE(d.find("hint=3"), std::string::npos);
+  EXPECT_NE(d.find("multiplier=2.5"), std::string::npos);
+  EXPECT_NE(d.find("fraction=0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stormtune::bo

@@ -1,0 +1,187 @@
+#include "stormsim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "stormsim/engine.hpp"
+
+namespace stormtune::sim {
+namespace {
+
+Topology pipeline() {
+  Topology t;
+  const auto s = t.add_spout("S", 5.0);
+  const auto heavy = t.add_bolt("heavy", 50.0);
+  const auto light = t.add_bolt("light", 1.0);
+  t.connect(s, heavy);
+  t.connect(heavy, light);
+  return t;
+}
+
+TEST(Scheduler, RoundRobinMatchesStormEvenScheduler) {
+  const Topology t = pipeline();
+  const std::vector<int> hints{2, 3, 1};
+  const Assignment a =
+      assign_tasks(t, hints, /*ackers=*/2, /*workers=*/4,
+                   SchedulerPolicy::kRoundRobin, 0);
+  ASSERT_EQ(a.num_tasks(), 8u);  // 2 + 3 + 1 + 2 ackers
+  for (std::size_t i = 0; i < a.num_tasks(); ++i) {
+    EXPECT_EQ(a.task_worker[i], i % 4);
+  }
+  EXPECT_EQ(a.node_tasks[0].size(), 2u);
+  EXPECT_EQ(a.node_tasks[1].size(), 3u);
+  EXPECT_EQ(a.node_tasks[2].size(), 1u);
+  EXPECT_EQ(a.acker_tasks.size(), 2u);
+}
+
+TEST(Scheduler, TasksPerWorkerCountsEverything) {
+  const Topology t = pipeline();
+  const Assignment a = assign_tasks(t, {4, 4, 4}, 4, 4,
+                                    SchedulerPolicy::kRoundRobin, 0);
+  const auto counts = a.tasks_per_worker(4);
+  for (std::size_t c : counts) EXPECT_EQ(c, 4u);
+}
+
+TEST(Scheduler, RandomIsSeededAndInRange) {
+  const Topology t = pipeline();
+  const Assignment a = assign_tasks(t, {5, 5, 5}, 3, 7,
+                                    SchedulerPolicy::kRandom, 99);
+  const Assignment b = assign_tasks(t, {5, 5, 5}, 3, 7,
+                                    SchedulerPolicy::kRandom, 99);
+  EXPECT_EQ(a.task_worker, b.task_worker);
+  for (std::size_t w : a.task_worker) EXPECT_LT(w, 7u);
+  const Assignment c = assign_tasks(t, {5, 5, 5}, 3, 7,
+                                    SchedulerPolicy::kRandom, 100);
+  EXPECT_NE(a.task_worker, c.task_worker);
+}
+
+TEST(Scheduler, LoadAwareBalancesHeavyTasks) {
+  // One heavy node with 4 tasks, plenty of light ones: load-aware must not
+  // co-locate two heavy tasks while an empty worker exists.
+  Topology t;
+  const auto s = t.add_spout("S", 1.0);
+  const auto heavy = t.add_bolt("heavy", 100.0);
+  t.connect(s, heavy);
+  const Assignment a = assign_tasks(t, {1, 4}, 0, 4,
+                                    SchedulerPolicy::kLoadAware, 0);
+  std::vector<int> heavy_per_worker(4, 0);
+  for (std::size_t task : a.node_tasks[1]) {
+    ++heavy_per_worker[a.task_worker[task]];
+  }
+  EXPECT_EQ(*std::max_element(heavy_per_worker.begin(),
+                              heavy_per_worker.end()),
+            1);
+}
+
+TEST(Scheduler, LoadAwareSpreadsAckers) {
+  const Topology t = pipeline();
+  const Assignment a = assign_tasks(t, {1, 1, 1}, 8, 4,
+                                    SchedulerPolicy::kLoadAware, 0);
+  std::vector<int> ackers_per_worker(4, 0);
+  for (std::size_t task : a.acker_tasks) {
+    ++ackers_per_worker[a.task_worker[task]];
+  }
+  // 8 zero-load ackers over 4 workers: the tie-break spreads them 2 each.
+  for (int c : ackers_per_worker) EXPECT_EQ(c, 2);
+}
+
+TEST(Scheduler, RejectsBadArguments) {
+  const Topology t = pipeline();
+  EXPECT_THROW(assign_tasks(t, {1, 1, 1}, 0, 0,
+                            SchedulerPolicy::kRoundRobin, 0),
+               Error);
+  EXPECT_THROW(assign_tasks(t, {1, 1}, 0, 4,
+                            SchedulerPolicy::kRoundRobin, 0),
+               Error);
+  EXPECT_THROW(assign_tasks(t, {1, 0, 1}, 0, 4,
+                            SchedulerPolicy::kRoundRobin, 0),
+               Error);
+}
+
+TEST(Scheduler, PolicyNames) {
+  EXPECT_EQ(to_string(SchedulerPolicy::kRoundRobin), "round-robin");
+  EXPECT_EQ(to_string(SchedulerPolicy::kRandom), "random");
+  EXPECT_EQ(to_string(SchedulerPolicy::kLoadAware), "load-aware");
+}
+
+TEST(Scheduler, EnginePolicyChangesOutcomeOnTinyCluster) {
+  // With two machines and a skewed workload, placement matters; the three
+  // policies must all produce valid, positive-throughput runs.
+  const Topology t = pipeline();
+  ClusterSpec cluster;
+  cluster.num_machines = 2;
+  SimParams p;
+  p.duration_s = 10.0;
+  p.throughput_noise_sd = 0.0;
+  TopologyConfig c = uniform_hint_config(t, 4);
+  c.batch_size = 50;
+  for (const auto policy : {SchedulerPolicy::kRoundRobin,
+                            SchedulerPolicy::kRandom,
+                            SchedulerPolicy::kLoadAware}) {
+    p.scheduler = policy;
+    const auto r = simulate(t, c, cluster, p, 5);
+    EXPECT_GT(r.throughput_tuples_per_s, 0.0) << to_string(policy);
+  }
+}
+
+TEST(NodeStats, IdentifiesBottleneckNode) {
+  const Topology t = pipeline();
+  ClusterSpec cluster;
+  cluster.num_machines = 4;
+  SimParams p;
+  p.duration_s = 10.0;
+  p.throughput_noise_sd = 0.0;
+  TopologyConfig c = uniform_hint_config(t, 2);
+  c.batch_size = 50;
+  const auto r = simulate(t, c, cluster, p, 1);
+  ASSERT_EQ(r.node_stats.size(), 3u);
+  // The 50-unit bolt dominates: largest mean stage time and busy time.
+  EXPECT_EQ(r.bottleneck_node(), 1u);
+  EXPECT_EQ(r.node_stats[1].name, "heavy");
+  EXPECT_GT(r.node_stats[1].mean_stage_ms, r.node_stats[2].mean_stage_ms);
+  EXPECT_GT(r.node_stats[1].busy_core_ms, r.node_stats[2].busy_core_ms);
+  for (const auto& ns : r.node_stats) {
+    EXPECT_GT(ns.batches_processed, 0u);
+    EXPECT_GE(ns.max_stage_ms, ns.mean_stage_ms);
+    EXPECT_EQ(ns.tasks, 2u);
+  }
+}
+
+TEST(NodeStats, BottleneckShiftsWithTargetedParallelism) {
+  const Topology t = pipeline();
+  ClusterSpec cluster;
+  cluster.num_machines = 4;
+  SimParams p;
+  p.duration_s = 10.0;
+  p.throughput_noise_sd = 0.0;
+  // Give the heavy bolt 10 tasks and everything else 1: its stage time
+  // should drop well below the unparallelized baseline.
+  TopologyConfig c;
+  c.parallelism_hints = {1, 10, 1};
+  c.batch_size = 50;
+  const auto targeted = simulate(t, c, cluster, p, 1);
+  TopologyConfig flat_cfg = uniform_hint_config(t, 1);
+  flat_cfg.batch_size = 50;
+  const auto flat = simulate(t, flat_cfg, cluster, p, 1);
+  EXPECT_LT(targeted.node_stats[1].mean_stage_ms,
+            flat.node_stats[1].mean_stage_ms * 0.5);
+}
+
+TEST(NodeStats, CrashedRunHasNoStats) {
+  const Topology t = pipeline();
+  ClusterSpec cluster;
+  cluster.num_machines = 2;
+  cluster.memory_soft_bytes = 1024.0 * 1024;
+  SimParams p;
+  p.duration_s = 5.0;
+  p.task_memory_bytes = 256.0 * 1024 * 1024;
+  const auto r = simulate(t, uniform_hint_config(t, 100), cluster, p, 1);
+  ASSERT_TRUE(r.crashed);
+  EXPECT_EQ(r.bottleneck_node(), static_cast<std::size_t>(-1));
+}
+
+}  // namespace
+}  // namespace stormtune::sim

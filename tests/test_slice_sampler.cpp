@@ -1,0 +1,123 @@
+#include "gp/slice_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace stormtune::gp {
+namespace {
+
+TEST(SliceSampler, SamplesStandardNormal) {
+  Rng rng(1);
+  auto log_density = [](double x) { return -0.5 * x * x; };
+  double x = 0.0;
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    x = slice_sample_1d(log_density, x, rng);
+    if (i >= 500) samples.push_back(x);
+  }
+  const Summary s = summarize(samples);
+  EXPECT_NEAR(s.mean, 0.0, 0.1);
+  EXPECT_NEAR(s.stddev, 1.0, 0.1);
+}
+
+TEST(SliceSampler, SamplesShiftedDistribution) {
+  Rng rng(2);
+  auto log_density = [](double x) {
+    const double z = (x - 5.0) / 2.0;
+    return -0.5 * z * z;
+  };
+  double x = 0.0;
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    x = slice_sample_1d(log_density, x, rng);
+    if (i >= 500) samples.push_back(x);
+  }
+  const Summary s = summarize(samples);
+  EXPECT_NEAR(s.mean, 5.0, 0.25);
+  EXPECT_NEAR(s.stddev, 2.0, 0.25);
+}
+
+TEST(SliceSampler, RespectsHardSupportBounds) {
+  Rng rng(3);
+  // Uniform on [0, 1]: -inf outside.
+  auto log_density = [](double x) {
+    return (x >= 0.0 && x <= 1.0)
+               ? 0.0
+               : -std::numeric_limits<double>::infinity();
+  };
+  double x = 0.5;
+  for (int i = 0; i < 2000; ++i) {
+    x = slice_sample_1d(log_density, x, rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+  }
+}
+
+TEST(SliceSampler, NonFiniteStartReturnsUnchanged) {
+  Rng rng(4);
+  auto log_density = [](double) {
+    return -std::numeric_limits<double>::infinity();
+  };
+  EXPECT_DOUBLE_EQ(slice_sample_1d(log_density, 1.5, rng), 1.5);
+}
+
+TEST(SliceSampler, BimodalBothModesVisited) {
+  Rng rng(5);
+  auto log_density = [](double x) {
+    const double a = std::exp(-0.5 * (x - 3.0) * (x - 3.0));
+    const double b = std::exp(-0.5 * (x + 3.0) * (x + 3.0));
+    return std::log(a + b + 1e-300);
+  };
+  double x = 0.0;
+  int left = 0, right = 0;
+  SliceOptions opts;
+  opts.width = 4.0;  // wide enough to hop between modes
+  for (int i = 0; i < 4000; ++i) {
+    x = slice_sample_1d(log_density, x, rng, opts);
+    if (i >= 200) (x < 0.0 ? left : right)++;
+  }
+  EXPECT_GT(left, 300);
+  EXPECT_GT(right, 300);
+}
+
+TEST(SliceSweep, MultivariateGaussianMoments) {
+  Rng rng(6);
+  // Independent N(1, 1) and N(-2, 0.5^2).
+  auto log_density = [](const std::vector<double>& x) {
+    const double z0 = x[0] - 1.0;
+    const double z1 = (x[1] + 2.0) / 0.5;
+    return -0.5 * (z0 * z0 + z1 * z1);
+  };
+  std::vector<double> x{0.0, 0.0};
+  std::vector<double> s0, s1;
+  for (int i = 0; i < 4000; ++i) {
+    slice_sample_sweep(log_density, x, rng);
+    if (i >= 400) {
+      s0.push_back(x[0]);
+      s1.push_back(x[1]);
+    }
+  }
+  EXPECT_NEAR(mean(s0), 1.0, 0.15);
+  EXPECT_NEAR(mean(s1), -2.0, 0.1);
+  EXPECT_NEAR(summarize(s1).stddev, 0.5, 0.1);
+}
+
+TEST(SliceSweep, PreservesVectorSize) {
+  Rng rng(7);
+  auto log_density = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (double xi : x) s -= 0.5 * xi * xi;
+    return s;
+  };
+  std::vector<double> x(5, 0.0);
+  slice_sample_sweep(log_density, x, rng);
+  EXPECT_EQ(x.size(), 5u);
+}
+
+}  // namespace
+}  // namespace stormtune::gp

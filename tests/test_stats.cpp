@@ -1,0 +1,182 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace stormtune {
+namespace {
+
+TEST(Summarize, BasicMoments) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, SingleElement) {
+  const std::vector<double> xs{3.5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, EmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(summarize(xs), Error);
+}
+
+TEST(LogGamma, MatchesKnownValues) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  EXPECT_NEAR(log_gamma(10.5), std::lgamma(10.5), 1e-10);
+  EXPECT_NEAR(log_gamma(0.1), std::lgamma(0.1), 1e-10);
+  EXPECT_NEAR(log_gamma(100.0), std::lgamma(100.0), 1e-8);
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCase) {
+  // I_x(a, a) at x = 0.5 is exactly 0.5.
+  for (double a : {0.5, 1.0, 2.0, 7.5}) {
+    EXPECT_NEAR(regularized_incomplete_beta(a, a, 0.5), 0.5, 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.7, 0.99}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, RejectsBadArguments) {
+  EXPECT_THROW(regularized_incomplete_beta(0.0, 1.0, 0.5), Error);
+  EXPECT_THROW(regularized_incomplete_beta(1.0, 1.0, 1.5), Error);
+  EXPECT_THROW(regularized_incomplete_beta(1.0, 1.0, -0.5), Error);
+}
+
+TEST(StudentT, CdfAtZeroIsHalf) {
+  for (double df : {1.0, 2.0, 10.0, 100.0}) {
+    EXPECT_NEAR(student_t_cdf(0.0, df), 0.5, 1e-12);
+  }
+}
+
+TEST(StudentT, SymmetryAroundZero) {
+  for (double t : {0.5, 1.0, 2.5}) {
+    EXPECT_NEAR(student_t_cdf(t, 7.0) + student_t_cdf(-t, 7.0), 1.0, 1e-10);
+  }
+}
+
+TEST(StudentT, KnownQuantiles) {
+  // t = 2.776 is the 97.5% quantile at df = 4.
+  EXPECT_NEAR(student_t_cdf(2.776, 4.0), 0.975, 5e-4);
+  // t = 1.96 approaches the normal 97.5% quantile for large df.
+  EXPECT_NEAR(student_t_cdf(1.96, 1e6), 0.975, 1e-3);
+  // df = 1 is Cauchy: CDF(1) = 0.75.
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-10);
+}
+
+TEST(WelchTTest, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a{5.0, 6.0, 7.0, 8.0};
+  const TTestResult r = welch_t_test(a, a);
+  EXPECT_NEAR(r.t, 0.0, 1e-12);
+  EXPECT_GT(r.p_value, 0.99);
+  EXPECT_FALSE(r.significant_at(0.05));
+}
+
+TEST(WelchTTest, ClearlyDifferentMeansSignificant) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(5.0, 1.0));
+  }
+  const TTestResult r = welch_t_test(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_TRUE(r.significant_at(0.05));
+  EXPECT_LT(r.t, 0.0);  // mean(a) < mean(b)
+}
+
+TEST(WelchTTest, SameDistributionRarelySignificant) {
+  // Property: under H0, p-values should not be systematically small.
+  Rng rng(17);
+  int significant = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 15; ++i) {
+      a.push_back(rng.normal(2.0, 1.0));
+      b.push_back(rng.normal(2.0, 1.0));
+    }
+    if (welch_t_test(a, b).significant_at(0.05)) ++significant;
+  }
+  // Expect ~5% false positives; allow generous slack.
+  EXPECT_LT(significant, trials / 5);
+}
+
+TEST(WelchTTest, ConstantEqualSamples) {
+  const std::vector<double> a{3.0, 3.0, 3.0};
+  const std::vector<double> b{3.0, 3.0};
+  const TTestResult r = welch_t_test(a, b);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(WelchTTest, ConstantUnequalSamples) {
+  const std::vector<double> a{3.0, 3.0, 3.0};
+  const std::vector<double> b{4.0, 4.0};
+  const TTestResult r = welch_t_test(a, b);
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);
+}
+
+TEST(WelchTTest, RejectsTinySamples) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(welch_t_test(a, b), Error);
+}
+
+TEST(WelchTTest, DegreesOfFreedomEqualVarianceCase) {
+  // Equal sizes and variances: Welch df equals n1 + n2 - 2.
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 3.0, 4.0, 5.0};
+  const TTestResult r = welch_t_test(a, b);
+  EXPECT_NEAR(r.df, 6.0, 1e-9);
+}
+
+TEST(PearsonCorrelation, PerfectAndInverse) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStats) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+}
+
+}  // namespace
+}  // namespace stormtune

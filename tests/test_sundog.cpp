@@ -1,0 +1,142 @@
+#include "topology/sundog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stormsim/engine.hpp"
+#include "stormsim/fluid.hpp"
+#include "topology/synthetic.hpp"
+
+namespace stormtune::topo {
+namespace {
+
+TEST(Sundog, StructureMatchesFigure2) {
+  const sim::Topology t = build_sundog();
+  t.validate();
+  // One HDFS reader spout; Filter, PPS1-3, CNT1-5, DKVS1-2, FC1-7, M1-3,
+  // R1, HDFS writers.
+  EXPECT_EQ(t.spouts().size(), 1u);
+  EXPECT_EQ(t.num_nodes(), 25u);
+  // Count the Figure 2 stages by name prefix.
+  int pps = 0, cnt = 0, fc = 0, m = 0, dkvs = 0, hdfs = 0;
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    const std::string& name = t.node(v).name;
+    pps += name.rfind("PPS", 0) == 0;
+    cnt += name.rfind("CNT", 0) == 0;
+    fc += name.rfind("FC", 0) == 0;
+    m += name.rfind("M", 0) == 0 && name.size() == 2;
+    dkvs += name.rfind("DKVS", 0) == 0;
+    hdfs += name.rfind("HDFS", 0) == 0;
+  }
+  EXPECT_EQ(pps, 3);
+  EXPECT_EQ(cnt, 5);
+  EXPECT_EQ(fc, 7);
+  EXPECT_EQ(m, 3);
+  EXPECT_EQ(dkvs, 2);
+  EXPECT_EQ(hdfs, 3);
+  EXPECT_EQ(t.node(t.spouts()[0]).name, "HDFS1");
+}
+
+TEST(Sundog, FilterReducesVolume) {
+  const sim::Topology t = build_sundog();
+  const auto in = t.input_tuples_per_batch(1000.0);
+  // The filter ingests the full stream; everything behind it sees less.
+  std::size_t filter = 0, r1 = 0;
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    if (t.node(v).name == "Filter") filter = v;
+    if (t.node(v).name == "R1") r1 = v;
+  }
+  EXPECT_DOUBLE_EQ(in[filter], 1000.0);
+  EXPECT_LT(in[r1], 1000.0 * 0.5);
+  EXPECT_GT(in[r1], 0.0);
+}
+
+TEST(Sundog, BaselineConfigMatchesPaperDefaults) {
+  const sim::Topology t = build_sundog();
+  const sim::TopologyConfig c = sundog_baseline_config(t);
+  EXPECT_EQ(c.batch_size, 50000);        // 50k lines per mini-batch
+  EXPECT_EQ(c.batch_parallelism, 5);
+  EXPECT_EQ(c.worker_threads, 8);        // 4 cores -> pool of 8
+  EXPECT_EQ(c.receiver_threads, 1);      // Storm default
+  EXPECT_EQ(c.num_ackers, 0);            // default: one per worker
+  EXPECT_EQ(c.effective_ackers(80), 80);
+  for (int h : c.parallelism_hints) EXPECT_EQ(h, 11);
+}
+
+TEST(Sundog, BaselineThroughputInPaperBallpark) {
+  // Paper Fig. 8a: hand-tuned/pla configurations measure ~0.6M lines/s.
+  const sim::Topology t = build_sundog();
+  sim::SimParams p = sundog_sim_params();
+  p.duration_s = 30.0;
+  p.throughput_noise_sd = 0.0;
+  const auto r = sim::simulate(t, sundog_baseline_config(t),
+                               sundog_cluster(), p, 1);
+  EXPECT_GT(r.noiseless_throughput, 3.0e5);
+  EXPECT_LT(r.noiseless_throughput, 9.0e5);
+}
+
+TEST(Sundog, TunedBatchParamsGiveLargeGain) {
+  // Paper Fig. 8a: tuning batch size and batch parallelism lifted
+  // throughput by ~2.8x over the parallelism-only baseline.
+  const sim::Topology t = build_sundog();
+  sim::SimParams p = sundog_sim_params();
+  p.duration_s = 30.0;
+  p.throughput_noise_sd = 0.0;
+  const auto base = sim::simulate(t, sundog_baseline_config(t),
+                                  sundog_cluster(), p, 1);
+  sim::TopologyConfig tuned = sundog_baseline_config(t);
+  tuned.batch_size = 265312;  // the configuration the optimizer found
+  tuned.batch_parallelism = 16;
+  const auto best = sim::simulate(t, tuned, sundog_cluster(), p, 1);
+  EXPECT_GT(best.noiseless_throughput, base.noiseless_throughput * 1.8);
+  EXPECT_GT(best.noiseless_throughput, 1.0e6);
+}
+
+TEST(Sundog, ExtremeBatchConfigCollapses) {
+  // Unbounded batch growth must not pay off (the memory-pressure wall),
+  // otherwise the optimizer's search space would have no interior optimum.
+  const sim::Topology t = build_sundog();
+  sim::SimParams p = sundog_sim_params();
+  p.duration_s = 30.0;
+  p.throughput_noise_sd = 0.0;
+  sim::TopologyConfig extreme = sundog_baseline_config(t);
+  extreme.batch_size = 500000;
+  extreme.batch_parallelism = 32;
+  const auto r = sim::simulate(t, extreme, sundog_cluster(), p, 1);
+  sim::TopologyConfig tuned = sundog_baseline_config(t);
+  tuned.batch_size = 265312;
+  tuned.batch_parallelism = 16;
+  const auto good = sim::simulate(t, tuned, sundog_cluster(), p, 1);
+  EXPECT_LT(r.noiseless_throughput, good.noiseless_throughput * 0.5);
+}
+
+TEST(Sundog, HintOnlyTuningIsCommitBound) {
+  // Paper Fig. 8a "h" experiments: pla, bo and bo180 land within noise of
+  // each other because batch overhead, not parallelism, is binding.
+  const sim::Topology t = build_sundog();
+  const sim::SimParams p = sundog_sim_params();
+  sim::TopologyConfig c = sundog_baseline_config(t, 25);
+  const auto est = sim::fluid_estimate(t, c, sundog_cluster(), p);
+  EXPECT_EQ(est.bottleneck, sim::FluidEstimate::Bottleneck::kCommit);
+}
+
+TEST(Sundog, NetworkStaysUnsaturated) {
+  // Figure 3: the gigabit NICs were never the bottleneck.
+  const sim::Topology t = build_sundog();
+  sim::SimParams p = sundog_sim_params();
+  p.duration_s = 20.0;
+  const auto r = sim::simulate(t, sundog_baseline_config(t),
+                               sundog_cluster(), p, 1);
+  EXPECT_LT(r.peak_nic_utilization, 0.5);
+}
+
+TEST(Sundog, SimParamsCalibration) {
+  const sim::SimParams p = sundog_sim_params();
+  EXPECT_DOUBLE_EQ(p.duration_s, 120.0);
+  EXPECT_GT(p.commit_units_per_batch, 0.0);
+  const sim::ClusterSpec c = sundog_cluster();
+  EXPECT_EQ(c.num_machines, 80u);
+  EXPECT_LT(c.memory_soft_bytes, paper_cluster().memory_soft_bytes);
+}
+
+}  // namespace
+}  // namespace stormtune::topo

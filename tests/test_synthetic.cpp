@@ -1,0 +1,198 @@
+#include "topology/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "stormsim/engine.hpp"
+
+namespace stormtune::topo {
+namespace {
+
+TEST(Table2Params, MatchPaper) {
+  const auto small = table2_params(TopologySize::kSmall);
+  EXPECT_EQ(small.vertices, 10u);
+  EXPECT_EQ(small.layers, 4u);
+  EXPECT_DOUBLE_EQ(small.edge_probability, 0.40);
+  const auto medium = table2_params(TopologySize::kMedium);
+  EXPECT_EQ(medium.vertices, 50u);
+  EXPECT_EQ(medium.layers, 5u);
+  EXPECT_DOUBLE_EQ(medium.edge_probability, 0.08);
+  const auto large = table2_params(TopologySize::kLarge);
+  EXPECT_EQ(large.vertices, 100u);
+  EXPECT_EQ(large.layers, 10u);
+  EXPECT_DOUBLE_EQ(large.edge_probability, 0.04);
+}
+
+TEST(Table2PaperStats, MatchPaperRows) {
+  const auto s = table2_paper_stats(TopologySize::kMedium);
+  EXPECT_EQ(s.vertices, 50u);
+  EXPECT_EQ(s.edges, 88u);
+  EXPECT_EQ(s.sources, 17u);
+  EXPECT_EQ(s.sinks, 17u);
+  EXPECT_NEAR(s.avg_out_degree, 1.76, 1e-9);
+}
+
+TEST(BuildSynthetic, DeterministicPerSpec) {
+  SyntheticSpec spec;
+  spec.size = TopologySize::kMedium;
+  spec.time_imbalance = true;
+  spec.contention_fraction = 0.25;
+  const sim::Topology a = build_synthetic(spec);
+  const sim::Topology b = build_synthetic(spec);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (std::size_t v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(a.node(v).time_complexity, b.node(v).time_complexity);
+    EXPECT_EQ(a.node(v).contentious, b.node(v).contentious);
+  }
+}
+
+TEST(BuildSynthetic, SizesMatchTable2) {
+  for (auto size : {TopologySize::kSmall, TopologySize::kMedium,
+                    TopologySize::kLarge}) {
+    SyntheticSpec spec;
+    spec.size = size;
+    const sim::Topology t = build_synthetic(spec);
+    EXPECT_EQ(t.num_nodes(), table2_params(size).vertices);
+    t.validate();
+  }
+}
+
+TEST(BuildSynthetic, BalancedSpecHasConstantTimes) {
+  SyntheticSpec spec;
+  spec.size = TopologySize::kSmall;
+  const sim::Topology t = build_synthetic(spec);
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(t.node(v).time_complexity, 20.0);
+    EXPECT_FALSE(t.node(v).contentious);
+  }
+}
+
+TEST(BuildSynthetic, ImbalancedSpecVariesTimes) {
+  SyntheticSpec spec;
+  spec.size = TopologySize::kMedium;
+  spec.time_imbalance = true;
+  const sim::Topology t = build_synthetic(spec);
+  double lo = 1e300, hi = 0.0, sum = 0.0;
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    const double tc = t.node(v).time_complexity;
+    EXPECT_GE(tc, 0.0);
+    EXPECT_LE(tc, 40.0);  // uniform [0, 2 * mean)
+    lo = std::min(lo, tc);
+    hi = std::max(hi, tc);
+    sum += tc;
+  }
+  EXPECT_LT(lo, hi);
+  // Mean should sit near 20 (uniform 0-40).
+  EXPECT_NEAR(sum / static_cast<double>(t.num_nodes()), 20.0, 5.0);
+}
+
+TEST(ApplyContention, FlagsShareOfComputeUnits) {
+  // Section IV-B2's example: units-based selection, not node-count-based.
+  for (auto size : {TopologySize::kSmall, TopologySize::kMedium,
+                    TopologySize::kLarge}) {
+    SyntheticSpec spec;
+    spec.size = size;
+    spec.contention_fraction = 0.25;
+    const sim::Topology t = build_synthetic(spec);
+    double total = 0.0, flagged = 0.0;
+    for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+      total += t.node(v).time_complexity;
+      if (t.node(v).contentious) flagged += t.node(v).time_complexity;
+    }
+    const double share = flagged / total;
+    EXPECT_GE(share, 0.20);
+    EXPECT_LE(share, 0.45);  // greedy overshoot bounded by one node
+  }
+}
+
+TEST(ApplyContention, ZeroFractionFlagsNothing) {
+  SyntheticSpec spec;
+  spec.size = TopologySize::kSmall;
+  spec.contention_fraction = 0.0;
+  const sim::Topology t = build_synthetic(spec);
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    EXPECT_FALSE(t.node(v).contentious);
+  }
+}
+
+TEST(ApplyContention, NeverFlagsSpouts) {
+  SyntheticSpec spec;
+  spec.size = TopologySize::kMedium;
+  spec.contention_fraction = 0.25;
+  const sim::Topology t = build_synthetic(spec);
+  for (std::size_t v : t.spouts()) {
+    EXPECT_FALSE(t.node(v).contentious);
+  }
+}
+
+TEST(ApplyContention, RejectsBadFraction) {
+  SyntheticSpec spec;
+  const sim::Topology base = build_synthetic(spec);
+  sim::Topology t = base;
+  Rng rng(1);
+  EXPECT_THROW(apply_contention(t, -0.1, rng), Error);
+  EXPECT_THROW(apply_contention(t, 1.1, rng), Error);
+}
+
+TEST(TopologyFromDag, SourcesBecomeSpouts) {
+  Rng rng(3);
+  const graph::LayeredDag g =
+      graph::ggen_layer_by_layer({12, 3, 0.5}, rng);
+  const sim::Topology t = topology_from_dag(g, 15.0);
+  const auto sources = g.dag.sources();
+  EXPECT_EQ(t.spouts().size(), sources.size());
+  for (std::size_t s : sources) {
+    EXPECT_EQ(t.node(s).kind, sim::NodeKind::kSpout);
+  }
+  EXPECT_EQ(t.num_edges(), g.dag.num_edges());
+}
+
+TEST(PaperCluster, MatchesSectionIVC) {
+  const sim::ClusterSpec c = paper_cluster();
+  EXPECT_EQ(c.num_machines, 80u);
+  EXPECT_EQ(c.cores_per_machine, 4u);
+  EXPECT_EQ(c.total_cores(), 320u);
+  EXPECT_EQ(c.num_workers(), 80u);
+  EXPECT_NEAR(c.nic_bytes_per_sec / (1024.0 * 1024.0), 128.0, 1e-9);
+}
+
+TEST(SyntheticParams, PaperCalibration) {
+  const sim::SimParams p = synthetic_sim_params();
+  EXPECT_DOUBLE_EQ(p.compute_unit_ms, 1.0);  // 1 unit ~ 1 ms
+  EXPECT_DOUBLE_EQ(p.duration_s, 120.0);     // two-minute windows
+}
+
+// End-to-end sweep over all 12 synthetic workload cells of Figure 4: every
+// cell must simulate successfully with positive throughput at hint 2.
+class SyntheticCellSweep
+    : public ::testing::TestWithParam<std::tuple<TopologySize, bool, double>> {
+};
+
+TEST_P(SyntheticCellSweep, SimulatesPositiveThroughput) {
+  const auto [size, imbalance, contention] = GetParam();
+  SyntheticSpec spec;
+  spec.size = size;
+  spec.time_imbalance = imbalance;
+  spec.contention_fraction = contention;
+  const sim::Topology t = build_synthetic(spec);
+  sim::SimParams p = synthetic_sim_params();
+  p.duration_s = 15.0;
+  p.throughput_noise_sd = 0.0;
+  const sim::TopologyConfig c = sim::uniform_hint_config(t, 2);
+  const auto r = sim::simulate(t, c, paper_cluster(), p, 7);
+  EXPECT_GT(r.throughput_tuples_per_s, 0.0)
+      << to_string(size) << " imb=" << imbalance << " cont=" << contention;
+  EXPECT_FALSE(r.crashed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure4Cells, SyntheticCellSweep,
+    ::testing::Combine(::testing::Values(TopologySize::kSmall,
+                                         TopologySize::kMedium,
+                                         TopologySize::kLarge),
+                       ::testing::Bool(), ::testing::Values(0.0, 0.25)));
+
+}  // namespace
+}  // namespace stormtune::topo

@@ -1,0 +1,209 @@
+#include "stormsim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace stormtune::sim {
+namespace {
+
+// S -> B1 -> B2, S -> B2 (diamond-ish).
+Topology small_topology() {
+  Topology t;
+  const auto s = t.add_spout("S", 10.0);
+  const auto b1 = t.add_bolt("B1", 20.0);
+  const auto b2 = t.add_bolt("B2", 30.0);
+  t.connect(s, b1);
+  t.connect(s, b2);
+  t.connect(b1, b2);
+  return t;
+}
+
+TEST(Topology, NodeAccounting) {
+  const Topology t = small_topology();
+  EXPECT_EQ(t.num_nodes(), 3u);
+  EXPECT_EQ(t.num_edges(), 3u);
+  EXPECT_EQ(t.spouts(), std::vector<std::size_t>{0});
+  EXPECT_EQ(t.bolts(), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(t.node(0).kind, NodeKind::kSpout);
+  EXPECT_EQ(t.node(1).name, "B1");
+}
+
+TEST(Topology, ConnectRejectsBadEdges) {
+  Topology t;
+  const auto s = t.add_spout("S");
+  const auto b = t.add_bolt("B");
+  t.connect(s, b);
+  EXPECT_THROW(t.connect(b, s), Error);   // into a spout
+  EXPECT_THROW(t.connect(b, b), Error);   // self loop
+  EXPECT_THROW(t.connect(s, 99), Error);  // out of range
+}
+
+TEST(Topology, ConnectRejectsCycles) {
+  Topology t;
+  const auto s = t.add_spout("S");
+  const auto b1 = t.add_bolt("B1");
+  const auto b2 = t.add_bolt("B2");
+  t.connect(s, b1);
+  t.connect(b1, b2);
+  EXPECT_THROW(t.connect(b2, b1), Error);
+  // Failed connect must not corrupt state.
+  EXPECT_EQ(t.num_edges(), 2u);
+  t.validate();
+}
+
+TEST(Topology, ValidateRequiresSpout) {
+  Topology t;
+  t.add_bolt("lonely");
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Topology, ValidateRequiresReachability) {
+  Topology t;
+  t.add_spout("S");
+  t.add_bolt("unreachable");
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Topology, InputTuplesFollowEdges) {
+  const Topology t = small_topology();
+  const auto in = t.input_tuples_per_batch(100.0);
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_DOUBLE_EQ(in[0], 100.0);  // single spout takes the whole batch
+  EXPECT_DOUBLE_EQ(in[1], 100.0);  // from S
+  EXPECT_DOUBLE_EQ(in[2], 200.0);  // from S and B1 (full streams both)
+}
+
+TEST(Topology, SelectivityScalesDownstream) {
+  Topology t;
+  const auto s = t.add_spout("S", 1.0);
+  const auto f = t.add_bolt("F", 1.0, false, 0.25);  // filter keeps 25%
+  const auto b = t.add_bolt("B", 1.0);
+  t.connect(s, f);
+  t.connect(f, b);
+  const auto in = t.input_tuples_per_batch(400.0);
+  EXPECT_DOUBLE_EQ(in[s], 400.0);
+  EXPECT_DOUBLE_EQ(in[f], 400.0);
+  EXPECT_DOUBLE_EQ(in[b], 100.0);
+  const auto out = t.emitted_tuples_per_batch(400.0);
+  EXPECT_DOUBLE_EQ(out[f], 100.0);
+}
+
+TEST(Topology, MultipleSpoutsSplitBatch) {
+  Topology t;
+  const auto s1 = t.add_spout("S1");
+  const auto s2 = t.add_spout("S2");
+  const auto b = t.add_bolt("B");
+  t.connect(s1, b);
+  t.connect(s2, b);
+  const auto in = t.input_tuples_per_batch(100.0);
+  EXPECT_DOUBLE_EQ(in[s1], 50.0);
+  EXPECT_DOUBLE_EQ(in[s2], 50.0);
+  EXPECT_DOUBLE_EQ(in[b], 100.0);
+}
+
+TEST(Topology, SplitOutputDividesOverEdges) {
+  Topology t;
+  const auto s = t.add_spout("S");
+  const auto a = t.add_bolt("A");
+  const auto b = t.add_bolt("B");
+  t.connect(s, a);
+  t.connect(s, b);
+  t.node(s).split_output = true;
+  const auto in = t.input_tuples_per_batch(100.0);
+  EXPECT_DOUBLE_EQ(in[a], 50.0);
+  EXPECT_DOUBLE_EQ(in[b], 50.0);
+  const auto per_edge = t.edge_tuples_per_batch(100.0);
+  EXPECT_DOUBLE_EQ(per_edge[0], 50.0);
+  EXPECT_DOUBLE_EQ(per_edge[1], 50.0);
+}
+
+TEST(Topology, DuplicateOutputCopiesPerSubscriber) {
+  Topology t;
+  const auto s = t.add_spout("S");
+  const auto a = t.add_bolt("A");
+  const auto b = t.add_bolt("B");
+  t.connect(s, a);
+  t.connect(s, b);
+  // Default Storm subscriber semantics: both bolts get the full stream.
+  const auto in = t.input_tuples_per_batch(100.0);
+  EXPECT_DOUBLE_EQ(in[a], 100.0);
+  EXPECT_DOUBLE_EQ(in[b], 100.0);
+  const auto per_edge = t.edge_tuples_per_batch(100.0);
+  EXPECT_DOUBLE_EQ(per_edge[0], 100.0);
+  EXPECT_DOUBLE_EQ(per_edge[1], 100.0);
+}
+
+TEST(Topology, SplitOutputConservesTuplesThroughChain) {
+  // With split semantics and selectivity 1, total inflow at each layer of
+  // a layered split topology equals the batch size.
+  Topology t;
+  const auto s = t.add_spout("S");
+  const auto a = t.add_bolt("A");
+  const auto b = t.add_bolt("B");
+  const auto c = t.add_bolt("C");
+  t.connect(s, a);
+  t.connect(s, b);
+  t.connect(a, c);
+  t.connect(b, c);
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    t.node(v).split_output = true;
+  }
+  const auto in = t.input_tuples_per_batch(100.0);
+  EXPECT_DOUBLE_EQ(in[a] + in[b], 100.0);
+  EXPECT_DOUBLE_EQ(in[c], 100.0);
+}
+
+TEST(Topology, BaseParallelismWeights) {
+  // Paper Section V-A: spouts weigh 1; bolts sum their parents' weights.
+  const Topology t = small_topology();
+  const auto w = t.base_parallelism_weights();
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+  EXPECT_DOUBLE_EQ(w[2], 2.0);  // S (1) + B1 (1)
+}
+
+TEST(Topology, BaseWeightsCountEdgeMultiplicity) {
+  Topology t;
+  const auto s = t.add_spout("S");
+  const auto a = t.add_bolt("A");
+  const auto b = t.add_bolt("B");
+  const auto c = t.add_bolt("C");
+  t.connect(s, a);
+  t.connect(s, b);
+  t.connect(a, c);
+  t.connect(b, c);
+  const auto w = t.base_parallelism_weights();
+  EXPECT_DOUBLE_EQ(w[c], 2.0);
+}
+
+TEST(Topology, ComputeUnitsPerBatch) {
+  const Topology t = small_topology();
+  // in = {100, 100, 200}; tc = {10, 20, 30} -> 1000 + 2000 + 6000.
+  EXPECT_DOUBLE_EQ(t.compute_units_per_batch(100.0), 9000.0);
+}
+
+TEST(Topology, TopologicalOrderValid) {
+  const Topology t = small_topology();
+  const auto order = t.topological_order();
+  std::vector<std::size_t> pos(3);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[2]);
+}
+
+TEST(Topology, RejectsNegativeAttributes) {
+  Topology t;
+  EXPECT_THROW(t.add_spout("S", -1.0), Error);
+  EXPECT_THROW(t.add_bolt("B", 1.0, false, -0.5), Error);
+}
+
+TEST(Topology, GroupingNames) {
+  EXPECT_EQ(to_string(Grouping::kShuffle), "shuffle");
+  EXPECT_EQ(to_string(Grouping::kFields), "fields");
+  EXPECT_EQ(to_string(Grouping::kGlobal), "global");
+  EXPECT_EQ(to_string(Grouping::kAll), "all");
+}
+
+}  // namespace
+}  // namespace stormtune::sim

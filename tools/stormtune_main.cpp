@@ -1,0 +1,310 @@
+// stormtune — command-line driver for the library.
+//
+//   stormtune list
+//   stormtune info <topology>
+//   stormtune dot <topology>
+//   stormtune simulate <topology> [options]
+//   stormtune tune <topology> [options]
+//
+// Topologies: small | medium | large (the paper's synthetic benchmarks,
+// with --tiim / --contention modifiers), sundog, linear_road,
+// dissemination, linear_road_compact, debs13.
+//
+// simulate options: --hint=N --bs=N --bp=N --wt=N --rt=N --ackers=N
+//                   --max-tasks=N --duration=S --seed=N
+// tune options:     --strategy=pla|ipla|bo|ibo|random --steps=N --reps=N
+//                   --what=h|h,batch|h,batch,cc|batch,cc --seed=N
+//                   --json=FILE --csv=FILE
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "stormsim/dot.hpp"
+#include "stormsim/engine.hpp"
+#include "stormsim/fluid.hpp"
+#include "topology/literature.hpp"
+#include "topology/sundog.hpp"
+#include "topology/synthetic.hpp"
+#include "tuning/experiment.hpp"
+#include "tuning/report.hpp"
+
+namespace {
+
+using namespace stormtune;
+
+struct Options {
+  std::string topology;
+  bool tiim = false;
+  double contention = 0.0;
+  int hint = 4;
+  int batch_size = 0;  // 0 = topology default
+  int batch_parallelism = 5;
+  int worker_threads = 8;
+  int receiver_threads = 1;
+  int ackers = 0;
+  int max_tasks = 0;
+  double duration_s = 20.0;
+  std::uint64_t seed = 1;
+  std::string strategy = "bo";
+  std::size_t steps = 30;
+  std::size_t reps = 10;
+  std::string what = "h";
+  std::string json_path;
+  std::string csv_path;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: stormtune <list|info|dot|simulate|tune> [topology] [options]\n"
+      "topologies: small medium large sundog linear_road dissemination\n"
+      "            linear_road_compact debs13\n"
+      "see the header of tools/stormtune_main.cpp for all options\n");
+  std::exit(2);
+}
+
+const char* value_of(const char* arg, const char* key) {
+  const std::size_t n = std::strlen(key);
+  if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+Options parse(int argc, char** argv, int first) {
+  Options o;
+  if (first < argc && argv[first][0] != '-') o.topology = argv[first++];
+  for (int i = first; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--tiim") == 0) o.tiim = true;
+    else if (const char* v = value_of(a, "--contention")) o.contention = std::stod(v);
+    else if (const char* v = value_of(a, "--hint")) o.hint = std::stoi(v);
+    else if (const char* v = value_of(a, "--bs")) o.batch_size = std::stoi(v);
+    else if (const char* v = value_of(a, "--bp")) o.batch_parallelism = std::stoi(v);
+    else if (const char* v = value_of(a, "--wt")) o.worker_threads = std::stoi(v);
+    else if (const char* v = value_of(a, "--rt")) o.receiver_threads = std::stoi(v);
+    else if (const char* v = value_of(a, "--ackers")) o.ackers = std::stoi(v);
+    else if (const char* v = value_of(a, "--max-tasks")) o.max_tasks = std::stoi(v);
+    else if (const char* v = value_of(a, "--duration")) o.duration_s = std::stod(v);
+    else if (const char* v = value_of(a, "--seed")) o.seed = std::stoull(v);
+    else if (const char* v = value_of(a, "--strategy")) o.strategy = v;
+    else if (const char* v = value_of(a, "--steps")) o.steps = std::stoul(v);
+    else if (const char* v = value_of(a, "--reps")) o.reps = std::stoul(v);
+    else if (const char* v = value_of(a, "--what")) o.what = v;
+    else if (const char* v = value_of(a, "--json")) o.json_path = v;
+    else if (const char* v = value_of(a, "--csv")) o.csv_path = v;
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", a);
+      usage();
+    }
+  }
+  return o;
+}
+
+struct Workload {
+  sim::Topology topology;
+  sim::ClusterSpec cluster;
+  sim::SimParams params;
+  int default_batch_size;
+};
+
+Workload load_workload(const Options& o) {
+  Workload w;
+  w.cluster = topo::paper_cluster();
+  w.params = topo::synthetic_sim_params();
+  w.default_batch_size = 200;
+  if (o.topology == "small" || o.topology == "medium" ||
+      o.topology == "large") {
+    topo::SyntheticSpec spec;
+    spec.size = o.topology == "small" ? topo::TopologySize::kSmall
+                : o.topology == "medium" ? topo::TopologySize::kMedium
+                                         : topo::TopologySize::kLarge;
+    spec.time_imbalance = o.tiim;
+    spec.contention_fraction = o.contention;
+    w.topology = topo::build_synthetic(spec);
+  } else if (o.topology == "sundog") {
+    w.topology = topo::build_sundog();
+    w.cluster = topo::sundog_cluster();
+    w.params = topo::sundog_sim_params();
+    w.default_batch_size = 50000;
+  } else if (o.topology == "linear_road") {
+    w.topology = topo::build_linear_road();
+    w.default_batch_size = 1000;
+  } else if (o.topology == "dissemination") {
+    w.topology = topo::build_dissemination();
+    w.default_batch_size = 1000;
+  } else if (o.topology == "linear_road_compact") {
+    w.topology = topo::build_linear_road_compact();
+    w.default_batch_size = 1000;
+  } else if (o.topology == "debs13") {
+    w.topology = topo::build_debs13();
+    w.default_batch_size = 1000;
+  } else {
+    std::fprintf(stderr, "unknown topology '%s'\n", o.topology.c_str());
+    usage();
+  }
+  w.params.duration_s = o.duration_s;
+  return w;
+}
+
+sim::TopologyConfig config_from_options(const Options& o, const Workload& w) {
+  sim::TopologyConfig c = sim::uniform_hint_config(w.topology, o.hint);
+  c.batch_size = o.batch_size > 0 ? o.batch_size : w.default_batch_size;
+  c.batch_parallelism = o.batch_parallelism;
+  c.worker_threads = o.worker_threads;
+  c.receiver_threads = o.receiver_threads;
+  c.num_ackers = o.ackers;
+  c.max_tasks = o.max_tasks;
+  return c;
+}
+
+int cmd_list() {
+  std::printf(
+      "small                10-node synthetic benchmark (Table II)\n"
+      "medium               50-node synthetic benchmark (Table II)\n"
+      "large                100-node synthetic benchmark (Table II)\n"
+      "sundog               entity-ranking application (Fig. 2)\n"
+      "linear_road          Linear Road benchmark, 60 operators\n"
+      "dissemination        Aurora data-dissemination problem, 40 operators\n"
+      "linear_road_compact  2013 Linear Road reformulation, 7 operators\n"
+      "debs13               DEBS'13 Grand Challenge query, 3 operators\n");
+  return 0;
+}
+
+int cmd_info(const Options& o) {
+  const Workload w = load_workload(o);
+  const auto weights = w.topology.base_parallelism_weights();
+  std::printf("%s: %zu nodes (%zu spouts), %zu streams\n",
+              o.topology.c_str(), w.topology.num_nodes(),
+              w.topology.spouts().size(), w.topology.num_edges());
+  std::printf("%-28s %6s %12s %6s %8s\n", "node", "kind", "units/tuple",
+              "sel", "weight");
+  for (std::size_t v = 0; v < w.topology.num_nodes(); ++v) {
+    const sim::Node& n = w.topology.node(v);
+    std::printf("%-28s %6s %12.4f %6.2f %8.1f%s\n", n.name.c_str(),
+                n.kind == sim::NodeKind::kSpout ? "spout" : "bolt",
+                n.time_complexity, n.selectivity, weights[v],
+                n.contentious ? "  [contentious]" : "");
+  }
+  return 0;
+}
+
+int cmd_dot(const Options& o) {
+  const Workload w = load_workload(o);
+  std::printf("%s", sim::to_dot(w.topology).c_str());
+  return 0;
+}
+
+int cmd_simulate(const Options& o) {
+  const Workload w = load_workload(o);
+  const sim::TopologyConfig config = config_from_options(o, w);
+  const auto r = sim::simulate(w.topology, config, w.cluster, w.params,
+                               o.seed);
+  const auto fluid = sim::fluid_estimate(w.topology, config, w.cluster,
+                                         w.params);
+  std::printf("config:       %s\n", config.describe().c_str());
+  if (r.crashed) {
+    std::printf("CRASHED: deployment exceeded the hard memory limit "
+                "(zero performance)\n");
+    return 1;
+  }
+  std::printf("throughput:   %.1f tuples/s (fluid bound %.1f)\n",
+              r.throughput_tuples_per_s, fluid.throughput_tuples_per_s);
+  std::printf("batches:      %zu committed / %zu emitted, latency %.0f ms\n",
+              r.batches_committed, r.batches_emitted,
+              r.mean_batch_latency_ms);
+  std::printf("cluster:      cpu %.1f%%, network %.3f MB/s per worker "
+              "(peak NIC %.1f%%), %zu tasks\n",
+              r.cpu_utilization * 100.0,
+              r.network_bytes_per_s_per_worker / (1024.0 * 1024.0),
+              r.peak_nic_utilization * 100.0, r.total_tasks);
+  const std::size_t b = r.bottleneck_node();
+  if (b != static_cast<std::size_t>(-1)) {
+    std::printf("bottleneck:   %s (mean stage %.1f ms over %zu tasks)\n",
+                r.node_stats[b].name.c_str(), r.node_stats[b].mean_stage_ms,
+                r.node_stats[b].tasks);
+  }
+  return 0;
+}
+
+int cmd_tune(const Options& o) {
+  const Workload w = load_workload(o);
+  sim::TopologyConfig defaults = config_from_options(o, w);
+
+  tuning::SpaceOptions sopts;
+  sopts.tune_hints = o.what.find('h') != std::string::npos;
+  sopts.tune_batch = o.what.find("batch") != std::string::npos;
+  sopts.tune_concurrency = o.what.find("cc") != std::string::npos;
+  sopts.informed = o.strategy == "ibo";
+
+  std::unique_ptr<tuning::Tuner> tuner;
+  if (o.strategy == "pla" || o.strategy == "ipla") {
+    tuner = std::make_unique<tuning::PlaTuner>(w.topology, defaults,
+                                               o.strategy == "ipla");
+  } else if (o.strategy == "random") {
+    tuner = std::make_unique<tuning::RandomTuner>(
+        tuning::ConfigSpace(w.topology, sopts, defaults), o.seed);
+  } else if (o.strategy == "bo" || o.strategy == "ibo") {
+    bo::BayesOptOptions bopts;
+    bopts.seed = o.seed;
+    tuner = std::make_unique<tuning::BayesTuner>(
+        tuning::ConfigSpace(w.topology, sopts, defaults), bopts, o.strategy);
+  } else {
+    std::fprintf(stderr, "unknown strategy '%s'\n", o.strategy.c_str());
+    usage();
+  }
+
+  tuning::SimObjective objective(w.topology, w.cluster, w.params, o.seed);
+  tuning::ExperimentOptions protocol;
+  protocol.max_steps = o.steps;
+  protocol.best_config_reps = o.reps;
+
+  std::printf("tuning %s with %s over {%s}, %zu steps...\n",
+              o.topology.c_str(), o.strategy.c_str(), o.what.c_str(),
+              o.steps);
+  const tuning::ExperimentResult r =
+      tuning::run_experiment(*tuner, objective, protocol);
+
+  std::printf("best:         %.1f tuples/s (mean of %zu reps; min %.1f, "
+              "max %.1f)\n",
+              r.best_rep_stats.mean, r.best_rep_stats.n, r.best_rep_stats.min,
+              r.best_rep_stats.max);
+  std::printf("found at:     step %zu of %zu\n", r.best_step,
+              r.trace.size());
+  std::printf("config:       %s\n", r.best_config.describe().c_str());
+  std::printf("tuner cost:   %.3f s/step mean, %.3f s max\n",
+              r.mean_suggest_seconds, r.max_suggest_seconds);
+
+  if (!o.json_path.empty()) {
+    std::ofstream out(o.json_path);
+    out << tuning::experiment_to_json(r).dump(2);
+    std::printf("wrote %s\n", o.json_path.c_str());
+  }
+  if (!o.csv_path.empty()) {
+    std::ofstream out(o.csv_path);
+    out << tuning::trace_to_csv(r);
+    std::printf("wrote %s\n", o.csv_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    const Options o = parse(argc, argv, 2);
+    if (o.topology.empty()) usage();
+    if (cmd == "info") return cmd_info(o);
+    if (cmd == "dot") return cmd_dot(o);
+    if (cmd == "simulate") return cmd_simulate(o);
+    if (cmd == "tune") return cmd_tune(o);
+    usage();
+  } catch (const stormtune::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
