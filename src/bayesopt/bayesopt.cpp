@@ -60,6 +60,7 @@ Json BayesOptOptions::to_json() const {
   o["ucb_beta"] = ucb_beta;
   o["fixed_noise_variance"] = fixed_noise_variance;
   o["seed"] = static_cast<double>(seed);
+  o["num_threads"] = num_threads;
   return Json(std::move(o));
 }
 
@@ -79,11 +80,20 @@ BayesOptOptions BayesOptOptions::from_json(const Json& j) {
   o.ucb_beta = j.at("ucb_beta").as_number();
   o.fixed_noise_variance = j.at("fixed_noise_variance").as_number();
   o.seed = static_cast<std::uint64_t>(j.at("seed").as_number());
+  // Absent in states saved before the threading option existed.
+  o.num_threads = j.contains("num_threads")
+                      ? static_cast<std::size_t>(j.at("num_threads").as_int())
+                      : 0;
   return o;
 }
 
 BayesOpt::BayesOpt(ParamSpace space, BayesOptOptions options)
-    : space_(std::move(space)), options_(options), rng_(options.seed) {
+    : space_(std::move(space)),
+      options_(options),
+      rng_(options.seed),
+      pool_(std::make_shared<ThreadPool>(
+          options.num_threads > 0 ? options.num_threads
+                                  : ThreadPool::default_thread_count())) {
   STORMTUNE_REQUIRE(options_.hyper_samples > 0,
                     "BayesOpt: hyper_samples must be > 0");
   STORMTUNE_REQUIRE(options_.num_candidates > 0,
@@ -98,16 +108,104 @@ struct BayesOpt::Surrogate {
   double y_scale = 1.0;
   double best_standardized = 0.0;
 
-  /// Acquisition averaged over the hyperparameter samples.
+  /// All GPs are refits of one regressor on the same X, differing only in
+  /// hyperparameters, so for non-ARD kernels a candidate's unscaled squared
+  /// distances to the training inputs are identical across GPs: the scoring
+  /// paths below compute that block once and let each GP finish it with its
+  /// own lengthscale/amplitude instead of redoing the O(n·d) diff loop
+  /// per GP.
+  bool shares_distances() const {
+    return !gps.empty() && !gps.front().kernel().ard();
+  }
+
+  /// Average the acquisition over the GPs given the candidates' shared
+  /// unscaled squared-distance block (one row per candidate).
+  void score_from_sq_dists(const BayesOptOptions& opts, const Matrix& d2,
+                           std::span<double> out) const {
+    std::fill(out.begin(), out.end(), 0.0);
+    std::vector<gp::Prediction> preds;
+    for (const auto& g : gps) {
+      g.predict_from_sq_dist_rows(d2, preds);
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        out[i] += acquisition_value(opts.acquisition, preds[i].mean,
+                                    preds[i].variance, best_standardized,
+                                    opts.xi, opts.ucb_beta);
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(gps.size());
+    for (auto& v : out) v *= inv;
+  }
+
+  /// Acquisition averaged over the hyperparameter samples for rows
+  /// [lo, hi) of `cands`, written to out[0..hi-lo). Scores each GP against
+  /// the whole row range in one pass, so the Cholesky factor and training
+  /// inputs of one GP stay hot instead of being evicted candidate-by-
+  /// candidate. Read-only on the GPs: shards may run this concurrently on
+  /// disjoint row ranges.
+  void acquisition_rows(const BayesOptOptions& opts, const Matrix& cands,
+                        std::size_t lo, std::size_t hi,
+                        std::span<double> out) const {
+    if (shares_distances()) {
+      Matrix d2;
+      gps.front().unscaled_sq_dist_rows(cands, lo, hi, d2);
+      score_from_sq_dists(opts, d2, out);
+      return;
+    }
+    std::fill(out.begin(), out.end(), 0.0);
+    std::vector<gp::Prediction> preds;
+    for (const auto& g : gps) {
+      g.predict_rows(cands, lo, hi, preds);
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        out[i] += acquisition_value(opts.acquisition, preds[i].mean,
+                                    preds[i].variance, best_standardized,
+                                    opts.xi, opts.ucb_beta);
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(gps.size());
+    for (auto& v : out) v *= inv;
+  }
+
+  /// Variant for the local-search neighborhood, where row r of `nb` equals
+  /// `cur` except in coordinate r/2: each row's squared distances are an
+  /// O(n) update of the center's (precomputed in `base_d2`, 1×n) instead of
+  /// an O(n·d) recomputation. ARD kernels take the generic path.
+  void acquisition_neighbor_rows(const BayesOptOptions& opts,
+                                 std::span<const double> cur,
+                                 const Matrix& base_d2, const Matrix& nb,
+                                 std::size_t lo, std::size_t hi,
+                                 std::span<double> out) const {
+    if (!shares_distances()) {
+      acquisition_rows(opts, nb, lo, hi, out);
+      return;
+    }
+    const Matrix& x = gps.front().inputs();
+    const std::size_t n = x.rows();
+    const auto base = base_d2.row(0);
+    Matrix d2(hi - lo, n);
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::size_t j = r / 2;
+      const double cj = cur[j];
+      const double vj = nb(r, j);
+      const auto drow = d2.row(r - lo);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double old_diff = cj - x(i, j);
+        const double new_diff = vj - x(i, j);
+        const double s = base[i] - old_diff * old_diff + new_diff * new_diff;
+        drow[i] = s < 0.0 ? 0.0 : s;  // guard rounding from the subtraction
+      }
+    }
+    score_from_sq_dists(opts, d2, out);
+  }
+
+  /// Single-point convenience used by tests; identical math to the batch.
   double acquisition(const BayesOptOptions& opts,
                      std::span<const double> u) const {
-    double acc = 0.0;
-    for (const auto& g : gps) {
-      const gp::Prediction p = g.predict(u);
-      acc += acquisition_value(opts.acquisition, p.mean, p.variance,
-                               best_standardized, opts.xi, opts.ucb_beta);
-    }
-    return acc / static_cast<double>(gps.size());
+    Matrix q(1, u.size());
+    const auto row = q.row(0);
+    for (std::size_t j = 0; j < u.size(); ++j) row[j] = u[j];
+    double out = 0.0;
+    acquisition_rows(opts, q, 0, 1, std::span<double>(&out, 1));
+    return out;
   }
 };
 
@@ -138,8 +236,23 @@ BayesOpt::Surrogate BayesOpt::fit_surrogate() {
 
   switch (options_.hyper_mode) {
     case HyperMode::kFixed: {
-      gp.fit(x, y);
-      s.gps.push_back(std::move(gp));
+      // Hyperparameters never change in this mode, so the surrogate is kept
+      // across calls: an unchanged history is reused outright and a single
+      // new observation is an O(n²) Cholesky rank-grow instead of the O(n³)
+      // refactorization. The constant-liar loop in suggest_batch hits the
+      // append path on every iteration.
+      if (fixed_gp_ && fixed_gp_->fitted() &&
+          fixed_gp_->num_observations() + 1 == n) {
+        fixed_gp_->append_observation(x.row(n - 1), y);
+      } else if (!(fixed_gp_ && fixed_gp_->fitted() &&
+                   fixed_gp_->num_observations() == n)) {
+        gp.fit(x, y);
+        fixed_gp_ = std::move(gp);
+      } else {
+        // Same history as the previous call (e.g. repeated suggest() without
+        // observe()): the standardized targets are identical, reuse as-is.
+      }
+      s.gps.push_back(*fixed_gp_);
       break;
     }
     case HyperMode::kMle: {
@@ -154,32 +267,37 @@ BayesOpt::Surrogate BayesOpt::fit_surrogate() {
       hs.burn_in = options_.hyper_burn_in;
       hs.thin = 1;
       const auto samples = gp::sample_hyperparams(gp, x, y, hs, rng_);
-      s.gps.reserve(samples.size());
-      for (const auto& sample : samples) {
-        gp::GpRegressor g(gp::Kernel(options_.kernel, d, options_.ard),
-                          options_.fixed_noise_variance, 0.0);
-        gp::apply_hyperparams(g, sample.theta, x, y);
-        s.gps.push_back(std::move(g));
-      }
+      // One refit per retained sample, each an independent O(n³) Cholesky.
+      // The copies share the sampler GP's distance cache, so the refits skip
+      // the O(n²·d) pairwise loop; the pool runs one shard per sample (no
+      // RNG involved, hence deterministic for any thread count).
+      s.gps.assign(samples.size(), gp);
+      pool_->parallel_for(samples.size(), [&](std::size_t i) {
+        gp::apply_hyperparams(s.gps[i], samples[i].theta, x, y);
+      });
       break;
     }
   }
   return s;
 }
 
+namespace {
+
+/// Serial argmax with a lowest-index tie-break, so the winner does not
+/// depend on the order shards finished.
+std::size_t argmax_index(const std::vector<double>& v) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
 std::vector<double> BayesOpt::maximize_acquisition(Surrogate& surrogate) {
   const std::size_t d = space_.dim();
-
-  std::vector<double> best_u(d);
-  double best_val = -std::numeric_limits<double>::infinity();
-
-  auto consider = [&](const std::vector<double>& u) {
-    const double v = surrogate.acquisition(options_, u);
-    if (v > best_val) {
-      best_val = v;
-      best_u = u;
-    }
-  };
+  const std::size_t num_cands = options_.num_candidates;
 
   // Random multistart with three candidate families:
   //  * global uniform draws (exploration);
@@ -188,55 +306,98 @@ std::vector<double> BayesOpt::maximize_acquisition(Surrogate& surrogate) {
   //    keep the rest. In the 50-100-dimensional hint spaces dense
   //    perturbations barely move and uniform draws never land near the
   //    incumbent, so sparse moves are what make local progress possible.
+  //
+  // Generation and scoring are sharded over the pool. Everything a shard
+  // does is a pure function of (base_seed, shard index): the shard count is
+  // fixed, each shard draws from its own Rng stream and writes disjoint
+  // rows of `cands`/`scores`, and the merge below is serial — so suggest()
+  // is bitwise-identical for any thread count.
   const BestResult incumbent = best();
   const std::vector<double> inc_u = space_.to_unit(incumbent.x);
-  std::vector<double> u(d);
-  for (std::size_t c = 0; c < options_.num_candidates; ++c) {
-    switch (c % 4) {
-      case 0:
-      case 1:
-        for (auto& uj : u) uj = rng_.uniform();
-        break;
-      case 2:
-        for (std::size_t j = 0; j < d; ++j) {
-          u[j] = std::clamp(inc_u[j] + rng_.normal(0.0, 0.1), 0.0, 1.0);
+  const std::uint64_t base_seed = rng_();
+  constexpr std::size_t kShards = 16;
+  const std::size_t shards = std::min(kShards, num_cands);
+  Matrix cands(num_cands, d);
+  std::vector<double> scores(num_cands);
+  pool_->parallel_for(shards, [&](std::size_t s) {
+    const std::size_t lo = s * num_cands / shards;
+    const std::size_t hi = (s + 1) * num_cands / shards;
+    Rng rng = Rng::stream(base_seed, s);
+    for (std::size_t c = lo; c < hi; ++c) {
+      const auto u = cands.row(c);
+      switch (c % 4) {
+        case 0:
+        case 1:
+          for (std::size_t j = 0; j < d; ++j) u[j] = rng.uniform();
+          break;
+        case 2:
+          for (std::size_t j = 0; j < d; ++j) {
+            u[j] = std::clamp(inc_u[j] + rng.normal(0.0, 0.1), 0.0, 1.0);
+          }
+          break;
+        case 3: {
+          for (std::size_t j = 0; j < d; ++j) u[j] = inc_u[j];
+          const std::size_t mutations = 1 + static_cast<std::size_t>(
+              rng.uniform_int(0, std::max<std::int64_t>(
+                                     1, static_cast<std::int64_t>(d) / 8)));
+          for (std::size_t m = 0; m < mutations; ++m) {
+            const auto j = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(d) - 1));
+            u[j] = rng.uniform();
+          }
+          break;
         }
-        break;
-      case 3: {
-        u = inc_u;
-        const std::size_t mutations = 1 + static_cast<std::size_t>(
-            rng_.uniform_int(0, std::max<std::int64_t>(
-                                    1, static_cast<std::int64_t>(d) / 8)));
-        for (std::size_t m = 0; m < mutations; ++m) {
-          const auto j = static_cast<std::size_t>(
-              rng_.uniform_int(0, static_cast<std::int64_t>(d) - 1));
-          u[j] = rng_.uniform();
-        }
-        break;
       }
     }
-    consider(u);
-  }
+    surrogate.acquisition_rows(options_, cands, lo, hi,
+                               std::span<double>(scores).subspan(lo, hi - lo));
+  });
+  std::size_t best_idx = argmax_index(scores);
+  double best_val = scores[best_idx];
+  std::vector<double> best_u(cands.row(best_idx).begin(),
+                             cands.row(best_idx).end());
 
-  // Local coordinate refinement around the best candidate.
+  // Local coordinate refinement around the best candidate: batch-score the
+  // 2d-point coordinate neighborhood of the current point each iteration
+  // (one parallel pass instead of 2d serial surrogate calls) and move to
+  // its best strict improvement.
   double step = 0.1;
   std::vector<double> cur = best_u;
+  Matrix nb(2 * d, d);
+  std::vector<double> nb_scores(2 * d);
+  const bool share = surrogate.shares_distances();
+  Matrix cur_q(1, d);
+  Matrix base_d2;
   for (std::size_t it = 0; it < options_.local_search_iters; ++it) {
-    bool improved = false;
     for (std::size_t j = 0; j < d; ++j) {
-      for (const double delta : {step, -step}) {
-        std::vector<double> cand = cur;
-        cand[j] = std::clamp(cand[j] + delta, 0.0, 1.0);
-        const double v = surrogate.acquisition(options_, cand);
-        if (v > best_val) {
-          best_val = v;
-          cur = cand;
-          best_u = cand;
-          improved = true;
-        }
+      for (std::size_t sgn = 0; sgn < 2; ++sgn) {
+        const auto row = nb.row(2 * j + sgn);
+        for (std::size_t k = 0; k < d; ++k) row[k] = cur[k];
+        const double delta = sgn == 0 ? step : -step;
+        row[j] = std::clamp(row[j] + delta, 0.0, 1.0);
       }
     }
-    if (!improved) {
+    if (share) {
+      // One O(n·d) distance pass for the center; every neighbor row is then
+      // an O(n) single-coordinate update inside acquisition_neighbor_rows.
+      const auto row = cur_q.row(0);
+      for (std::size_t k = 0; k < d; ++k) row[k] = cur[k];
+      surrogate.gps.front().unscaled_sq_dist_rows(cur_q, 0, 1, base_d2);
+    }
+    const std::size_t nb_shards = std::min(kShards, nb.rows());
+    pool_->parallel_for(nb_shards, [&](std::size_t s) {
+      const std::size_t lo = s * nb.rows() / nb_shards;
+      const std::size_t hi = (s + 1) * nb.rows() / nb_shards;
+      surrogate.acquisition_neighbor_rows(
+          options_, cur, base_d2, nb, lo, hi,
+          std::span<double>(nb_scores).subspan(lo, hi - lo));
+    });
+    const std::size_t idx = argmax_index(nb_scores);
+    if (nb_scores[idx] > best_val) {
+      best_val = nb_scores[idx];
+      cur.assign(nb.row(idx).begin(), nb.row(idx).end());
+      best_u = cur;
+    } else {
       step *= 0.5;
       if (step < 1e-3) break;
     }
@@ -274,21 +435,18 @@ void BayesOpt::observe(ParamValues x, double y) {
   STORMTUNE_REQUIRE(std::isfinite(y), "BayesOpt::observe: non-finite target");
   x = space_.canonicalize(std::move(x));
   unit_x_.push_back(space_.to_unit(x));
+  // Strict > keeps the earliest of equal maxima, matching the previous
+  // full-rescan behaviour.
+  if (observations_.empty() || y > observations_[best_index_].y) {
+    best_index_ = observations_.size();
+  }
   observations_.push_back(Observation{std::move(x), y});
 }
 
 BayesOpt::BestResult BayesOpt::best() const {
   STORMTUNE_REQUIRE(!observations_.empty(), "BayesOpt::best: no observations");
-  BestResult b;
-  b.y = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < observations_.size(); ++i) {
-    if (observations_[i].y > b.y) {
-      b.y = observations_[i].y;
-      b.x = observations_[i].x;
-      b.step = i;
-    }
-  }
-  return b;
+  const Observation& ob = observations_[best_index_];
+  return BestResult{ob.x, ob.y, best_index_};
 }
 
 Json BayesOpt::save_state() const {

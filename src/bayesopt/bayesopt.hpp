@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "bayesopt/param_space.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "gp/gp_regressor.hpp"
 #include "gp/hyper.hpp"
 
@@ -48,6 +50,11 @@ struct BayesOptOptions {
   double ucb_beta = 2.0;
   double fixed_noise_variance = 1e-3;  ///< in standardized-target units
   std::uint64_t seed = 42;
+  /// Threads for candidate scoring and per-sample GP refits; 0 = auto
+  /// (ThreadPool::default_thread_count()). suggest() output is
+  /// bitwise-identical for any value: work is sharded statically and every
+  /// shard draws from its own Rng stream (see thread_pool.hpp).
+  std::size_t num_threads = 0;
 
   Json to_json() const;
   static BayesOptOptions from_json(const Json& j);
@@ -107,6 +114,14 @@ class BayesOpt {
   Rng rng_;
   std::vector<Observation> observations_;
   std::vector<std::vector<double>> unit_x_;  // cached unit-space inputs
+  std::size_t best_index_ = 0;               // incumbent, kept by observe()
+  // Shared so that the constant-liar scratch copies in suggest_batch reuse
+  // the same workers instead of spawning their own.
+  std::shared_ptr<ThreadPool> pool_;
+  // kFixed-mode surrogate, kept across suggest() calls so a single new
+  // observation is an O(n²) Cholesky rank-grow instead of an O(n³) refit —
+  // this is what makes the constant-liar suggest_batch loop cheap.
+  std::optional<gp::GpRegressor> fixed_gp_;
 };
 
 }  // namespace stormtune::bo

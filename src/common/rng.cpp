@@ -97,6 +97,14 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
   return p;
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  // One splitmix round decorrelates consecutive stream ids before they are
+  // folded into the seed; reseed() then runs splitmix over the combination.
+  std::uint64_t s = stream_id;
+  const std::uint64_t mixed = splitmix64(s);
+  return Rng(seed ^ mixed);
+}
+
 Rng Rng::split() {
   Rng child;
   std::uint64_t sm = next();

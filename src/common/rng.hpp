@@ -17,6 +17,16 @@ namespace stormtune {
 /// Satisfies the C++ UniformRandomBitGenerator requirements, so it can also
 /// be used with <random> distributions, but the convenience members below
 /// avoid libstdc++'s distribution state for cross-platform determinism.
+///
+/// NOT THREAD-SAFE. Beyond the obvious data race on the xoshiro state,
+/// normal() caches the second Box–Muller variate in the object: two threads
+/// sharing an Rng would interleave cached and fresh draws in a
+/// timing-dependent order, making results *silently* nondeterministic even
+/// if the state words were atomic. Never share an Rng across threads.
+/// Thread-pool shards must each take their own stream via Rng::stream(seed,
+/// shard_index), which derives independent, reproducible generators from the
+/// same master seed (this is the contract ThreadPool's determinism rests
+/// on — see thread_pool.hpp).
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -60,6 +70,12 @@ class Rng {
   /// Derive an independent child generator; useful to give each component
   /// of a larger experiment its own stream without correlation.
   Rng split();
+
+  /// Deterministic per-stream generator: an independent stream derived from
+  /// (seed, stream_id) without touching any shared state. This is the ONLY
+  /// supported way to hand randomness to thread-pool shards — results must
+  /// depend on the shard index, never on the executing thread.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
 
  private:
   std::uint64_t next();

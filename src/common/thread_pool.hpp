@@ -1,0 +1,69 @@
+// A small fixed-size thread pool with static work partitioning, built for
+// deterministic parallel numerics in the BO suggest loop.
+//
+// Design contract (see DESIGN.md "Performance architecture"):
+//  * Work is expressed as `num_shards` independent shards, identified by
+//    shard index. The shard count is chosen by the CALLER and must not
+//    depend on the thread count; each shard writes only to its own output
+//    slot (and draws only from its own Rng stream, via Rng::stream).
+//  * Shards are partitioned statically across workers (shard % workers), so
+//    there is no work-stealing and no scheduling nondeterminism to reason
+//    about. Because every shard's computation is a pure function of the
+//    shard index, results are bitwise-identical for 1, 2, or N threads.
+//  * parallel_for blocks until every shard has run. The first exception
+//    thrown by a shard is captured and rethrown on the calling thread after
+//    all workers have quiesced.
+//
+// A pool of size 1 owns no threads at all and runs shards inline on the
+// caller — the zero-overhead configuration for single-core hosts.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stormtune {
+
+class ThreadPool {
+ public:
+  /// `num_threads` counts the calling thread: a pool of size T spawns T-1
+  /// workers and the caller executes its own share of shards.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Run body(shard) for every shard in [0, num_shards), blocking until all
+  /// complete. Not reentrant: body must not call parallel_for on this pool.
+  void parallel_for(std::size_t num_shards,
+                    const std::function<void(std::size_t)>& body);
+
+  /// min(hardware_concurrency, 8), at least 1 — the default sizing used when
+  /// callers pass "auto" (0) for a thread-count option.
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop(std::size_t worker_id);
+  void run_partition(std::size_t worker_id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait here for a new job
+  std::condition_variable done_cv_;   // caller waits here for completion
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t num_shards_ = 0;
+  std::uint64_t generation_ = 0;      // bumped per job, workers sync on it
+  std::size_t workers_done_ = 0;
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace stormtune

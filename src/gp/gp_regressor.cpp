@@ -1,6 +1,8 @@
 #include "gp/gp_regressor.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numbers>
 
 #include "common/error.hpp"
@@ -16,30 +18,160 @@ GpRegressor::GpRegressor(Kernel kernel, double noise_variance,
                     "GpRegressor: noise variance must be >= 0");
 }
 
-Matrix GpRegressor::kernel_matrix() const {
-  const std::size_t n = x_.rows();
-  Matrix k(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      const double v = kernel_(x_.row(i), x_.row(j));
-      k(i, j) = v;
-      k(j, i) = v;
-    }
-    k(i, i) += noise_variance_;
-  }
-  return k;
+std::vector<double> GpRegressor::inverse_squared_lengthscales() const {
+  const auto ls = kernel_.lengthscales();
+  std::vector<double> inv(ls.size());
+  for (std::size_t i = 0; i < ls.size(); ++i) inv[i] = 1.0 / (ls[i] * ls[i]);
+  return inv;
 }
 
-void GpRegressor::fit(const Matrix& x, const Vector& y) {
-  STORMTUNE_REQUIRE(x.rows() == y.size(), "GpRegressor::fit: X/y mismatch");
-  STORMTUNE_REQUIRE(x.rows() > 0, "GpRegressor::fit: no observations");
-  STORMTUNE_REQUIRE(x.cols() == kernel_.input_dim(),
-                    "GpRegressor::fit: dimension mismatch with kernel");
-  x_ = x;
-  y_centered_.resize(y.size());
-  for (std::size_t i = 0; i < y.size(); ++i) y_centered_[i] = y[i] - mean_value_;
+bool GpRegressor::x_matches(const Matrix& x) const {
+  if (!dist_ || x_.rows() != x.rows() || x_.cols() != x.cols()) return false;
+  // Bitwise comparison: hyperparameter search refits with the same X
+  // hundreds of times per suggestion, so this runs hot. Representation
+  // equality is stricter than value equality for every distance-relevant
+  // case (-0.0 vs 0.0 merely rebuilds the cache needlessly), so a mismatch
+  // only ever costs a redundant rebuild, never a stale cache.
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto a = x_.row(i);
+    const auto b = x.row(i);
+    if (std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
 
-  Matrix k = kernel_matrix();
+void GpRegressor::rebuild_distance_cache() {
+  const std::size_t n = x_.rows();
+  const std::size_t d = x_.cols();
+  auto cache = std::make_shared<DistanceCache>();
+  cache->n = n;
+  if (!kernel_.ard()) {
+    cache->sq = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto xj = x_.row(j);
+      for (std::size_t i = 0; i < j; ++i) {
+        const auto xi = x_.row(i);
+        double s = 0.0;
+        for (std::size_t k = 0; k < d; ++k) {
+          const double diff = xi[k] - xj[k];
+          s += diff * diff;
+        }
+        cache->sq(i, j) = s;
+        cache->sq(j, i) = s;
+      }
+    }
+  } else {
+    cache->sq_dims.resize(n * (n - 1) / 2 * d);
+    double* out = cache->sq_dims.data();
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto xj = x_.row(j);
+      for (std::size_t i = 0; i < j; ++i) {
+        const auto xi = x_.row(i);
+        for (std::size_t k = 0; k < d; ++k) {
+          const double diff = xi[k] - xj[k];
+          *out++ = diff * diff;
+        }
+      }
+    }
+  }
+  dist_ = std::move(cache);
+}
+
+std::shared_ptr<GpRegressor::DistanceCache>
+GpRegressor::extended_distance_cache(std::span<const double> x_new) const {
+  const std::size_t n = x_.rows();
+  const std::size_t d = x_.cols();
+  auto cache = std::make_shared<DistanceCache>();
+  cache->n = n + 1;
+  if (!kernel_.ard()) {
+    cache->sq = Matrix(n + 1, n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto src = dist_->sq.row(i);
+      const auto dst = cache->sq.row(i);
+      for (std::size_t j = 0; j < n; ++j) dst[j] = src[j];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto xi = x_.row(i);
+      double s = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        const double diff = xi[k] - x_new[k];
+        s += diff * diff;
+      }
+      cache->sq(i, n) = s;
+      cache->sq(n, i) = s;
+    }
+  } else {
+    // The pair order (all (i, j) with i < j, grouped by ascending j) makes
+    // appending a point a pure append: existing offsets are untouched.
+    cache->sq_dims = dist_->sq_dims;
+    cache->sq_dims.reserve(cache->sq_dims.size() + n * d);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto xi = x_.row(i);
+      for (std::size_t k = 0; k < d; ++k) {
+        const double diff = xi[k] - x_new[k];
+        cache->sq_dims.push_back(diff * diff);
+      }
+    }
+  }
+  return cache;
+}
+
+double GpRegressor::correlation_from_cache(
+    std::size_t i, std::size_t j, const std::vector<double>& inv_sq_ls) const {
+  // Requires i < j.
+  double r2 = 0.0;
+  if (!kernel_.ard()) {
+    r2 = dist_->sq(i, j) * inv_sq_ls[0];
+  } else {
+    const std::size_t d = x_.cols();
+    const double* p = dist_->sq_dims.data() + (j * (j - 1) / 2 + i) * d;
+    for (std::size_t k = 0; k < d; ++k) r2 += p[k] * inv_sq_ls[k];
+  }
+  return kernel_.correlation_from_scaled_sq(r2);
+}
+
+void GpRegressor::ensure_correlation() {
+  const auto ls = kernel_.lengthscales();
+  if (corr_valid_ && corr_ls_.size() == ls.size() &&
+      std::equal(corr_ls_.begin(), corr_ls_.end(), ls.begin())) {
+    return;
+  }
+  corr_valid_ = false;
+  const std::size_t n = x_.rows();
+  const std::vector<double> inv = inverse_squared_lengthscales();
+  corr_ = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    corr_(j, j) = 1.0;
+    for (std::size_t i = 0; i < j; ++i) {
+      const double g = correlation_from_cache(i, j, inv);
+      corr_(i, j) = g;
+      corr_(j, i) = g;
+    }
+  }
+  corr_ls_.assign(ls.begin(), ls.end());
+  corr_valid_ = true;
+}
+
+void GpRegressor::ensure_cholesky() {
+  const auto ls = kernel_.lengthscales();
+  if (chol_valid_ && chol_.has_value() &&
+      chol_amp_ == kernel_.amplitude() && chol_noise_ == noise_variance_ &&
+      chol_ls_.size() == ls.size() &&
+      std::equal(chol_ls_.begin(), chol_ls_.end(), ls.begin())) {
+    return;
+  }
+  chol_valid_ = false;
+  const std::size_t n = x_.rows();
+  const double a2 = kernel_.variance();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto crow = corr_.row(i);
+    const auto krow = k.row(i);
+    for (std::size_t j = 0; j < n; ++j) krow[j] = a2 * crow[j];
+    krow[i] += noise_variance_;
+  }
   constexpr double kMaxJitter = 1e-2;
   double jitter = 1e-10;
   applied_jitter_ = 0.0;
@@ -59,20 +191,260 @@ void GpRegressor::fit(const Matrix& x, const Vector& y) {
       jitter *= 100.0;
     }
   }
+  chol_amp_ = kernel_.amplitude();
+  chol_noise_ = noise_variance_;
+  chol_ls_.assign(ls.begin(), ls.end());
+  chol_valid_ = true;
+}
+
+void GpRegressor::fit(const Matrix& x, const Vector& y) {
+  STORMTUNE_REQUIRE(x.rows() == y.size(), "GpRegressor::fit: X/y mismatch");
+  STORMTUNE_REQUIRE(x.rows() > 0, "GpRegressor::fit: no observations");
+  STORMTUNE_REQUIRE(x.cols() == kernel_.input_dim(),
+                    "GpRegressor::fit: dimension mismatch with kernel");
+  fit_current_ = false;
+  if (!x_matches(x)) {
+    x_ = x;
+    rebuild_distance_cache();
+    corr_valid_ = false;
+    chol_valid_ = false;
+  }
+  y_centered_.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y_centered_[i] = y[i] - mean_value_;
+
+  ensure_correlation();
+  ensure_cholesky();
   alpha_ = chol_->solve(y_centered_);
+  fit_current_ = true;
+}
+
+void GpRegressor::append_observation(std::span<const double> x_new,
+                                     const Vector& y_all) {
+  STORMTUNE_REQUIRE(fitted(),
+                    "GpRegressor::append_observation: call fit() first");
+  const std::size_t n = x_.rows();
+  const std::size_t d = x_.cols();
+  STORMTUNE_REQUIRE(x_new.size() == d,
+                    "GpRegressor::append_observation: dimension mismatch");
+  STORMTUNE_REQUIRE(y_all.size() == n + 1,
+                    "GpRegressor::append_observation: y must have n+1 entries");
+  fit_current_ = false;
+
+  auto new_dist = extended_distance_cache(x_new);
+  Matrix grown_x(n + 1, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = x_.row(i);
+    const auto dst = grown_x.row(i);
+    for (std::size_t k = 0; k < d; ++k) dst[k] = src[k];
+  }
+  {
+    const auto dst = grown_x.row(n);
+    for (std::size_t k = 0; k < d; ++k) dst[k] = x_new[k];
+  }
+  x_ = std::move(grown_x);
+  dist_ = new_dist;
+
+  // Extend the correlation matrix (valid because fitted() held on entry).
+  const std::vector<double> inv = inverse_squared_lengthscales();
+  Matrix grown_corr(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = corr_.row(i);
+    const auto dst = grown_corr.row(i);
+    for (std::size_t j = 0; j < n; ++j) dst[j] = src[j];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double g = correlation_from_cache(i, n, inv);
+    grown_corr(i, n) = g;
+    grown_corr(n, i) = g;
+  }
+  grown_corr(n, n) = 1.0;
+  corr_ = std::move(grown_corr);
+
+  const double a2 = kernel_.variance();
+  Vector k_col(n);
+  for (std::size_t i = 0; i < n; ++i) k_col[i] = a2 * corr_(i, n);
+  const double diag = a2 + noise_variance_ + applied_jitter_;
+  try {
+    chol_->append_row(k_col, diag);
+  } catch (const Error&) {
+    // The rank-grow extension is not numerically SPD (e.g. a near-duplicate
+    // point with tiny noise); fall back to the jitter-escalating full
+    // refactorization over the already-extended correlation cache.
+    chol_valid_ = false;
+    ensure_cholesky();
+  }
+  y_centered_.resize(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    y_centered_[i] = y_all[i] - mean_value_;
+  }
+  alpha_ = chol_->solve(y_centered_);
+  fit_current_ = true;
 }
 
 Prediction GpRegressor::predict(std::span<const double> x) const {
-  STORMTUNE_REQUIRE(fitted(), "GpRegressor::predict: call fit() first");
+  Matrix q(1, x.size());
+  const auto dst = q.row(0);
+  for (std::size_t k = 0; k < x.size(); ++k) dst[k] = x[k];
+  std::vector<Prediction> out;
+  predict_batch(q, out);
+  return out[0];
+}
+
+std::vector<Prediction> GpRegressor::predict_batch(const Matrix& q) const {
+  std::vector<Prediction> out;
+  predict_batch(q, out);
+  return out;
+}
+
+void GpRegressor::predict_batch(const Matrix& q,
+                                std::vector<Prediction>& out) const {
+  predict_rows(q, 0, q.rows(), out);
+}
+
+namespace {
+// Rows of K* processed per multi-RHS forward substitution; bounds the V
+// workspace at kPredictChunk * n doubles.
+constexpr std::size_t kPredictChunk = 64;
+}  // namespace
+
+// Finish a chunk given its cross-covariance block K* (one row per query):
+// means against alpha, then one forward substitution L V = K*ᵀ carrying all
+// rows of the chunk at once. The single-RHS solve has a loop-carried
+// dependency; here the inner updates run across queries, so they vectorize.
+// Per query the operations and their order match the scalar
+// solve_lower_in_place/dot path exactly, so results are bitwise identical.
+void GpRegressor::predict_chunk(const Matrix& kstar,
+                                std::span<Prediction> out) const {
+  const std::size_t m = kstar.rows();
   const std::size_t n = x_.rows();
-  Vector kstar(n);
-  for (std::size_t i = 0; i < n; ++i) kstar[i] = kernel_(x_.row(i), x);
-  Prediction p;
-  p.mean = mean_value_ + dot(kstar, alpha_);
-  const Vector v = chol_->solve_lower(kstar);
-  p.variance = kernel_.variance() - dot(v, v);
-  if (p.variance < 0.0) p.variance = 0.0;  // numerical floor
-  return p;
+  const double a2 = kernel_.variance();
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto b = kstar.row(r);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += b[i] * alpha_[i];
+    out[r].mean = mean_value_ + mean;
+  }
+  const Matrix& l = chol_->lower();
+  Matrix v(n, m);
+  std::vector<double> ss(m, 0.0);  // running Σ v_i² per query
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto li = l.row(i);
+    const auto vi = v.row(i);
+    for (std::size_t r = 0; r < m; ++r) vi[r] = kstar(r, i);
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = li[k];
+      const auto vk = v.row(k);
+      for (std::size_t r = 0; r < m; ++r) vi[r] -= lik * vk[r];
+    }
+    const double lii = li[i];
+    for (std::size_t r = 0; r < m; ++r) vi[r] /= lii;
+    for (std::size_t r = 0; r < m; ++r) ss[r] += vi[r] * vi[r];
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    const double var = a2 - ss[r];
+    out[r].variance = var < 0.0 ? 0.0 : var;  // numerical floor
+  }
+}
+
+void GpRegressor::predict_rows(const Matrix& q, std::size_t row_begin,
+                               std::size_t row_end,
+                               std::vector<Prediction>& out) const {
+  STORMTUNE_REQUIRE(fitted(), "GpRegressor::predict: call fit() first");
+  STORMTUNE_REQUIRE(q.cols() == kernel_.input_dim(),
+                    "GpRegressor::predict: dimension mismatch with kernel");
+  STORMTUNE_REQUIRE(row_begin <= row_end && row_end <= q.rows(),
+                    "GpRegressor::predict_rows: bad row range");
+  const std::size_t n = x_.rows();
+  const std::size_t d = q.cols();
+  const std::size_t total = row_end - row_begin;
+  out.resize(total);
+  const double a2 = kernel_.variance();
+  const bool ard = kernel_.ard();
+  const std::vector<double> inv = inverse_squared_lengthscales();
+  Matrix kstar;
+  for (std::size_t base = 0; base < total; base += kPredictChunk) {
+    const std::size_t m = std::min(kPredictChunk, total - base);
+    if (kstar.rows() != m) kstar = Matrix(m, n);
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto u = q.row(row_begin + base + r);
+      const auto krow = kstar.row(r);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto xi = x_.row(i);
+        double r2 = 0.0;
+        if (ard) {
+          for (std::size_t k = 0; k < d; ++k) {
+            const double diff = xi[k] - u[k];
+            r2 += diff * diff * inv[k];
+          }
+        } else {
+          double s = 0.0;
+          for (std::size_t k = 0; k < d; ++k) {
+            const double diff = xi[k] - u[k];
+            s += diff * diff;
+          }
+          r2 = s * inv[0];
+        }
+        krow[i] = a2 * kernel_.correlation_from_scaled_sq(r2);
+      }
+    }
+    predict_chunk(kstar, std::span(out).subspan(base, m));
+  }
+}
+
+void GpRegressor::unscaled_sq_dist_rows(const Matrix& q, std::size_t row_begin,
+                                        std::size_t row_end, Matrix& d2) const {
+  STORMTUNE_REQUIRE(fitted(),
+                    "GpRegressor::unscaled_sq_dist_rows: call fit() first");
+  STORMTUNE_REQUIRE(q.cols() == x_.cols(),
+                    "GpRegressor::unscaled_sq_dist_rows: dimension mismatch");
+  STORMTUNE_REQUIRE(row_begin <= row_end && row_end <= q.rows(),
+                    "GpRegressor::unscaled_sq_dist_rows: bad row range");
+  const std::size_t n = x_.rows();
+  const std::size_t d = q.cols();
+  const std::size_t total = row_end - row_begin;
+  if (d2.rows() != total || d2.cols() != n) d2 = Matrix(total, n);
+  for (std::size_t r = 0; r < total; ++r) {
+    const auto u = q.row(row_begin + r);
+    const auto drow = d2.row(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto xi = x_.row(i);
+      double s = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        const double diff = xi[k] - u[k];
+        s += diff * diff;
+      }
+      drow[i] = s;
+    }
+  }
+}
+
+void GpRegressor::predict_from_sq_dist_rows(const Matrix& d2,
+                                            std::vector<Prediction>& out) const {
+  STORMTUNE_REQUIRE(fitted(),
+                    "GpRegressor::predict_from_sq_dist_rows: call fit() first");
+  STORMTUNE_REQUIRE(!kernel_.ard(),
+                    "GpRegressor::predict_from_sq_dist_rows: non-ARD only");
+  STORMTUNE_REQUIRE(d2.cols() == x_.rows(),
+                    "GpRegressor::predict_from_sq_dist_rows: block/X mismatch");
+  const std::size_t n = x_.rows();
+  const std::size_t total = d2.rows();
+  out.resize(total);
+  const double a2 = kernel_.variance();
+  const double inv0 = inverse_squared_lengthscales()[0];
+  Matrix kstar;
+  for (std::size_t base = 0; base < total; base += kPredictChunk) {
+    const std::size_t m = std::min(kPredictChunk, total - base);
+    if (kstar.rows() != m) kstar = Matrix(m, n);
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto drow = d2.row(base + r);
+      const auto krow = kstar.row(r);
+      for (std::size_t i = 0; i < n; ++i) {
+        krow[i] =
+            a2 * kernel_.correlation_from_scaled_sq(drow[i] * inv0);
+      }
+    }
+    predict_chunk(kstar, std::span(out).subspan(base, m));
+  }
 }
 
 double GpRegressor::log_marginal_likelihood() const {
@@ -84,18 +456,18 @@ double GpRegressor::log_marginal_likelihood() const {
 
 void GpRegressor::set_kernel_hyperparams(std::span<const double> log_params) {
   kernel_.set_hyperparams(log_params);
-  chol_.reset();
+  fit_current_ = false;
 }
 
 void GpRegressor::set_noise_variance(double nv) {
   STORMTUNE_REQUIRE(nv >= 0.0, "GpRegressor: noise variance must be >= 0");
   noise_variance_ = nv;
-  chol_.reset();
+  fit_current_ = false;
 }
 
 void GpRegressor::set_mean_value(double m) {
   mean_value_ = m;
-  chol_.reset();
+  fit_current_ = false;
 }
 
 }  // namespace stormtune::gp

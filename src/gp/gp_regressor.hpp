@@ -4,8 +4,22 @@
 // (Section III-C): given configuration/throughput observations D_{1:t}, the
 // posterior GP supplies the predictive mean and variance from which the
 // Expected Improvement acquisition function is computed.
+//
+// Hyperparameter inference (slice sampling, MLE coordinate search) refits the
+// same regressor hundreds of times per suggestion while X never changes, so
+// fit() maintains a layered cache keyed on what each layer actually depends
+// on (see DESIGN.md "Performance architecture"):
+//   L0  pairwise distance structure            — depends on X only
+//   L1  unit-amplitude correlation matrix g(r) — depends on X + lengthscales
+//   L2  Cholesky factor of a²·C + σ_n²·I       — depends on X + all kernel
+//       hyperparameters + noise
+// A refit that changes only the constant mean costs O(n²) (one solve); one
+// that changes amplitude or noise costs O(n²) + O(n³/3) but never touches
+// the O(n²·d) distance loop; only a lengthscale change rebuilds g(r), and
+// even that reads cached distances instead of X.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -29,12 +43,49 @@ class GpRegressor {
 
   /// Fit to inputs X (one row per observation, dim columns) and targets y.
   /// Escalates diagonal jitter on Cholesky failure up to `max_jitter`.
+  /// Re-fitting with the same X reuses the cached distance structure (and,
+  /// where the hyperparameters allow, the correlation matrix and factor).
   void fit(const Matrix& x, const Vector& y);
 
-  bool fitted() const { return chol_.has_value(); }
+  /// Incremental refit: add one observation `x_new` together with the full
+  /// (possibly re-standardized) target vector `y_all` of length n+1. Grows
+  /// the Cholesky factor by one row — O(n²) instead of the O(n³) full
+  /// refactorization — and extends the distance/correlation caches. Requires
+  /// fitted() and unchanged hyperparameters; falls back to a full
+  /// refactorization if the rank-grow update is not numerically SPD.
+  void append_observation(std::span<const double> x_new, const Vector& y_all);
+
+  bool fitted() const { return chol_.has_value() && fit_current_; }
   std::size_t num_observations() const { return x_.rows(); }
+  /// Training inputs of the current fit, one row per observation.
+  const Matrix& inputs() const { return x_; }
 
   Prediction predict(std::span<const double> x) const;
+
+  /// Predict at every row of `q` in one cache-friendly pass over the factor.
+  /// Thread-safe for concurrent calls on a fitted regressor (read-only).
+  std::vector<Prediction> predict_batch(const Matrix& q) const;
+  /// Buffer-reusing variant; resizes `out` to q.rows().
+  void predict_batch(const Matrix& q, std::vector<Prediction>& out) const;
+  /// Predict rows [row_begin, row_end) of `q`; resizes `out` to the range
+  /// length. This is the shard-level entry point for parallel scoring:
+  /// concurrent callers pass disjoint row ranges of a shared matrix.
+  void predict_rows(const Matrix& q, std::size_t row_begin,
+                    std::size_t row_end, std::vector<Prediction>& out) const;
+
+  /// Unscaled squared distances between rows [row_begin, row_end) of `q` and
+  /// the training inputs: d2(r − row_begin, i) = ‖q_r − x_i‖². The block is
+  /// kernel-independent, so a surrogate marginalizing over several
+  /// hyper-sample GPs (which share X) computes it once and scores every GP
+  /// from it via predict_from_sq_dist_rows.
+  void unscaled_sq_dist_rows(const Matrix& q, std::size_t row_begin,
+                             std::size_t row_end, Matrix& d2) const;
+
+  /// Predict from a precomputed unscaled squared-distance block (non-ARD
+  /// kernels only — ARD scales per dimension before summing, so the shared
+  /// block does not exist for it). Bitwise-identical to predict_rows.
+  void predict_from_sq_dist_rows(const Matrix& d2,
+                                 std::vector<Prediction>& out) const;
 
   /// log p(y | X, theta); requires fit() to have been called.
   double log_marginal_likelihood() const;
@@ -44,12 +95,34 @@ class GpRegressor {
   double mean_value() const { return mean_value_; }
 
   /// Mutators invalidate the current fit; call fit() again afterwards.
+  /// Caches survive mutation and are reused where their keys still match.
   void set_kernel_hyperparams(std::span<const double> log_params);
   void set_noise_variance(double nv);
   void set_mean_value(double m);
 
  private:
-  Matrix kernel_matrix() const;
+  /// Pairwise distance structure over X: for non-ARD kernels the unscaled
+  /// squared distances ‖x_i − x_j‖², for ARD the per-dimension squared
+  /// differences (packed pair-major, pairs ordered so that appending an
+  /// observation appends entries without disturbing existing offsets).
+  /// Immutable once built and shared across copies of the regressor, so the
+  /// per-hyper-sample refit fan-out pays for it exactly once.
+  struct DistanceCache {
+    std::size_t n = 0;
+    Matrix sq;                    // non-ARD: n×n unscaled squared distances
+    std::vector<double> sq_dims;  // ARD: (j·(j−1)/2 + i)·d + k, for i < j
+  };
+
+  bool x_matches(const Matrix& x) const;
+  void rebuild_distance_cache();
+  std::shared_ptr<DistanceCache> extended_distance_cache(
+      std::span<const double> x_new) const;
+  void ensure_correlation();
+  void ensure_cholesky();
+  double correlation_from_cache(std::size_t i, std::size_t j,
+                                const std::vector<double>& inv_sq_ls) const;
+  std::vector<double> inverse_squared_lengthscales() const;
+  void predict_chunk(const Matrix& kstar, std::span<Prediction> out) const;
 
   Kernel kernel_;
   double noise_variance_;
@@ -60,6 +133,17 @@ class GpRegressor {
   std::optional<Cholesky> chol_;
   Vector alpha_;  // K^{-1} (y - m)
   double applied_jitter_ = 0.0;
+
+  // --- layered fit caches ---
+  std::shared_ptr<const DistanceCache> dist_;
+  Matrix corr_;                  // unit-amplitude correlation, unit diagonal
+  std::vector<double> corr_ls_;  // lengthscales corr_ was built with
+  bool corr_valid_ = false;
+  double chol_amp_ = 0.0;        // hyperparameters chol_ was built with
+  double chol_noise_ = -1.0;
+  std::vector<double> chol_ls_;
+  bool chol_valid_ = false;
+  bool fit_current_ = false;     // alpha_ matches the current parameters
 };
 
 }  // namespace stormtune::gp

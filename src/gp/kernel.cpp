@@ -21,8 +21,8 @@ Kernel::Kernel(KernelFamily family, std::size_t dim, bool ard)
   STORMTUNE_REQUIRE(dim > 0, "Kernel: dim must be positive");
 }
 
-double Kernel::scaled_distance(std::span<const double> x,
-                               std::span<const double> y) const {
+double Kernel::scaled_squared_distance(std::span<const double> x,
+                                       std::span<const double> y) const {
   STORMTUNE_REQUIRE(x.size() == dim_ && y.size() == dim_,
                     "Kernel: input dimension mismatch");
   double s = 0.0;
@@ -38,26 +38,13 @@ double Kernel::scaled_distance(std::span<const double> x,
       s += d * d;
     }
   }
-  return std::sqrt(s);
+  return s;
 }
 
 double Kernel::operator()(std::span<const double> x,
                           std::span<const double> y) const {
-  const double r = scaled_distance(x, y);
   const double a2 = amplitude_ * amplitude_;
-  switch (family_) {
-    case KernelFamily::kSquaredExponential:
-      return a2 * std::exp(-0.5 * r * r);
-    case KernelFamily::kMatern32: {
-      const double sr = std::sqrt(3.0) * r;
-      return a2 * (1.0 + sr) * std::exp(-sr);
-    }
-    case KernelFamily::kMatern52: {
-      const double sr = std::sqrt(5.0) * r;
-      return a2 * (1.0 + sr + sr * sr / 3.0) * std::exp(-sr);
-    }
-  }
-  return 0.0;
+  return a2 * correlation_from_scaled_sq(scaled_squared_distance(x, y));
 }
 
 double Kernel::variance() const { return amplitude_ * amplitude_; }

@@ -7,6 +7,7 @@
 // parameterization.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <string>
@@ -37,6 +38,29 @@ class Kernel {
   /// Covariance between two points.
   double operator()(std::span<const double> x, std::span<const double> y) const;
 
+  /// Correlation g(r²) at unit amplitude, where r² = Σ((x_i−y_i)/l_i)² is an
+  /// already-scaled squared distance. The cached-distance fit path in
+  /// GpRegressor evaluates the kernel through this, so new hyperparameters
+  /// never pay the O(dim) pairwise-difference loop again: k = amplitude² · g.
+  /// Defined here because prediction calls it once per (query, training
+  /// point) pair — millions of times per suggest() — and the out-of-line
+  /// call was measurable.
+  double correlation_from_scaled_sq(double r2) const {
+    switch (family_) {
+      case KernelFamily::kSquaredExponential:
+        return std::exp(-0.5 * r2);
+      case KernelFamily::kMatern32: {
+        const double sr = std::sqrt(3.0 * r2);
+        return (1.0 + sr) * std::exp(-sr);
+      }
+      case KernelFamily::kMatern52: {
+        const double sr = std::sqrt(5.0 * r2);
+        return (1.0 + sr + sr * sr / 3.0) * std::exp(-sr);
+      }
+    }
+    return 0.0;
+  }
+
   /// k(x, x) = amplitude^2 for all stationary kernels here.
   double variance() const;
 
@@ -53,9 +77,9 @@ class Kernel {
 
  private:
   std::size_t lengthscale_count() const { return ard_ ? dim_ : 1; }
-  /// Scaled distance r = sqrt(sum ((x_i - y_i)/l_i)^2).
-  double scaled_distance(std::span<const double> x,
-                         std::span<const double> y) const;
+  /// Scaled squared distance r² = sum ((x_i - y_i)/l_i)^2.
+  double scaled_squared_distance(std::span<const double> x,
+                                 std::span<const double> y) const;
 
   KernelFamily family_;
   std::size_t dim_;

@@ -1,5 +1,6 @@
 #include "linalg/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -14,9 +15,26 @@ Matrix Matrix::identity(std::size_t n) {
 
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      t(c, r) = (*this)(r, c);
+  // Below the threshold a naive double loop stays in L1 anyway; above it,
+  // walk block-by-block so both source rows and destination rows are hot.
+  constexpr std::size_t kBlock = 32;
+  if (rows_ < kBlock || cols_ < kBlock) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        t(c, r) = (*this)(r, c);
+      }
+    }
+    return t;
+  }
+  for (std::size_t rb = 0; rb < rows_; rb += kBlock) {
+    const std::size_t rmax = std::min(rows_, rb + kBlock);
+    for (std::size_t cb = 0; cb < cols_; cb += kBlock) {
+      const std::size_t cmax = std::min(cols_, cb + kBlock);
+      for (std::size_t r = rb; r < rmax; ++r) {
+        for (std::size_t c = cb; c < cmax; ++c) {
+          t(c, r) = (*this)(r, c);
+        }
+      }
     }
   }
   return t;
@@ -26,10 +44,11 @@ Matrix Matrix::multiply(const Matrix& other) const {
   STORMTUNE_REQUIRE(cols_ == other.rows(), "Matrix::multiply: shape mismatch");
   Matrix out(rows_, other.cols());
   // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  // Dense path: no zero-skip — the branch costs more than the multiply on
+  // the dense kernel matrices this is used for, and it breaks vectorization.
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
       const auto orow = other.row(k);
       const auto out_row = out.row(i);
       for (std::size_t j = 0; j < other.cols(); ++j) {
@@ -83,6 +102,37 @@ Vector Cholesky::solve_lower(const Vector& b) const {
     y[i] = s / l_(i, i);
   }
   return y;
+}
+
+void Cholesky::solve_lower_in_place(std::span<double> bx) const {
+  const std::size_t n = size();
+  STORMTUNE_REQUIRE(bx.size() == n, "Cholesky::solve_lower_in_place: size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = bx[i];
+    const auto li = l_.row(i);
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * bx[k];
+    bx[i] = s / li[i];
+  }
+}
+
+void Cholesky::append_row(std::span<const double> b, double c) {
+  const std::size_t n = size();
+  STORMTUNE_REQUIRE(b.size() == n, "Cholesky::append_row: size mismatch");
+  // New bottom row of L is [yᵀ, l] with L y = b and l = sqrt(c - yᵀy).
+  Vector y(b.begin(), b.end());
+  solve_lower_in_place(y);
+  const double diag = c - dot(y, y);
+  STORMTUNE_REQUIRE(diag > 0.0, "Cholesky::append_row: matrix not positive definite");
+  Matrix grown(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = l_.row(i);
+    const auto dst = grown.row(i);
+    for (std::size_t k = 0; k <= i; ++k) dst[k] = src[k];
+  }
+  const auto last = grown.row(n);
+  for (std::size_t k = 0; k < n; ++k) last[k] = y[k];
+  last[n] = std::sqrt(diag);
+  l_ = std::move(grown);
 }
 
 Vector Cholesky::solve_lower_transpose(const Vector& y) const {

@@ -40,6 +40,9 @@ class Matrix {
     return {data_.data() + r * cols_, cols_};
   }
 
+  /// Transpose; uses a cache-blocked sweep once both dimensions exceed the
+  /// blocking threshold, so neither the read nor the write side strides
+  /// through memory a full row apart.
   Matrix transposed() const;
 
   /// this * other; dimension-checked.
@@ -72,8 +75,18 @@ class Cholesky {
   /// Solve L y = b (forward substitution only).
   Vector solve_lower(const Vector& b) const;
 
+  /// Forward substitution overwriting `bx` (no allocation); the batched GP
+  /// prediction path calls this once per candidate.
+  void solve_lower_in_place(std::span<double> bx) const;
+
   /// Solve L^T x = y (backward substitution only).
   Vector solve_lower_transpose(const Vector& y) const;
+
+  /// Rank-grow update: given this factor L of an n×n SPD matrix A, extend it
+  /// in place to the factor of [[A, b], [bᵀ, c]] in O(n²) instead of the
+  /// O(n³) refactorization. Throws stormtune::Error if the extended matrix is
+  /// not (numerically) SPD; the factor is unchanged in that case.
+  void append_row(std::span<const double> b, double c);
 
   /// log|A| = 2 * sum(log diag(L)).
   double log_determinant() const;

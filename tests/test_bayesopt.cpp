@@ -59,6 +59,19 @@ TEST(BayesOpt, BestTracksMaximum) {
   EXPECT_DOUBLE_EQ(best.x[0], 1.0);
 }
 
+TEST(BayesOpt, BestKeepsEarliestOfEqualMaxima) {
+  // The incumbent is tracked incrementally by observe(); ties must resolve
+  // to the earliest observation, as a full rescan would.
+  BayesOpt opt(branin_space(), fast_options(12));
+  opt.observe({0.0, 5.0}, -2.0);
+  opt.observe({1.0, 2.0}, -1.0);
+  opt.observe({2.0, 2.0}, -1.0);  // equal to the step-1 maximum
+  EXPECT_EQ(opt.best().step, 1u);
+  opt.observe({3.0, 1.0}, 0.5);
+  EXPECT_EQ(opt.best().step, 3u);
+  EXPECT_DOUBLE_EQ(opt.best().y, 0.5);
+}
+
 TEST(BayesOpt, BestWithoutObservationsThrows) {
   BayesOpt opt(branin_space(), fast_options(3));
   EXPECT_THROW(opt.best(), Error);

@@ -239,5 +239,189 @@ INSTANTIATE_TEST_SUITE_P(
                                          KernelFamily::kMatern52),
                        ::testing::Bool(), ::testing::Values(2, 10, 40)));
 
+// The layered distance/correlation/Cholesky caches must be invisible: a
+// regressor refit through the warm path (mutate hyperparameters, fit again
+// on the same X) has to agree with a cold regressor constructed directly
+// with the final hyperparameters, for every kernel family and ARD setting.
+class GpCacheSweep
+    : public ::testing::TestWithParam<std::tuple<KernelFamily, bool>> {};
+
+TEST_P(GpCacheSweep, WarmRefitMatchesColdFit) {
+  const auto [family, ard] = GetParam();
+  constexpr std::size_t kN = 25;
+  constexpr std::size_t kD = 4;
+  Rng rng(static_cast<std::uint64_t>(ard ? 11 : 5));
+  Matrix x(kN, kD);
+  Vector y(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j < kD; ++j) x(i, j) = rng.uniform();
+    y[i] = rng.normal();
+  }
+
+  Kernel k(family, kD, ard);
+  GpRegressor warm(k, 1e-3);
+  warm.fit(x, y);  // builds the caches with the default hyperparameters
+
+  // Walk through several hyperparameter settings, as the slice sampler's
+  // coordinate sweeps do, ending at a final one.
+  std::vector<double> log_params(k.num_hyperparams());
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t p = 0; p < log_params.size(); ++p) {
+      log_params[p] = 0.2 * rng.normal();
+      warm.set_kernel_hyperparams(log_params);
+      warm.fit(x, y);
+    }
+    warm.set_noise_variance(1e-3 * (1 + round));
+    warm.set_mean_value(0.1 * round);
+    warm.fit(x, y);
+  }
+
+  Kernel cold_kernel(family, kD, ard);
+  cold_kernel.set_hyperparams(log_params);
+  GpRegressor cold(cold_kernel, warm.noise_variance(), warm.mean_value());
+  cold.fit(x, y);
+
+  EXPECT_NEAR(warm.log_marginal_likelihood(), cold.log_marginal_likelihood(),
+              1e-12);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> q(kD);
+    for (auto& v : q) v = rng.uniform(-0.5, 1.5);
+    const Prediction pw = warm.predict(q);
+    const Prediction pc = cold.predict(q);
+    EXPECT_NEAR(pw.mean, pc.mean, 1e-12);
+    EXPECT_NEAR(pw.variance, pc.variance, 1e-12);
+  }
+}
+
+TEST_P(GpCacheSweep, AppendObservationMatchesFreshFit) {
+  const auto [family, ard] = GetParam();
+  constexpr std::size_t kD = 3;
+  Rng rng(static_cast<std::uint64_t>(ard ? 21 : 17));
+  Matrix x(12, kD);
+  Vector y(12);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < kD; ++j) x(i, j) = rng.uniform();
+    y[i] = rng.normal();
+  }
+  Kernel k(family, kD, ard);
+  GpRegressor incremental(k, 1e-3);
+  incremental.fit(x, y);
+
+  // Grow by three points, one append at a time.
+  Matrix grown = x;
+  Vector grown_y = y;
+  for (int add = 0; add < 3; ++add) {
+    std::vector<double> x_new(kD);
+    for (auto& v : x_new) v = rng.uniform();
+    grown_y.push_back(rng.normal());
+    Matrix next(grown.rows() + 1, kD);
+    for (std::size_t i = 0; i < grown.rows(); ++i) {
+      for (std::size_t j = 0; j < kD; ++j) next(i, j) = grown(i, j);
+    }
+    for (std::size_t j = 0; j < kD; ++j) next(grown.rows(), j) = x_new[j];
+    grown = std::move(next);
+    incremental.append_observation(x_new, grown_y);
+  }
+  ASSERT_EQ(incremental.num_observations(), 15u);
+
+  GpRegressor fresh(k, 1e-3);
+  fresh.fit(grown, grown_y);
+  EXPECT_NEAR(incremental.log_marginal_likelihood(),
+              fresh.log_marginal_likelihood(), 1e-9);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> q(kD);
+    for (auto& v : q) v = rng.uniform(-0.5, 1.5);
+    const Prediction pi = incremental.predict(q);
+    const Prediction pf = fresh.predict(q);
+    EXPECT_NEAR(pi.mean, pf.mean, 1e-9);
+    EXPECT_NEAR(pi.variance, pf.variance, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, GpCacheSweep,
+    ::testing::Combine(::testing::Values(KernelFamily::kSquaredExponential,
+                                         KernelFamily::kMatern32,
+                                         KernelFamily::kMatern52),
+                       ::testing::Bool()));
+
+TEST_F(GpFit, BatchPredictionMatchesPointPrediction) {
+  Rng rng(9);
+  Kernel k(KernelFamily::kMatern52, 2, false);
+  GpRegressor gp(k, 1e-3);
+  Matrix x(20, 2);
+  Vector y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+    y[i] = rng.normal();
+  }
+  gp.fit(x, y);
+  // More queries than one internal chunk, to cross the chunk boundary.
+  Matrix q(150, 2);
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    q(i, 0) = rng.uniform(-0.5, 1.5);
+    q(i, 1) = rng.uniform(-0.5, 1.5);
+  }
+  const auto batch = gp.predict_batch(q);
+  ASSERT_EQ(batch.size(), q.rows());
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    const Prediction p = gp.predict(std::vector<double>{q(i, 0), q(i, 1)});
+    EXPECT_DOUBLE_EQ(batch[i].mean, p.mean);
+    EXPECT_DOUBLE_EQ(batch[i].variance, p.variance);
+  }
+}
+
+TEST_F(GpFit, SharedDistanceBlockMatchesDirectPrediction) {
+  // Two GPs with different hyperparameters but the same X must produce,
+  // from one shared unscaled-distance block, exactly what their own
+  // predict_batch produces — this is the surrogate's cross-GP fast path.
+  Rng rng(13);
+  Matrix x(15, 3);
+  Vector y(15);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.uniform();
+    y[i] = rng.normal();
+  }
+  Kernel k1(KernelFamily::kMatern52, 3, false);
+  k1.set_lengthscales({0.3});
+  Kernel k2(KernelFamily::kMatern52, 3, false);
+  k2.set_lengthscales({0.9});
+  k2.set_amplitude(2.0);
+  GpRegressor g1(k1, 1e-3), g2(k2, 1e-2);
+  g1.fit(x, y);
+  g2.fit(x, y);
+
+  Matrix q(40, 3);
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    for (std::size_t j = 0; j < 3; ++j) q(i, j) = rng.uniform(-0.5, 1.5);
+  }
+  Matrix d2;
+  g1.unscaled_sq_dist_rows(q, 0, q.rows(), d2);
+  for (const GpRegressor* g : {&g1, &g2}) {
+    std::vector<Prediction> from_block;
+    g->predict_from_sq_dist_rows(d2, from_block);
+    const auto direct = g->predict_batch(q);
+    ASSERT_EQ(from_block.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_DOUBLE_EQ(from_block[i].mean, direct[i].mean);
+      EXPECT_DOUBLE_EQ(from_block[i].variance, direct[i].variance);
+    }
+  }
+}
+
+TEST_F(GpFit, SharedDistanceBlockRejectsArd) {
+  Kernel k(KernelFamily::kSquaredExponential, 2, /*ard=*/true);
+  GpRegressor gp(k, 1e-3);
+  Matrix x(3, 2);
+  x(1, 0) = 1.0;
+  x(2, 1) = 1.0;
+  gp.fit(x, Vector{0.0, 1.0, 2.0});
+  Matrix d2;
+  gp.unscaled_sq_dist_rows(x, 0, 3, d2);
+  std::vector<Prediction> out;
+  EXPECT_THROW(gp.predict_from_sq_dist_rows(d2, out), Error);
+}
+
 }  // namespace
 }  // namespace stormtune::gp

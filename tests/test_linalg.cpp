@@ -154,6 +154,66 @@ TEST(Cholesky, SolveSizeMismatchThrows) {
   EXPECT_THROW(chol.solve(Vector{1.0, 2.0}), Error);
 }
 
+TEST(Cholesky, SolveLowerInPlaceMatchesAllocatingSolve) {
+  Rng rng(6);
+  const Matrix a = random_spd(12, rng);
+  Vector b(12);
+  for (auto& x : b) x = rng.normal();
+  const Cholesky chol(a);
+  const Vector expected = chol.solve_lower(b);
+  Vector in_place = b;
+  chol.solve_lower_in_place(in_place);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_DOUBLE_EQ(in_place[i], expected[i]);
+  }
+}
+
+TEST(Cholesky, AppendRowMatchesFullFactorization) {
+  // Grow an SPD matrix one bordered row at a time; the O(n²) rank-grow
+  // factor must match refactorizing the extended matrix from scratch.
+  Rng rng(7);
+  const std::size_t n_final = 18;
+  const Matrix a = random_spd(n_final, rng);
+  const std::size_t n0 = 10;
+  Matrix head(n0, n0);
+  for (std::size_t i = 0; i < n0; ++i) {
+    for (std::size_t j = 0; j < n0; ++j) head(i, j) = a(i, j);
+  }
+  Cholesky grown(head);
+  for (std::size_t n = n0; n < n_final; ++n) {
+    Vector b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = a(i, n);
+    grown.append_row(b, a(n, n));
+    ASSERT_EQ(grown.size(), n + 1);
+    Matrix sub(n + 1, n + 1);
+    for (std::size_t i = 0; i <= n; ++i) {
+      for (std::size_t j = 0; j <= n; ++j) sub(i, j) = a(i, j);
+    }
+    const Cholesky full(sub);
+    for (std::size_t i = 0; i <= n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        EXPECT_NEAR(grown.lower()(i, j), full.lower()(i, j), 1e-9)
+            << "n=" << n << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Cholesky, AppendRowRejectsNonSpdExtension) {
+  // Border the identity with a row making the extension indefinite
+  // (c <= bᵀb); the factor must be left unchanged.
+  Cholesky chol(Matrix::identity(3));
+  const Vector b{1.0, 1.0, 1.0};
+  EXPECT_THROW(chol.append_row(b, 2.0), Error);
+  EXPECT_EQ(chol.size(), 3u);
+  EXPECT_NEAR(chol.log_determinant(), 0.0, 1e-12);
+}
+
+TEST(Cholesky, AppendRowSizeMismatchThrows) {
+  Cholesky chol(Matrix::identity(3));
+  EXPECT_THROW(chol.append_row(Vector{1.0, 2.0}, 10.0), Error);
+}
+
 TEST(VectorOps, DotAndNorm) {
   const Vector a{1.0, 2.0, 3.0};
   const Vector b{4.0, -5.0, 6.0};
