@@ -4,12 +4,22 @@
 // Figure 7's scalability claims with component-level numbers.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
 #include "bayesopt/bayesopt.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "gp/gp_regressor.hpp"
 #include "stormsim/engine.hpp"
 #include "topology/sundog.hpp"
 #include "topology/synthetic.hpp"
+#include "tuning/experiment.hpp"
+#include "tuning/objective.hpp"
 
 namespace {
 
@@ -136,9 +146,20 @@ void BM_AcquisitionSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_AcquisitionSearch)->Arg(60)->Unit(benchmark::kMillisecond);
 
-void BM_EngineSyntheticRun(benchmark::State& state) {
+topo::TopologySize size_for_vertices(std::int64_t vertices) {
+  switch (vertices) {
+    case 10: return topo::TopologySize::kSmall;
+    case 50: return topo::TopologySize::kMedium;
+    default: return topo::TopologySize::kLarge;
+  }
+}
+
+void BM_Simulate(benchmark::State& state) {
+  // One 15 s objective evaluation on the paper's 10/50/100-vertex
+  // synthetic topologies — the unit of work every campaign repeats
+  // passes x steps x repetitions times.
   topo::SyntheticSpec spec;
-  spec.size = static_cast<topo::TopologySize>(state.range(0));
+  spec.size = size_for_vertices(state.range(0));
   const sim::Topology topology = topo::build_synthetic(spec);
   sim::SimParams params = topo::synthetic_sim_params();
   params.duration_s = 15.0;
@@ -150,7 +171,7 @@ void BM_EngineSyntheticRun(benchmark::State& state) {
     benchmark::DoNotOptimize(r.throughput_tuples_per_s);
   }
 }
-BENCHMARK(BM_EngineSyntheticRun)->Arg(0)->Arg(1)->Arg(2)
+BENCHMARK(BM_Simulate)->Arg(10)->Arg(50)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
 void BM_EngineSundogRun(benchmark::State& state) {
@@ -166,6 +187,43 @@ void BM_EngineSundogRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineSundogRun)->Unit(benchmark::kMillisecond);
+
+void BM_Campaign(benchmark::State& state) {
+  // A reduced-scale run_campaign (2 passes of random search on the medium
+  // topology plus best-config repetitions) over a pool of range(0) threads
+  // (0 = auto). Random search keeps BO out of the loop, so this measures
+  // the engine + experiment driver + pool, i.e. what the parallel campaign
+  // path actually buys. The result is bit-identical for any thread count.
+  const std::size_t threads = state.range(0) > 0
+                                  ? static_cast<std::size_t>(state.range(0))
+                                  : ThreadPool::default_thread_count();
+  topo::SyntheticSpec spec;
+  spec.size = topo::TopologySize::kMedium;
+  const sim::Topology topology = topo::build_synthetic(spec);
+  sim::SimParams params = topo::synthetic_sim_params();
+  params.duration_s = 5.0;
+  sim::TopologyConfig defaults = sim::uniform_hint_config(topology, 4);
+  tuning::SpaceOptions sopts;
+  sopts.hint_max = 20;
+  tuning::ExperimentOptions eopts;
+  eopts.max_steps = 6;
+  eopts.best_config_reps = 8;
+  for (auto _ : state) {
+    ThreadPool pool(threads);
+    const auto best = tuning::run_campaign(
+        [&](std::size_t pass) -> std::unique_ptr<tuning::Tuner> {
+          return std::make_unique<tuning::RandomTuner>(
+              tuning::ConfigSpace(topology, sopts, defaults), 101 + pass);
+        },
+        [&](std::size_t pass) -> std::unique_ptr<tuning::Objective> {
+          return std::make_unique<tuning::SimObjective>(
+              topology, topo::paper_cluster(), params, 7 + pass * 7919);
+        },
+        eopts, 2, pool);
+    benchmark::DoNotOptimize(best.best_rep_stats.mean);
+  }
+}
+BENCHMARK(BM_Campaign)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_BayesOptSuggest(benchmark::State& state) {
   // Figure 7's unit of work: one suggestion given `range(0)`-many
@@ -194,6 +252,76 @@ void BM_BayesOptSuggest(benchmark::State& state) {
 BENCHMARK(BM_BayesOptSuggest)->Arg(10)->Arg(30)->Arg(60)
     ->Unit(benchmark::kMillisecond);
 
+double time_simulate_ms(const sim::Topology& topology,
+                        const sim::TopologyConfig& config,
+                        const sim::ClusterSpec& cluster,
+                        const sim::SimParams& params, std::size_t iters) {
+  std::uint64_t seed = 1;
+  // One warm-up run keeps first-touch page faults out of the record.
+  sim::simulate(topology, config, cluster, params, seed++);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    const auto r = sim::simulate(topology, config, cluster, params, seed++);
+    benchmark::DoNotOptimize(r.throughput_tuples_per_s);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count() /
+         static_cast<double>(iters);
+}
+
+/// Timing record of the simulate workloads, written next to the benchmark
+/// output so the perf trajectory is tracked from PR 2 onward (compare the
+/// file across commits).
+void write_simulate_record(const std::string& path) {
+  JsonObject workloads;
+  for (const std::int64_t vertices : {10, 50, 100}) {
+    topo::SyntheticSpec spec;
+    spec.size = size_for_vertices(vertices);
+    const sim::Topology topology = topo::build_synthetic(spec);
+    sim::SimParams params = topo::synthetic_sim_params();
+    params.duration_s = 15.0;
+    const std::size_t iters = vertices <= 10 ? 40 : 8;
+    workloads["simulate/" + std::to_string(vertices)] =
+        time_simulate_ms(topology, sim::uniform_hint_config(topology, 8),
+                         topo::paper_cluster(), params, iters);
+  }
+  {
+    const sim::Topology topology = topo::build_sundog();
+    sim::SimParams params = topo::sundog_sim_params();
+    params.duration_s = 15.0;
+    workloads["simulate/sundog"] =
+        time_simulate_ms(topology, topo::sundog_baseline_config(topology),
+                         topo::sundog_cluster(), params, 4);
+  }
+  JsonObject record;
+  record["benchmark"] = "simulate";
+  record["unit"] = "ms_per_run";
+  record["window_s"] = 15.0;
+  record["workloads"] = std::move(workloads);
+  std::ofstream out(path);
+  out << Json(std::move(record)).dump(2) << '\n';
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our own flag before google-benchmark sees the command line.
+  std::string simulate_json = "BENCH_simulate.json";
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--simulate-json=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      simulate_json = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!simulate_json.empty()) write_simulate_record(simulate_json);
+  return 0;
+}

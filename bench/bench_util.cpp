@@ -46,11 +46,13 @@ Args Args::parse(int argc, char** argv) {
       args.duration_s = std::stod(v);
     } else if (const char* v = value_of(a, "--seed")) {
       args.seed = std::stoull(v);
+    } else if (const char* v = value_of(a, "--threads")) {
+      args.threads = std::stoul(v);
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (expected --full, --steps=N, "
                    "--bo-steps=N, --bo180=N, --reps=N, --passes=N, "
-                   "--duration=S, --seed=N)\n",
+                   "--duration=S, --seed=N, --threads=N)\n",
                    a);
       std::exit(2);
     }
@@ -58,14 +60,18 @@ Args Args::parse(int argc, char** argv) {
   return args;
 }
 
+std::size_t Args::pool_threads() const {
+  return threads > 0 ? threads : ThreadPool::default_thread_count();
+}
+
 std::string Args::describe() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "scale=%s pla_steps=%zu bo_steps=%zu bo180=%zu reps=%zu "
-                "passes=%zu window=%.0fs seed=%llu",
+                "passes=%zu window=%.0fs seed=%llu threads=%zu",
                 full ? "full(paper)" : "quick", pla_steps, bo_steps,
                 bo180_steps, reps, passes, duration_s,
-                static_cast<unsigned long long>(seed));
+                static_cast<unsigned long long>(seed), pool_threads());
   return buf;
 }
 
@@ -189,13 +195,13 @@ CampaignCell run_synthetic_cell(const Args& args, const CellSpec& cell,
   params.duration_s = args.duration_s;
 
   // A fixed objective seed per cell keeps strategies comparable; the
-  // optimizer passes get distinct seeds.
+  // optimizer passes get distinct seeds, and each pass owns its objective
+  // (a per-pass derived seed) so passes can run concurrently.
   const std::uint64_t cell_seed =
       args.seed + static_cast<std::uint64_t>(cell.size) * 101 +
       (cell.time_imbalance ? 13 : 0) + (cell.contention > 0.0 ? 29 : 0);
-  tuning::SimObjective objective(topology, topo::paper_cluster(), params,
-                                 cell_seed);
 
+  ThreadPool pool(args.pool_threads());
   CampaignCell out;
   out.cell = cell;
   out.strategy = strategy;
@@ -204,8 +210,13 @@ CampaignCell run_synthetic_cell(const Args& args, const CellSpec& cell,
         return make_synthetic_tuner(strategy, topology, synthetic_defaults(),
                                     cell_seed * 7919 + pass);
       },
-      objective, experiment_options(args, strategy, step_override),
-      args.passes, &out.passes);
+      [&](std::size_t pass) -> std::unique_ptr<tuning::Objective> {
+        return std::make_unique<tuning::SimObjective>(
+            topology, topo::paper_cluster(), params,
+            cell_seed + 0x632be59bd9b4e019ULL * pass);
+      },
+      experiment_options(args, strategy, step_override), args.passes, pool,
+      &out.passes);
   return out;
 }
 
@@ -249,8 +260,8 @@ SundogResult run_sundog_campaign(const Args& args,
   const sim::Topology topology = topo::build_sundog();
   sim::SimParams params = topo::sundog_sim_params();
   params.duration_s = args.duration_s;
-  tuning::SimObjective objective(topology, topo::sundog_cluster(), params,
-                                 args.seed + 4242);
+
+  ThreadPool pool(args.pool_threads());
   SundogResult out;
   out.strategy = strategy;
   out.param_set = param_set;
@@ -260,8 +271,13 @@ SundogResult run_sundog_campaign(const Args& args,
                                  args.seed * 31 + pass * 1009 +
                                      std::hash<std::string>{}(param_set));
       },
-      objective, experiment_options(args, strategy, step_override),
-      args.passes, &out.passes);
+      [&](std::size_t pass) -> std::unique_ptr<tuning::Objective> {
+        return std::make_unique<tuning::SimObjective>(
+            topology, topo::sundog_cluster(), params,
+            args.seed + 4242 + 0x632be59bd9b4e019ULL * pass);
+      },
+      experiment_options(args, strategy, step_override), args.passes, pool,
+      &out.passes);
   return out;
 }
 

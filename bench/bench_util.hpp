@@ -31,11 +31,17 @@ struct Args {
   std::size_t passes = 2;       ///< independent optimization passes
   double duration_s = 15.0;     ///< simulated measurement window
   std::uint64_t seed = 2015;    ///< campaign base seed (the paper's year)
+  std::size_t threads = 0;      ///< campaign pool size; 0 = auto
 
   /// Parse --full, --steps=N, --bo-steps=N, --bo180=N, --reps=N,
-  /// --passes=N, --duration=S, --seed=N. --full switches every default to
-  /// the paper-scale protocol first; explicit flags then override.
+  /// --passes=N, --duration=S, --seed=N, --threads=N. --full switches every
+  /// default to the paper-scale protocol first; explicit flags then
+  /// override.
   static Args parse(int argc, char** argv);
+
+  /// The campaign thread pool implied by `threads` (results are
+  /// bit-identical for any value; see run_campaign).
+  std::size_t pool_threads() const;
 
   std::string describe() const;
 };

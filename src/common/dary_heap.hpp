@@ -1,0 +1,82 @@
+// Flat d-ary min-heap (default 4-ary), the event-queue workhorse of the
+// discrete-event engine.
+//
+// Compared to the binary heap inside std::priority_queue, a 4-ary layout
+// halves the tree depth, keeps the sift-down fan-out inside one or two
+// cache lines for small elements, and avoids the std::greater<>/pair
+// indirection. The element order is defined by a strict weak Less on the
+// whole element; for deterministic simulation, callers must make Less a
+// TOTAL order (e.g. by including a unique sequence number in the key), so
+// the pop order is a pure function of the pushed set, independent of the
+// heap's internal layout history.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace stormtune {
+
+template <typename T, std::size_t Arity = 4, typename Less = std::less<T>>
+class DaryHeap {
+  static_assert(Arity >= 2, "DaryHeap: arity must be at least 2");
+
+ public:
+  DaryHeap() = default;
+  explicit DaryHeap(Less less) : less_(std::move(less)) {}
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  void clear() { heap_.clear(); }
+
+  /// Smallest element under Less.
+  const T& top() const { return heap_.front(); }
+
+  void push(T value) {
+    heap_.push_back(std::move(value));
+    sift_up(heap_.size() - 1);
+  }
+
+  void pop() {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    T value = std::move(heap_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!less_(value, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(value);
+  }
+
+  void sift_down(std::size_t i) {
+    T value = std::move(heap_[i]);
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = i * Arity + 1;
+      if (first >= n) break;
+      const std::size_t last = std::min(first + Arity, n);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (less_(heap_[c], heap_[best])) best = c;
+      }
+      if (!less_(heap_[best], value)) break;
+      heap_[i] = std::move(heap_[best]);
+      i = best;
+    }
+    heap_[i] = std::move(value);
+  }
+
+  std::vector<T> heap_;
+  Less less_;
+};
+
+}  // namespace stormtune

@@ -1,0 +1,137 @@
+// Indexed d-ary min-heap: a priority queue over a fixed key universe
+// {0, ..., n-1} where each key holds at most ONE entry and its priority can
+// be changed in place (decrease- or increase-key) in O(log n).
+//
+// This is the departure-event structure of the discrete-event engine: one
+// entry per machine, updated whenever the machine's processing rate or job
+// set changes. The alternative — pushing a fresh event per change and
+// lazily discarding stale ones, as the engine used to do — grows the event
+// heap with one dead entry per rate change and makes every push/pop pay
+// log(live + stale).
+//
+// Like DaryHeap, deterministic use requires Less to be a total order over
+// the stored priorities (include a sequence number); then top() is a pure
+// function of the current {key -> priority} map.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace stormtune {
+
+template <typename P, std::size_t Arity = 4, typename Less = std::less<P>>
+class IndexedHeap {
+  static_assert(Arity >= 2, "IndexedHeap: arity must be at least 2");
+
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  IndexedHeap() = default;
+  explicit IndexedHeap(std::size_t num_keys) : pos_(num_keys, npos) {}
+
+  /// Grow/shrink the key universe. Existing entries with key >= num_keys
+  /// must have been erased first.
+  void resize(std::size_t num_keys) { pos_.resize(num_keys, npos); }
+
+  std::size_t num_keys() const { return pos_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  bool contains(std::size_t key) const { return pos_[key] != npos; }
+
+  const P& priority(std::size_t key) const { return heap_[pos_[key]].priority; }
+
+  /// Key and priority of the smallest entry under Less.
+  std::size_t top_key() const { return heap_.front().key; }
+  const P& top_priority() const { return heap_.front().priority; }
+
+  /// Insert `key` with `priority`, or change its priority in place.
+  void set(std::size_t key, P priority) {
+    const std::size_t i = pos_[key];
+    if (i == npos) {
+      heap_.push_back(Entry{std::move(priority), key});
+      sift_up(heap_.size() - 1);
+    } else if (less_(priority, heap_[i].priority)) {
+      heap_[i].priority = std::move(priority);
+      sift_up(i);
+    } else {
+      heap_[i].priority = std::move(priority);
+      sift_down(i);
+    }
+  }
+
+  /// Remove `key`'s entry if present.
+  void erase(std::size_t key) {
+    const std::size_t i = pos_[key];
+    if (i == npos) return;
+    pos_[key] = npos;
+    const std::size_t last = heap_.size() - 1;
+    if (i != last) {
+      heap_[i] = std::move(heap_[last]);
+      pos_[heap_[i].key] = i;
+      heap_.pop_back();
+      // The moved-in entry may need to travel either direction.
+      if (i > 0 && less_(heap_[i].priority, heap_[(i - 1) / Arity].priority)) {
+        sift_up(i);
+      } else {
+        sift_down(i);
+      }
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  /// Remove the smallest entry.
+  void pop() {
+    STORMTUNE_REQUIRE(!heap_.empty(), "IndexedHeap::pop on empty heap");
+    erase(heap_.front().key);
+  }
+
+ private:
+  struct Entry {
+    P priority;
+    std::size_t key;
+  };
+
+  void sift_up(std::size_t i) {
+    Entry value = std::move(heap_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!less_(value.priority, heap_[parent].priority)) break;
+      heap_[i] = std::move(heap_[parent]);
+      pos_[heap_[i].key] = i;
+      i = parent;
+    }
+    heap_[i] = std::move(value);
+    pos_[heap_[i].key] = i;
+  }
+
+  void sift_down(std::size_t i) {
+    Entry value = std::move(heap_[i]);
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = i * Arity + 1;
+      if (first >= n) break;
+      const std::size_t last = std::min(first + Arity, n);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (less_(heap_[c].priority, heap_[best].priority)) best = c;
+      }
+      if (!less_(heap_[best].priority, value.priority)) break;
+      heap_[i] = std::move(heap_[best]);
+      pos_[heap_[i].key] = i;
+      i = best;
+    }
+    heap_[i] = std::move(value);
+    pos_[heap_[i].key] = i;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::size_t> pos_;  // key -> heap index, npos when absent
+  Less less_;
+};
+
+}  // namespace stormtune

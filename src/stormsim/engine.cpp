@@ -4,11 +4,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <queue>
 #include <vector>
 
+#include "common/dary_heap.hpp"
 #include "common/error.hpp"
+#include "common/indexed_heap.hpp"
 #include "common/rng.hpp"
 
 namespace stormtune::sim {
@@ -30,8 +30,39 @@ struct Job {
   std::size_t node = kNone;    // topology node (spout/bolt) or kNone
   std::size_t task = kNone;    // serial-gate id (task instance)
   std::size_t worker = kNone;  // worker whose pools gate this job
-  std::size_t batch = 0;
+  std::size_t batch = 0;       // batch SLOT (see BatchState::number)
   double work = 0.0;  // core-milliseconds at full speed
+  /// Creation sequence number. Job slots are recycled through a free list,
+  /// so slot ids are not creation-ordered; every ordering decision (the
+  /// machine heaps' tie-break) uses this ticket instead, which reproduces
+  /// the creation-order tie-break of the pre-free-list engine exactly.
+  std::uint64_t ticket = 0;
+  /// Intrusive FIFO link while the job waits in a task gate or worker pool.
+  std::size_t next = kNone;
+};
+
+/// Intrusive FIFO of jobs linked through Job::next — no allocation per
+/// enqueue, unlike the std::deque<JobId> it replaces.
+struct JobQueue {
+  std::size_t head = kNone;
+  std::size_t tail = kNone;
+  bool empty() const { return head == kNone; }
+};
+
+/// A machine's active job: ordered by (virtual end time, creation ticket).
+/// Both components together form a total order (tickets are unique), so the
+/// pop order is independent of the heap's internal layout.
+struct ActiveJob {
+  double v_end = 0.0;
+  std::uint64_t ticket = 0;
+  JobId job = 0;
+};
+
+struct ActiveJobEarlier {
+  bool operator()(const ActiveJob& x, const ActiveJob& y) const {
+    if (x.v_end != y.v_end) return x.v_end < y.v_end;
+    return x.ticket < y.ticket;
+  }
 };
 
 /// Processor-sharing machine: all active jobs progress at the same rate
@@ -46,11 +77,9 @@ struct MachineState {
 
   double virtual_service = 0.0;  // V
   double last_update = 0.0;
-  std::uint64_t version = 0;  // invalidates stale departure events
 
-  // Min-heap of (V_end, job) for active jobs.
-  using Entry = std::pair<double, JobId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> active;
+  // Min-heap of active jobs by (V_end, ticket).
+  DaryHeap<ActiveJob, 4, ActiveJobEarlier> active;
 
   double busy_core_ms = 0.0;  // integrated busy cores (capacity accounting)
   double egress_bytes = 0.0;
@@ -75,18 +104,21 @@ struct MachineState {
 struct WorkerState {
   std::size_t machine = 0;
   int exec_active = 0;
-  std::deque<JobId> exec_queue;
+  JobQueue exec_queue;
   int recv_active = 0;
-  std::deque<JobId> recv_queue;
+  JobQueue recv_queue;
 };
 
 struct TaskGate {
   bool busy = false;
-  std::deque<JobId> pending;
+  JobQueue pending;
 };
 
+/// Per-batch state. Slots are recycled through a free list once the batch
+/// commits, so the engine holds O(batch_parallelism) of these regardless of
+/// run length; `number` is the global (monotone) batch index.
 struct BatchState {
-  bool live = false;
+  std::uint64_t number = 0;
   double emit_time = 0.0;
   std::size_t nodes_done = 0;
   std::size_t acks_pending = 0;
@@ -94,22 +126,38 @@ struct BatchState {
   bool commit_submitted = false;
   std::vector<std::size_t> edges_pending;  // per node: in-edges not yet arrived
   std::vector<double> node_ready_time;     // per node: inputs-complete time
+  std::vector<std::size_t> jobs_remaining; // per node: outstanding emit/compute
 };
 
-enum class EventKind : std::uint8_t { kMachineDeparture, kEdgeArrival };
-
-struct Event {
+/// A tuple transfer landing on a destination node. Departure events do not
+/// live here — each machine owns exactly one in-place entry in an indexed
+/// heap (see Simulation::departures_).
+struct EdgeEvent {
   double time = 0.0;
   std::uint64_t seq = 0;  // FIFO tie-break for determinism
-  EventKind kind = EventKind::kMachineDeparture;
-  std::size_t a = 0;      // machine id | destination node
-  std::uint64_t b = 0;    // machine version | batch id
+  std::size_t node = 0;   // destination node
+  std::size_t batch = 0;  // batch slot
 };
 
-struct EventLater {
-  bool operator()(const Event& x, const Event& y) const {
-    if (x.time != y.time) return x.time > y.time;
-    return x.seq > y.seq;
+struct EdgeEventEarlier {
+  bool operator()(const EdgeEvent& x, const EdgeEvent& y) const {
+    if (x.time != y.time) return x.time < y.time;
+    return x.seq < y.seq;
+  }
+};
+
+/// Departure priority of one machine: (absolute time, schedule sequence).
+/// The seq is drawn from the same counter as edge events, so the merged
+/// event order reproduces the old single-queue FIFO tie-break exactly.
+struct DepartureKey {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+};
+
+struct DepartureEarlier {
+  bool operator()(const DepartureKey& x, const DepartureKey& y) const {
+    if (x.time != y.time) return x.time < y.time;
+    return x.seq < y.seq;
   }
 };
 
@@ -134,12 +182,28 @@ class Simulation {
   void precompute_batch_profile();
 
   // ---- event plumbing ----
-  void push_event(double time, EventKind kind, std::size_t a,
-                  std::uint64_t b) {
-    events_.push(Event{time, seq_++, kind, a, b});
+  void push_edge_event(double time, std::size_t node, std::size_t batch) {
+    edge_events_.push(EdgeEvent{time, seq_++, node, batch});
   }
   void schedule_machine_departure(std::size_t m);
   void update_memory_pressure();
+
+  // ---- intrusive job queues ----
+  void queue_push(JobQueue& q, JobId id) {
+    jobs_[id].next = kNone;
+    if (q.tail == kNone) {
+      q.head = id;
+    } else {
+      jobs_[q.tail].next = id;
+    }
+    q.tail = id;
+  }
+  JobId queue_pop(JobQueue& q) {
+    const JobId id = q.head;
+    q.head = jobs_[id].next;
+    if (q.head == kNone) q.tail = kNone;
+    return id;
+  }
 
   // ---- job lifecycle ----
   JobId make_job(JobKind kind, std::size_t node, std::size_t task,
@@ -184,21 +248,26 @@ class Simulation {
   std::vector<double> compute_work_;    // per node, per task, core-ms
   std::vector<double> recv_work_;       // per node, per task, core-ms
   std::vector<double> ack_work_;        // per node, core-ms
+  std::vector<std::size_t> in_edge_count_;     // per node
   std::vector<double> edge_delay_ms_;   // per edge
   std::vector<double> edge_bytes_per_sender_;  // per edge
   std::vector<std::vector<std::size_t>> edge_sender_machines_;  // per edge
   double batch_memory_bytes_ = 0.0;
 
   // ---- dynamic state ----
+  // Jobs and batches recycle slots through free lists, so both pools stay
+  // O(concurrent work) instead of growing over the simulated run.
   std::vector<Job> jobs_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<JobId> free_jobs_;
+  std::uint64_t job_ticket_ = 0;
+  DaryHeap<EdgeEvent, 4, EdgeEventEarlier> edge_events_;
+  IndexedHeap<DepartureKey, 4, DepartureEarlier> departures_;  // by machine
   std::uint64_t seq_ = 0;
   double now_ = 0.0;
   double memory_pressure_ = 1.0;
   double static_memory_share_ = 0.0;  // per-machine bytes for task overhead
-  std::vector<BatchState> batches_;
-  /// Per batch, per node: outstanding spout-emit/compute jobs.
-  std::vector<std::vector<std::size_t>> node_jobs_remaining_;
+  std::vector<BatchState> batches_;   // slots, recycled
+  std::vector<std::size_t> free_batches_;
   std::size_t batches_emitted_ = 0;
   std::size_t batches_inflight_ = 0;
   std::size_t batches_committed_ = 0;
@@ -234,6 +303,7 @@ void Simulation::build_deployment() {
   master_machine_ = machines_.size() - 1;
   machines_[master_machine_].base_speed_factor = 1.0;  // dedicated VM
   machines_[master_machine_].speed_factor = 1.0;
+  departures_.resize(machines_.size());
 
   workers_.resize(num_workers + 1);
   for (std::size_t w = 0; w < num_workers; ++w) {
@@ -281,6 +351,7 @@ void Simulation::precompute_batch_profile() {
   compute_work_.resize(n);
   recv_work_.resize(n);
   ack_work_.resize(n);
+  in_edge_count_.resize(n);
   batch_memory_bytes_ = 0.0;
   for (std::size_t v = 0; v < n; ++v) {
     const Node& node = topo_.node(v);
@@ -295,6 +366,7 @@ void Simulation::precompute_batch_profile() {
                         : 0.0;
     ack_work_[v] = out_tuples_[v] * params_.ack_units_per_tuple *
                    params_.compute_unit_ms;
+    in_edge_count_[v] = topo_.in_edge_ids(v).size();
     batch_memory_bytes_ += in_tuples_[v] * params_.tuple_memory_bytes;
   }
 
@@ -308,12 +380,17 @@ void Simulation::precompute_batch_profile() {
   edge_delay_ms_.resize(edges.size());
   edge_bytes_per_sender_.resize(edges.size());
   edge_sender_machines_.resize(edges.size());
+  // Stamp array for the per-edge sender dedup: seen_stamp[mach] == e marks
+  // machine `mach` as already collected for edge e. O(tasks) per edge where
+  // the old std::find-over-vector scan was O(tasks * machines).
+  std::vector<std::size_t> seen_stamp(machines_.size(), kNone);
   for (std::size_t e = 0; e < edges.size(); ++e) {
     const std::size_t from = edges[e].from;
     std::vector<std::size_t> senders;
     for (std::size_t t : node_tasks_[from]) {
       const std::size_t mach = workers_[task_worker_[t]].machine;
-      if (std::find(senders.begin(), senders.end(), mach) == senders.end()) {
+      if (seen_stamp[mach] != e) {
+        seen_stamp[mach] = e;
         senders.push_back(mach);
       }
     }
@@ -331,14 +408,15 @@ void Simulation::precompute_batch_profile() {
 
 void Simulation::schedule_machine_departure(std::size_t m) {
   MachineState& mach = machines_[m];
-  ++mach.version;
-  if (mach.active.empty()) return;
+  if (mach.active.empty()) {
+    departures_.erase(m);
+    return;
+  }
   const double rate = mach.rate();
   STORMTUNE_REQUIRE(rate > 0.0, "simulate: machine with jobs but zero rate");
   const double remaining =
-      std::max(0.0, mach.active.top().first - mach.virtual_service);
-  push_event(now_ + remaining / rate, EventKind::kMachineDeparture, m,
-             mach.version);
+      std::max(0.0, mach.active.top().v_end - mach.virtual_service);
+  departures_.set(m, DepartureKey{now_ + remaining / rate, seq_++});
 }
 
 void Simulation::update_memory_pressure() {
@@ -365,8 +443,16 @@ void Simulation::update_memory_pressure() {
 JobId Simulation::make_job(JobKind kind, std::size_t node, std::size_t task,
                            std::size_t worker, std::size_t batch,
                            double work) {
-  jobs_.push_back(Job{kind, node, task, worker, batch, work});
-  return jobs_.size() - 1;
+  JobId id;
+  if (!free_jobs_.empty()) {
+    id = free_jobs_.back();
+    free_jobs_.pop_back();
+  } else {
+    jobs_.emplace_back();
+    id = jobs_.size() - 1;
+  }
+  jobs_[id] = Job{kind, node, task, worker, batch, work, job_ticket_++, kNone};
+  return id;
 }
 
 void Simulation::submit(JobId id) {
@@ -374,7 +460,7 @@ void Simulation::submit(JobId id) {
   if (task_gated(job.kind)) {
     TaskGate& gate = tasks_[job.task];
     if (gate.busy) {
-      gate.pending.push_back(id);
+      queue_push(gate.pending, id);
       return;
     }
     gate.busy = true;
@@ -387,7 +473,7 @@ void Simulation::enter_worker_gate(JobId id) {
   WorkerState& w = workers_[job.worker];
   if (job.kind == JobKind::kReceive) {
     if (w.recv_active >= config_.receiver_threads) {
-      w.recv_queue.push_back(id);
+      queue_push(w.recv_queue, id);
       return;
     }
     ++w.recv_active;
@@ -395,7 +481,7 @@ void Simulation::enter_worker_gate(JobId id) {
     // The coordinator is not bounded by a worker executor pool.
   } else {
     if (w.exec_active >= config_.worker_threads) {
-      w.exec_queue.push_back(id);
+      queue_push(w.exec_queue, id);
       return;
     }
     ++w.exec_active;
@@ -407,28 +493,28 @@ void Simulation::start_on_machine(JobId id) {
   const Job& job = jobs_[id];
   MachineState& mach = machines_[workers_[job.worker].machine];
   mach.advance(now_);
-  mach.active.emplace(mach.virtual_service + job.work, id);
+  mach.active.push(
+      ActiveJob{mach.virtual_service + job.work, job.ticket, id});
   schedule_machine_departure(workers_[job.worker].machine);
 }
 
 void Simulation::finish_job(JobId id) {
   const Job job = jobs_[id];
+  free_jobs_.push_back(id);  // slot dead from here on; `job` holds the copy
   WorkerState& w = workers_[job.worker];
 
   // Release the worker pool slot and admit the next queued job.
   if (job.kind == JobKind::kReceive) {
     --w.recv_active;
     if (!w.recv_queue.empty()) {
-      const JobId next = w.recv_queue.front();
-      w.recv_queue.pop_front();
+      const JobId next = queue_pop(w.recv_queue);
       ++w.recv_active;
       start_on_machine(next);
     }
   } else if (job.kind != JobKind::kCommit) {
     --w.exec_active;
     if (!w.exec_queue.empty()) {
-      const JobId next = w.exec_queue.front();
-      w.exec_queue.pop_front();
+      const JobId next = queue_pop(w.exec_queue);
       ++w.exec_active;
       start_on_machine(next);
     }
@@ -439,8 +525,7 @@ void Simulation::finish_job(JobId id) {
     TaskGate& gate = tasks_[job.task];
     gate.busy = false;
     if (!gate.pending.empty()) {
-      const JobId next = gate.pending.front();
-      gate.pending.pop_front();
+      const JobId next = queue_pop(gate.pending);
       gate.busy = true;
       enter_worker_gate(next);
     }
@@ -451,7 +536,7 @@ void Simulation::finish_job(JobId id) {
     case JobKind::kSpoutEmit:
     case JobKind::kCompute: {
       node_busy_core_ms_[job.node] += job.work;
-      auto& remaining = node_jobs_remaining_[job.batch];
+      auto& remaining = batches_[job.batch].jobs_remaining;
       STORMTUNE_REQUIRE(remaining[job.node] > 0,
                         "simulate: node job accounting underflow");
       if (--remaining[job.node] == 0) node_completed(job.node, job.batch);
@@ -489,27 +574,38 @@ void Simulation::emit_ready_batches() {
 }
 
 void Simulation::emit_batch() {
-  const std::size_t batch = batches_emitted_++;
+  const std::uint64_t number = batches_emitted_++;
   ++batches_inflight_;
-  batches_.emplace_back();
-  node_jobs_remaining_.emplace_back(topo_.num_nodes(), 0);
-  BatchState& b = batches_.back();
-  b.live = true;
+  std::size_t slot;
+  if (!free_batches_.empty()) {
+    slot = free_batches_.back();
+    free_batches_.pop_back();
+  } else {
+    batches_.emplace_back();
+    slot = batches_.size() - 1;
+  }
+  BatchState& b = batches_[slot];
+  const std::size_t n = topo_.num_nodes();
+  b.number = number;
   b.emit_time = now_;
-  b.edges_pending.resize(topo_.num_nodes());
-  b.node_ready_time.assign(topo_.num_nodes(), 0.0);
-  for (std::size_t v = 0; v < topo_.num_nodes(); ++v) {
-    b.edges_pending[v] = topo_.in_edge_ids(v).size();
+  b.nodes_done = 0;
+  b.acks_pending = 0;
+  b.processing_done = false;
+  b.commit_submitted = false;
+  b.edges_pending.resize(n);
+  b.node_ready_time.assign(n, 0.0);
+  b.jobs_remaining.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    b.edges_pending[v] = in_edge_count_[v];
   }
   update_memory_pressure();
 
   for (std::size_t s : topo_.spouts()) {
     b.node_ready_time[s] = now_;
-    auto& remaining = node_jobs_remaining_[batch];
-    remaining[s] = node_tasks_[s].size();
+    b.jobs_remaining[s] = node_tasks_[s].size();
     for (std::size_t t : node_tasks_[s]) {
       const JobId id = make_job(JobKind::kSpoutEmit, s, t, task_worker_[t],
-                                batch, compute_work_[s]);
+                                slot, compute_work_[s]);
       submit(id);
     }
   }
@@ -523,11 +619,13 @@ void Simulation::node_completed(std::size_t node, std::size_t batch) {
   node_stage_max_ms_[node] = std::max(node_stage_max_ms_[node], stage_ms);
   ++node_batches_done_[node];
 
-  // Acker bookkeeping for this node's emissions.
+  // Acker bookkeeping for this node's emissions. Selection keys on the
+  // global batch number, not the recycled slot.
   if (ack_work_[node] > 0.0 && !acker_tasks_.empty()) {
     ++b.acks_pending;
     const std::size_t acker =
-        acker_tasks_[(node + batch * topo_.num_nodes()) %
+        acker_tasks_[(node + static_cast<std::size_t>(b.number) *
+                                 topo_.num_nodes()) %
                      acker_tasks_.size()];
     const JobId id = make_job(JobKind::kAck, node, acker, task_worker_[acker],
                               batch, ack_work_[node]);
@@ -540,8 +638,7 @@ void Simulation::node_completed(std::size_t node, std::size_t batch) {
     for (std::size_t m : edge_sender_machines_[eid]) {
       machines_[m].egress_bytes += edge_bytes_per_sender_[eid];
     }
-    push_event(now_ + edge_delay_ms_[eid], EventKind::kEdgeArrival, e.to,
-               batch);
+    push_edge_event(now_ + edge_delay_ms_[eid], e.to, batch);
   }
 
   if (++b.nodes_done == topo_.num_nodes()) {
@@ -558,8 +655,7 @@ void Simulation::edge_arrived(std::size_t node, std::size_t batch) {
   b.node_ready_time[node] = now_;
 
   // All inputs arrived: deserialization then compute, one pair per task.
-  auto& remaining = node_jobs_remaining_[batch];
-  remaining[node] = node_tasks_[node].size();
+  b.jobs_remaining[node] = node_tasks_[node].size();
   for (std::size_t t : node_tasks_[node]) {
     if (recv_work_[node] > 0.0) {
       const JobId recv = make_job(JobKind::kReceive, node, t, task_worker_[t],
@@ -587,7 +683,6 @@ void Simulation::maybe_commit(std::size_t batch) {
 
 void Simulation::batch_committed(std::size_t batch) {
   BatchState& b = batches_[batch];
-  b.live = false;
   STORMTUNE_REQUIRE(batches_inflight_ > 0,
                     "simulate: inflight accounting underflow");
   --batches_inflight_;
@@ -595,6 +690,7 @@ void Simulation::batch_committed(std::size_t batch) {
     ++batches_committed_;
     total_latency_ms_ += now_ - b.emit_time;
   }
+  free_batches_.push_back(batch);  // all events for this batch have fired
   update_memory_pressure();
   emit_ready_batches();
 }
@@ -623,31 +719,42 @@ SimResult Simulation::run() {
 
   emit_ready_batches();
 
-  while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
-    if (ev.time > duration_ms_) break;
-    now_ = ev.time;
-    switch (ev.kind) {
-      case EventKind::kMachineDeparture: {
-        MachineState& mach = machines_[ev.a];
-        if (ev.b != mach.version) break;  // superseded by a later change
-        mach.advance(now_);
-        STORMTUNE_REQUIRE(!mach.active.empty(),
-                          "simulate: departure from idle machine");
-        const JobId id = mach.active.top().second;
-        // Guard against floating-point shortfall in the virtual clock.
-        mach.virtual_service =
-            std::max(mach.virtual_service, mach.active.top().first);
-        mach.active.pop();
-        schedule_machine_departure(ev.a);
-        finish_job(id);
-        break;
-      }
-      case EventKind::kEdgeArrival: {
-        edge_arrived(ev.a, static_cast<std::size_t>(ev.b));
-        break;
-      }
+  // Event loop over two queues: the 4-ary heap of edge arrivals and the
+  // indexed heap of per-machine departures. Both order by (time, seq) with
+  // seq drawn from one shared counter, so the merged order is exactly the
+  // old single-queue order — minus the stale departure entries, which no
+  // longer exist to be popped and discarded.
+  while (true) {
+    const bool have_edge = !edge_events_.empty();
+    const bool have_dep = !departures_.empty();
+    if (!have_edge && !have_dep) break;
+    bool take_dep = have_dep;
+    if (have_edge && have_dep) {
+      const DepartureKey& d = departures_.top_priority();
+      const EdgeEvent& e = edge_events_.top();
+      take_dep = d.time != e.time ? d.time < e.time : d.seq < e.seq;
+    }
+    const double time =
+        take_dep ? departures_.top_priority().time : edge_events_.top().time;
+    if (time > duration_ms_) break;
+    now_ = time;
+    if (take_dep) {
+      const std::size_t m = departures_.top_key();
+      MachineState& mach = machines_[m];
+      mach.advance(now_);
+      STORMTUNE_REQUIRE(!mach.active.empty(),
+                        "simulate: departure from idle machine");
+      const JobId id = mach.active.top().job;
+      // Guard against floating-point shortfall in the virtual clock.
+      mach.virtual_service =
+          std::max(mach.virtual_service, mach.active.top().v_end);
+      mach.active.pop();
+      schedule_machine_departure(m);
+      finish_job(id);
+    } else {
+      const EdgeEvent ev = edge_events_.top();
+      edge_events_.pop();
+      edge_arrived(ev.node, ev.batch);
     }
   }
 

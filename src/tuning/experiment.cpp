@@ -6,8 +6,13 @@
 
 namespace stormtune::tuning {
 
-ExperimentResult run_experiment(Tuner& tuner, Objective& objective,
-                                const ExperimentOptions& options) {
+namespace {
+
+/// The propose/evaluate/report loop shared by the serial and parallel
+/// drivers: everything of run_experiment except the best-config
+/// repetitions.
+ExperimentResult run_tuning_loop(Tuner& tuner, Objective& objective,
+                                 const ExperimentOptions& options) {
   STORMTUNE_REQUIRE(options.max_steps > 0,
                     "run_experiment: max_steps must be > 0");
   ExperimentResult r;
@@ -52,21 +57,52 @@ ExperimentResult run_experiment(Tuner& tuner, Objective& objective,
   STORMTUNE_REQUIRE(!r.trace.empty(), "run_experiment: tuner proposed nothing");
   r.mean_suggest_seconds =
       total_suggest / static_cast<double>(r.trace.size());
+  return r;
+}
 
+void serial_best_config_reps(ExperimentResult& r, Objective& objective,
+                             const ExperimentOptions& options) {
+  r.best_rep_values.reserve(options.best_config_reps);
+  for (std::size_t i = 0; i < options.best_config_reps; ++i) {
+    r.best_rep_values.push_back(objective.evaluate(r.best_config));
+  }
+  r.best_rep_stats = summarize(r.best_rep_values);
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(Tuner& tuner, Objective& objective,
+                                const ExperimentOptions& options) {
+  ExperimentResult r = run_tuning_loop(tuner, objective, options);
   if (options.best_config_reps > 0 && r.best_step > 0) {
-    r.best_rep_values.reserve(options.best_config_reps);
-    for (std::size_t i = 0; i < options.best_config_reps; ++i) {
-      r.best_rep_values.push_back(objective.evaluate(r.best_config));
+    serial_best_config_reps(r, objective, options);
+  }
+  return r;
+}
+
+ExperimentResult run_experiment(Tuner& tuner, Objective& objective,
+                                const ExperimentOptions& options,
+                                ThreadPool& pool) {
+  ExperimentResult r = run_tuning_loop(tuner, objective, options);
+  if (options.best_config_reps > 0 && r.best_step > 0) {
+    if (objective.clone_stream(0) == nullptr) {
+      serial_best_config_reps(r, objective, options);
+    } else {
+      r.best_rep_values.assign(options.best_config_reps, 0.0);
+      pool.parallel_for(options.best_config_reps, [&](std::size_t rep) {
+        r.best_rep_values[rep] =
+            objective.clone_stream(rep)->evaluate(r.best_config);
+      });
+      r.best_rep_stats = summarize(r.best_rep_values);
     }
-    r.best_rep_stats = summarize(r.best_rep_values);
   }
   return r;
 }
 
 ExperimentResult run_campaign(
-    const std::function<std::unique_ptr<Tuner>(std::size_t)>& make_tuner,
-    Objective& objective, const ExperimentOptions& options,
-    std::size_t passes, std::vector<ExperimentResult>* all_passes) {
+    const TunerFactory& make_tuner, Objective& objective,
+    const ExperimentOptions& options, std::size_t passes,
+    std::vector<ExperimentResult>* all_passes) {
   STORMTUNE_REQUIRE(passes > 0, "run_campaign: passes must be > 0");
   ExperimentResult best;
   bool have_best = false;
@@ -82,6 +118,68 @@ ExperimentResult run_campaign(
     if (all_passes) all_passes->push_back(r);
     if (!have_best || score > best_score) {
       best = std::move(r);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+ExperimentResult run_campaign(
+    const TunerFactory& make_tuner, const ObjectiveFactory& make_objective,
+    const ExperimentOptions& options, std::size_t passes, ThreadPool& pool,
+    std::vector<ExperimentResult>* all_passes) {
+  STORMTUNE_REQUIRE(passes > 0, "run_campaign: passes must be > 0");
+
+  // Phase 1: tuning loops, one shard per pass. Each shard builds its own
+  // tuner and objective from the pass index, so no state is shared across
+  // shards and the per-pass results cannot depend on the thread count.
+  std::vector<ExperimentResult> results(passes);
+  std::vector<std::unique_ptr<Objective>> objectives(passes);
+  pool.parallel_for(passes, [&](std::size_t pass) {
+    std::unique_ptr<Tuner> tuner = make_tuner(pass);
+    STORMTUNE_REQUIRE(tuner != nullptr, "run_campaign: factory returned null");
+    objectives[pass] = make_objective(pass);
+    STORMTUNE_REQUIRE(objectives[pass] != nullptr,
+                      "run_campaign: objective factory returned null");
+    results[pass] = run_tuning_loop(*tuner, *objectives[pass], options);
+  });
+
+  // Phase 2: all best-config repetitions of all passes, one shard per
+  // (pass, rep) pair; each shard evaluates an independent clone_stream of
+  // its pass's objective. This is the finer-grained of the two phases —
+  // with 2 passes x 30 reps there are 60 shards to spread over the pool.
+  const std::size_t reps = options.best_config_reps;
+  if (reps > 0) {
+    for (ExperimentResult& r : results) {
+      if (r.best_step > 0) r.best_rep_values.assign(reps, 0.0);
+    }
+    pool.parallel_for(passes * reps, [&](std::size_t shard) {
+      const std::size_t pass = shard / reps;
+      const std::size_t rep = shard % reps;
+      ExperimentResult& r = results[pass];
+      if (r.best_step == 0) return;  // pass never saw a working config
+      std::unique_ptr<Objective> o = objectives[pass]->clone_stream(rep);
+      STORMTUNE_REQUIRE(
+          o != nullptr,
+          "run_campaign: parallel repetitions need clone_stream support");
+      r.best_rep_values[rep] = o->evaluate(r.best_config);
+    });
+    for (ExperimentResult& r : results) {
+      if (r.best_step > 0) r.best_rep_stats = summarize(r.best_rep_values);
+    }
+  }
+
+  // Gather in pass order — identical tie-breaking to the serial overload.
+  ExperimentResult best;
+  bool have_best = false;
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    const double score = reps > 0 ? results[pass].best_rep_stats.mean
+                                  : results[pass].best_throughput;
+    const double best_score =
+        reps > 0 ? best.best_rep_stats.mean : best.best_throughput;
+    if (all_passes) all_passes->push_back(results[pass]);
+    if (!have_best || score > best_score) {
+      best = results[pass];
       have_best = true;
     }
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "tuning/objective.hpp"
 #include "tuning/tuner.hpp"
 
@@ -52,14 +53,41 @@ struct ExperimentResult {
 ExperimentResult run_experiment(Tuner& tuner, Objective& objective,
                                 const ExperimentOptions& options);
 
+/// Like the serial overload, but the best-config repetitions are sharded
+/// over `pool`, one Objective::clone_stream(rep) per repetition. Because
+/// each repetition draws from its own stream, the result is bit-identical
+/// for any pool size — but numerically different from the serial overload,
+/// whose repetitions continue the tuning-loop seed sequence. Falls back to
+/// the serial repetition loop when the objective does not support
+/// clone_stream.
+ExperimentResult run_experiment(Tuner& tuner, Objective& objective,
+                                const ExperimentOptions& options,
+                                ThreadPool& pool);
+
+using TunerFactory = std::function<std::unique_ptr<Tuner>(std::size_t pass)>;
+using ObjectiveFactory =
+    std::function<std::unique_ptr<Objective>(std::size_t pass)>;
+
 /// The paper's full protocol: run `passes` independent experiment passes
 /// (the factory builds a fresh tuner each time) and return the pass whose
 /// re-evaluated best configuration has the highest mean throughput.
 /// All passes are returned through `all_passes` when non-null.
 ExperimentResult run_campaign(
-    const std::function<std::unique_ptr<Tuner>(std::size_t pass)>& make_tuner,
-    Objective& objective, const ExperimentOptions& options,
-    std::size_t passes = 2,
+    const TunerFactory& make_tuner, Objective& objective,
+    const ExperimentOptions& options, std::size_t passes = 2,
+    std::vector<ExperimentResult>* all_passes = nullptr);
+
+/// Deterministic parallel campaign: passes run concurrently over `pool`
+/// (each pass owns its tuner AND its objective, both built per pass), then
+/// all best-config repetitions of all passes are sharded over the pool via
+/// Objective::clone_stream. Every shard is a pure function of its (pass,
+/// rep) indices, and results are gathered in pass order, so the returned
+/// ExperimentResult (and `all_passes`) is bit-identical for any thread
+/// count. Both factories must be safe to call concurrently, and the
+/// per-pass objectives must support clone_stream when best_config_reps > 0.
+ExperimentResult run_campaign(
+    const TunerFactory& make_tuner, const ObjectiveFactory& make_objective,
+    const ExperimentOptions& options, std::size_t passes, ThreadPool& pool,
     std::vector<ExperimentResult>* all_passes = nullptr);
 
 }  // namespace stormtune::tuning

@@ -18,4 +18,13 @@ double SimObjective::evaluate(const sim::TopologyConfig& config) {
   return last_.throughput_tuples_per_s;
 }
 
+std::unique_ptr<Objective> SimObjective::clone_stream(
+    std::uint64_t stream) const {
+  // A different odd multiplier than evaluate()'s per-evaluation increment,
+  // so stream seed sequences and evaluation seed sequences never collide.
+  const std::uint64_t derived =
+      seed_ ^ (0x632be59bd9b4e019ULL * (stream + 0x9e3779b97f4a7c15ULL));
+  return std::make_unique<SimObjective>(topology_, cluster_, params_, derived);
+}
+
 }  // namespace stormtune::tuning

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "stormsim/cluster.hpp"
 #include "stormsim/config.hpp"
@@ -21,6 +22,18 @@ class Objective {
   virtual ~Objective() = default;
   /// One measurement run; returns throughput in tuples/s (>= 0).
   virtual double evaluate(const sim::TopologyConfig& config) = 0;
+
+  /// An independent copy of this objective whose measurement noise comes
+  /// from a seed stream derived from `stream`. The parallel experiment
+  /// driver gives each best-config repetition its own stream so the
+  /// repetitions are independent of each other AND of evaluation order —
+  /// which is what makes the parallel result bit-identical for any thread
+  /// count. Objectives that cannot provide isolated streams return nullptr
+  /// (the default); the driver then falls back to serial evaluation.
+  virtual std::unique_ptr<Objective> clone_stream(std::uint64_t stream) const {
+    (void)stream;
+    return nullptr;
+  }
 };
 
 /// Objective backed by the discrete-event simulator.
@@ -30,6 +43,7 @@ class SimObjective final : public Objective {
                sim::SimParams params, std::uint64_t seed);
 
   double evaluate(const sim::TopologyConfig& config) override;
+  std::unique_ptr<Objective> clone_stream(std::uint64_t stream) const override;
 
   /// Full result of the most recent evaluation (network stats etc.).
   const sim::SimResult& last_result() const { return last_; }

@@ -4,7 +4,10 @@
 // is only meaningful if campaigns can be replayed exactly.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <tuple>
+#include <utility>
 
 #include "bayesopt/bayesopt.hpp"
 #include "stormsim/engine.hpp"
@@ -138,6 +141,96 @@ TEST(Determinism, CampaignReplaysExactly) {
     EXPECT_DOUBLE_EQ(a.trace[i].throughput, b.trace[i].throughput);
   }
   EXPECT_DOUBLE_EQ(a.best_rep_stats.mean, b.best_rep_stats.mean);
+}
+
+TEST(Determinism, CampaignBitIdenticalAcrossThreadCounts) {
+  // The parallel campaign shards passes and best-config repetitions over
+  // the pool; every shard is a pure function of its (pass, rep) indices, so
+  // the gathered ExperimentResults must be bitwise-identical for any
+  // thread count.
+  topo::SyntheticSpec spec;
+  const sim::Topology t = topo::build_synthetic(spec);
+  sim::SimParams p = topo::synthetic_sim_params();
+  p.duration_s = 2.0;
+  sim::TopologyConfig defaults = sim::uniform_hint_config(t, 4);
+  tuning::SpaceOptions sopts;
+  sopts.hint_max = 12;
+  tuning::ExperimentOptions eopts;
+  eopts.max_steps = 5;
+  eopts.best_config_reps = 4;
+
+  auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<tuning::ExperimentResult> passes;
+    tuning::ExperimentResult best = tuning::run_campaign(
+        [&](std::size_t pass) -> std::unique_ptr<tuning::Tuner> {
+          return std::make_unique<tuning::RandomTuner>(
+              tuning::ConfigSpace(t, sopts, defaults), 17 + pass);
+        },
+        [&](std::size_t pass) -> std::unique_ptr<tuning::Objective> {
+          return std::make_unique<tuning::SimObjective>(
+              t, topo::paper_cluster(), p, 5 + pass * 7919);
+        },
+        eopts, 3, pool, &passes);
+    return std::make_pair(std::move(best), std::move(passes));
+  };
+
+  const auto base = run(1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto other = run(threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+
+    auto expect_identical = [](const tuning::ExperimentResult& a,
+                               const tuning::ExperimentResult& b) {
+      EXPECT_EQ(a.strategy, b.strategy);
+      ASSERT_EQ(a.trace.size(), b.trace.size());
+      for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].step, b.trace[i].step);
+        EXPECT_EQ(a.trace[i].throughput, b.trace[i].throughput);  // exact
+      }
+      EXPECT_EQ(a.best_throughput, b.best_throughput);
+      EXPECT_EQ(a.best_step, b.best_step);
+      EXPECT_EQ(a.best_config.describe(), b.best_config.describe());
+      ASSERT_EQ(a.best_rep_values.size(), b.best_rep_values.size());
+      for (std::size_t i = 0; i < a.best_rep_values.size(); ++i) {
+        EXPECT_EQ(a.best_rep_values[i], b.best_rep_values[i]);  // exact
+      }
+      EXPECT_EQ(a.best_rep_stats.mean, b.best_rep_stats.mean);
+      EXPECT_EQ(a.best_rep_stats.min, b.best_rep_stats.min);
+      EXPECT_EQ(a.best_rep_stats.max, b.best_rep_stats.max);
+    };
+
+    expect_identical(base.first, other.first);
+    ASSERT_EQ(base.second.size(), other.second.size());
+    for (std::size_t pass = 0; pass < base.second.size(); ++pass) {
+      SCOPED_TRACE("pass=" + std::to_string(pass));
+      expect_identical(base.second[pass], other.second[pass]);
+    }
+  }
+}
+
+TEST(Determinism, ParallelRepsBitIdenticalAcrossThreadCounts) {
+  // run_experiment's pool overload gives each best-config repetition its
+  // own clone_stream; the repetition vector must not depend on pool size.
+  topo::SyntheticSpec spec;
+  const sim::Topology t = topo::build_synthetic(spec);
+  sim::SimParams p = topo::synthetic_sim_params();
+  p.duration_s = 2.0;
+  auto run = [&](std::size_t threads) {
+    tuning::SimObjective obj(t, topo::paper_cluster(), p, 5);
+    tuning::PlaTuner pla(t, sim::TopologyConfig{}, false);
+    tuning::ExperimentOptions eopts;
+    eopts.max_steps = 4;
+    eopts.best_config_reps = 6;
+    ThreadPool pool(threads);
+    return tuning::run_experiment(pla, obj, eopts, pool);
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  ASSERT_EQ(one.best_rep_values.size(), four.best_rep_values.size());
+  for (std::size_t i = 0; i < one.best_rep_values.size(); ++i) {
+    EXPECT_EQ(one.best_rep_values[i], four.best_rep_values[i]);
+  }
 }
 
 // Engine determinism across every scheduler policy and cluster shape.

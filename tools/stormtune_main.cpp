@@ -14,7 +14,8 @@
 //                   --max-tasks=N --duration=S --seed=N
 // tune options:     --strategy=pla|ipla|bo|ibo|random --steps=N --reps=N
 //                   --what=h|h,batch|h,batch,cc|batch,cc --seed=N
-//                   --json=FILE --csv=FILE
+//                   --json=FILE --csv=FILE --threads=N (default: hardware
+//                   concurrency; 1 preserves the serial protocol)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -54,6 +55,7 @@ struct Options {
   std::string what = "h";
   std::string json_path;
   std::string csv_path;
+  std::size_t threads = 0;  // 0 = hardware concurrency; 1 = serial path
 };
 
 [[noreturn]] void usage() {
@@ -94,6 +96,7 @@ Options parse(int argc, char** argv, int first) {
     else if (const char* v = value_of(a, "--what")) o.what = v;
     else if (const char* v = value_of(a, "--json")) o.json_path = v;
     else if (const char* v = value_of(a, "--csv")) o.csv_path = v;
+    else if (const char* v = value_of(a, "--threads")) o.threads = std::stoul(v);
     else {
       std::fprintf(stderr, "unknown option '%s'\n", a);
       usage();
@@ -260,11 +263,20 @@ int cmd_tune(const Options& o) {
   protocol.max_steps = o.steps;
   protocol.best_config_reps = o.reps;
 
-  std::printf("tuning %s with %s over {%s}, %zu steps...\n",
+  const std::size_t threads =
+      o.threads > 0 ? o.threads : ThreadPool::default_thread_count();
+  std::printf("tuning %s with %s over {%s}, %zu steps, %zu thread%s...\n",
               o.topology.c_str(), o.strategy.c_str(), o.what.c_str(),
-              o.steps);
-  const tuning::ExperimentResult r =
-      tuning::run_experiment(*tuner, objective, protocol);
+              o.steps, threads, threads == 1 ? "" : "s");
+  tuning::ExperimentResult r;
+  if (threads <= 1) {
+    // The pre-parallel serial protocol: repetitions continue the tuning
+    // loop's evaluation seed sequence.
+    r = tuning::run_experiment(*tuner, objective, protocol);
+  } else {
+    ThreadPool pool(threads);
+    r = tuning::run_experiment(*tuner, objective, protocol, pool);
+  }
 
   std::printf("best:         %.1f tuples/s (mean of %zu reps; min %.1f, "
               "max %.1f)\n",
