@@ -4,6 +4,7 @@
 // Figure 7's scalability claims with component-level numbers.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -25,21 +26,55 @@ namespace {
 
 using namespace stormtune;
 
-void BM_CholeskyFactorization(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(1);
+Matrix random_spd(std::size_t n, Rng& rng) {
   Matrix b(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
   }
   Matrix a = b.multiply(b.transposed());
   for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+void BM_Cholesky(benchmark::State& state) {
+  // refactor() in the loop, the way the hyperparameter refit path uses it:
+  // buffers are allocated once, so this measures the blocked factorization
+  // kernel itself, not allocation + first-touch (which the old
+  // construct-per-iteration variant was dominated by).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = random_spd(n, rng);
+  Cholesky chol(a);
+  double scale = 1.0;
   for (auto _ : state) {
-    Cholesky chol(a);
-    benchmark::DoNotOptimize(chol.log_determinant());
+    scale = scale == 1.0 ? 1.5 : 1.0;  // force a genuine refactor each time
+    chol.refactor(a, scale, 0.0);
+    benchmark::DoNotOptimize(chol.lower_at(n - 1, n - 1));
   }
 }
-BENCHMARK(BM_CholeskyFactorization)->Arg(30)->Arg(60)->Arg(180);
+BENCHMARK(BM_Cholesky)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TriSolveMultiRhs(benchmark::State& state) {
+  // Forward + backward multi-RHS substitution over a 120-point factor with
+  // range(0) right-hand sides — GpRegressor's chunked prediction kernel.
+  const std::size_t n = 120;
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  const Matrix a = random_spd(n, rng);
+  const Cholesky chol(a);
+  Matrix v(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < m; ++r) v(i, r) = rng.normal();
+  }
+  Matrix work(n, m);
+  for (auto _ : state) {
+    work = v;
+    chol.solve_lower_multi_in_place(work);
+    chol.solve_lower_transpose_multi_in_place(work);
+    benchmark::DoNotOptimize(work(n - 1, m - 1));
+  }
+}
+BENCHMARK(BM_TriSolveMultiRhs)->Arg(1)->Arg(16)->Arg(256);
 
 void BM_GpFitAndPredict(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -303,16 +338,135 @@ void write_simulate_record(const std::string& path) {
   std::printf("wrote %s\n", path.c_str());
 }
 
+/// Median of three timed repetitions of `body(iters)`, in µs per op.
+template <typename F>
+double median3_us_per_op(std::size_t iters, F&& body) {
+  double reps[3];
+  for (double& r : reps) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body(iters);
+    const auto t1 = std::chrono::steady_clock::now();
+    r = std::chrono::duration<double, std::micro>(t1 - t0).count() /
+        static_cast<double>(iters);
+  }
+  std::sort(reps, reps + 3);
+  return reps[1];
+}
+
+/// Timing record of the GP / linear-algebra workloads (the PR-3 kernel
+/// overhaul), written next to BENCH_simulate.json with the same purpose:
+/// compare the file across commits to track the perf trajectory. All values
+/// are medians of 3 repetitions, in µs per operation.
+void write_gp_record(const std::string& path) {
+  JsonObject workloads;
+  Rng rng(1);
+  for (const std::size_t n : {32ul, 64ul, 128ul}) {
+    const Matrix a = random_spd(n, rng);
+    Cholesky chol(a);
+    workloads["cholesky_refactor/" + std::to_string(n)] =
+        median3_us_per_op(200000 / (n * n / 64), [&](std::size_t iters) {
+          double scale = 1.0;
+          for (std::size_t i = 0; i < iters; ++i) {
+            scale = scale == 1.0 ? 1.5 : 1.0;
+            chol.refactor(a, scale, 0.0);
+          }
+          benchmark::DoNotOptimize(chol.lower_at(n - 1, n - 1));
+        });
+  }
+  {
+    const std::size_t n = 120, m = 256;
+    const Matrix a = random_spd(n, rng);
+    const Cholesky chol(a);
+    Matrix v(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t r = 0; r < m; ++r) v(i, r) = rng.normal();
+    }
+    Matrix work(n, m);
+    workloads["tri_solve_multi/120x256"] =
+        median3_us_per_op(300, [&](std::size_t iters) {
+          for (std::size_t i = 0; i < iters; ++i) {
+            work = v;
+            chol.solve_lower_multi_in_place(work);
+            chol.solve_lower_transpose_multi_in_place(work);
+          }
+          benchmark::DoNotOptimize(work(n - 1, m - 1));
+        });
+  }
+  for (const std::size_t n : {30ul, 60ul, 120ul}) {
+    const std::size_t d = 51;
+    Rng grng(6);
+    Matrix x(n, d);
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < d; ++j) x(i, j) = grng.uniform();
+      y[i] = grng.normal();
+    }
+    gp::Kernel kernel(gp::KernelFamily::kMatern52, d, false);
+    gp::GpRegressor gp(kernel, 1e-3);
+    gp.fit(x, y);
+    std::vector<double> log_params(kernel.num_hyperparams(), 0.0);
+    std::size_t coord = 0;
+    workloads["gp_hyper_refit/" + std::to_string(n)] =
+        median3_us_per_op(48000 / n, [&](std::size_t iters) {
+          for (std::size_t i = 0; i < iters; ++i) {
+            log_params[coord % log_params.size()] = 0.1 * grng.normal();
+            ++coord;
+            gp.set_kernel_hyperparams(log_params);
+            gp.fit(x, y);
+            benchmark::DoNotOptimize(gp.log_marginal_likelihood());
+          }
+        });
+  }
+  {
+    const std::size_t dims = 51;
+    std::vector<bo::ParamSpec> specs;
+    for (std::size_t i = 0; i < dims; ++i) {
+      specs.push_back(bo::ParamSpec::integer("h" + std::to_string(i), 1, 20));
+    }
+    bo::BayesOptOptions opts;
+    opts.hyper_mode = bo::HyperMode::kSliceSample;
+    opts.hyper_samples = 3;
+    opts.hyper_burn_in = 5;
+    opts.num_candidates = 256;
+    opts.seed = 3;
+    bo::BayesOpt opt(bo::ParamSpace(specs), opts);
+    Rng orng(4);
+    for (std::size_t i = 0; i < 60; ++i) {
+      auto xs = opt.space().sample(orng);
+      opt.observe(std::move(xs), orng.normal());
+    }
+    benchmark::DoNotOptimize(opt.suggest());  // warm-up
+    workloads["bayesopt_suggest/60"] =
+        median3_us_per_op(3, [&](std::size_t iters) {
+          for (std::size_t i = 0; i < iters; ++i) {
+            benchmark::DoNotOptimize(opt.suggest());
+          }
+        });
+  }
+  JsonObject record;
+  record["benchmark"] = "gp";
+  record["unit"] = "us_per_op";
+  record["statistic"] = "median_of_3_reps";
+  record["workloads"] = std::move(workloads);
+  std::ofstream out(path);
+  out << Json(std::move(record)).dump(2) << '\n';
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip our own flag before google-benchmark sees the command line.
+  // Strip our own flags before google-benchmark sees the command line.
   std::string simulate_json = "BENCH_simulate.json";
+  std::string gp_json = "BENCH_gp.json";
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    constexpr const char* kFlag = "--simulate-json=";
-    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
-      simulate_json = argv[i] + std::strlen(kFlag);
+    constexpr const char* kSimFlag = "--simulate-json=";
+    constexpr const char* kGpFlag = "--gp-json=";
+    if (std::strncmp(argv[i], kSimFlag, std::strlen(kSimFlag)) == 0) {
+      simulate_json = argv[i] + std::strlen(kSimFlag);
+    } else if (std::strncmp(argv[i], kGpFlag, std::strlen(kGpFlag)) == 0) {
+      gp_json = argv[i] + std::strlen(kGpFlag);
     } else {
       argv[kept++] = argv[i];
     }
@@ -323,5 +477,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!simulate_json.empty()) write_simulate_record(simulate_json);
+  if (!gp_json.empty()) write_gp_record(gp_json);
   return 0;
 }

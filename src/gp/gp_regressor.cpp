@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "gp/kernel_batch.hpp"
 
 namespace stormtune::gp {
 
@@ -118,20 +119,6 @@ GpRegressor::extended_distance_cache(std::span<const double> x_new) const {
   return cache;
 }
 
-double GpRegressor::correlation_from_cache(
-    std::size_t i, std::size_t j, const std::vector<double>& inv_sq_ls) const {
-  // Requires i < j.
-  double r2 = 0.0;
-  if (!kernel_.ard()) {
-    r2 = dist_->sq(i, j) * inv_sq_ls[0];
-  } else {
-    const std::size_t d = x_.cols();
-    const double* p = dist_->sq_dims.data() + (j * (j - 1) / 2 + i) * d;
-    for (std::size_t k = 0; k < d; ++k) r2 += p[k] * inv_sq_ls[k];
-  }
-  return kernel_.correlation_from_scaled_sq(r2);
-}
-
 void GpRegressor::ensure_correlation() {
   const auto ls = kernel_.lengthscales();
   if (corr_valid_ && corr_ls_.size() == ls.size() &&
@@ -141,14 +128,40 @@ void GpRegressor::ensure_correlation() {
   corr_valid_ = false;
   const std::size_t n = x_.rows();
   const std::vector<double> inv = inverse_squared_lengthscales();
-  corr_ = Matrix(n, n);
+  if (corr_.rows() != n || corr_.cols() != n) corr_ = Matrix(n, n);
+  // Pack the strict upper triangle's scaled squared distances (pairs grouped
+  // by ascending j, matching the ARD cache layout), push the whole thing
+  // through the batched correlation transform, then scatter symmetrically.
+  const std::size_t num_pairs = n * (n - 1) / 2;
+  corr_r2_.resize(num_pairs);
+  if (!kernel_.ard()) {
+    const double inv0 = inv[0];
+    std::size_t off = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto srow = dist_->sq.row(j);
+      for (std::size_t i = 0; i < j; ++i) corr_r2_[off + i] = srow[i] * inv0;
+      off += j;
+    }
+  } else {
+    const std::size_t d = x_.cols();
+    const double* p = dist_->sq_dims.data();
+    for (std::size_t pair = 0; pair < num_pairs; ++pair, p += d) {
+      double r2 = 0.0;
+      for (std::size_t k = 0; k < d; ++k) r2 += p[k] * inv[k];
+      corr_r2_[pair] = r2;
+    }
+  }
+  correlation_from_scaled_sq_batch(kernel_.family(), 1.0, corr_r2_.data(),
+                                   num_pairs);
+  std::size_t off = 0;
   for (std::size_t j = 0; j < n; ++j) {
     corr_(j, j) = 1.0;
     for (std::size_t i = 0; i < j; ++i) {
-      const double g = correlation_from_cache(i, j, inv);
+      const double g = corr_r2_[off + i];
       corr_(i, j) = g;
       corr_(j, i) = g;
     }
+    off += j;
   }
   corr_ls_.assign(ls.begin(), ls.end());
   corr_valid_ = true;
@@ -163,21 +176,22 @@ void GpRegressor::ensure_cholesky() {
     return;
   }
   chol_valid_ = false;
-  const std::size_t n = x_.rows();
   const double a2 = kernel_.variance();
-  Matrix k(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto crow = corr_.row(i);
-    const auto krow = k.row(i);
-    for (std::size_t j = 0; j < n; ++j) krow[j] = a2 * crow[j];
-    krow[i] += noise_variance_;
-  }
+  // The factor is built straight from the cached correlation matrix:
+  // Cholesky scales and shifts the diagonal during its own copy, so the
+  // refit loop never materializes a²·C + σ_n²·I, and refactor() reuses the
+  // factor's buffers — a warm refit performs no allocation at all.
   constexpr double kMaxJitter = 1e-2;
   double jitter = 1e-10;
   applied_jitter_ = 0.0;
+  double diag_add = noise_variance_;
   while (true) {
     try {
-      chol_.emplace(k);
+      if (chol_.has_value()) {
+        chol_->refactor(corr_, a2, diag_add);
+      } else {
+        chol_.emplace(corr_, a2, diag_add);
+      }
       break;
     } catch (const Error&) {
       STORMTUNE_REQUIRE(jitter <= kMaxJitter,
@@ -186,7 +200,7 @@ void GpRegressor::ensure_cholesky() {
       // Scale jitter with the signal variance so it is meaningful for
       // kernels with large amplitudes.
       const double add = jitter * std::max(1.0, kernel_.variance());
-      for (std::size_t i = 0; i < k.rows(); ++i) k(i, i) += add;
+      diag_add += add;
       applied_jitter_ += add;
       jitter *= 100.0;
     }
@@ -252,10 +266,23 @@ void GpRegressor::append_observation(std::span<const double> x_new,
     const auto dst = grown_corr.row(i);
     for (std::size_t j = 0; j < n; ++j) dst[j] = src[j];
   }
+  corr_r2_.resize(n);
+  if (!kernel_.ard()) {
+    const double inv0 = inv[0];
+    const auto srow = dist_->sq.row(n);
+    for (std::size_t i = 0; i < n; ++i) corr_r2_[i] = srow[i] * inv0;
+  } else {
+    const double* p = dist_->sq_dims.data() + (n * (n - 1) / 2) * d;
+    for (std::size_t i = 0; i < n; ++i, p += d) {
+      double r2 = 0.0;
+      for (std::size_t k = 0; k < d; ++k) r2 += p[k] * inv[k];
+      corr_r2_[i] = r2;
+    }
+  }
+  correlation_from_scaled_sq_batch(kernel_.family(), 1.0, corr_r2_.data(), n);
   for (std::size_t i = 0; i < n; ++i) {
-    const double g = correlation_from_cache(i, n, inv);
-    grown_corr(i, n) = g;
-    grown_corr(n, i) = g;
+    grown_corr(i, n) = corr_r2_[i];
+    grown_corr(n, i) = corr_r2_[i];
   }
   grown_corr(n, n) = 1.0;
   corr_ = std::move(grown_corr);
@@ -308,11 +335,13 @@ constexpr std::size_t kPredictChunk = 64;
 }  // namespace
 
 // Finish a chunk given its cross-covariance block K* (one row per query):
-// means against alpha, then one forward substitution L V = K*ᵀ carrying all
-// rows of the chunk at once. The single-RHS solve has a loop-carried
-// dependency; here the inner updates run across queries, so they vectorize.
-// Per query the operations and their order match the scalar
-// solve_lower_in_place/dot path exactly, so results are bitwise identical.
+// means against alpha, then one blocked multi-RHS forward substitution
+// L V = K*ᵀ carrying all rows of the chunk at once
+// (Cholesky::solve_lower_multi_in_place). The single-RHS solve has a
+// loop-carried dependency; the multi-RHS sweep's inner updates run across
+// queries, so they vectorize. Per query the operations and their order
+// match the scalar solve_lower_in_place/dot path exactly, so results are
+// bitwise identical to per-candidate solves.
 void GpRegressor::predict_chunk(const Matrix& kstar,
                                 std::span<Prediction> out) const {
   const std::size_t m = kstar.rows();
@@ -324,20 +353,11 @@ void GpRegressor::predict_chunk(const Matrix& kstar,
     for (std::size_t i = 0; i < n; ++i) mean += b[i] * alpha_[i];
     out[r].mean = mean_value_ + mean;
   }
-  const Matrix& l = chol_->lower();
-  Matrix v(n, m);
-  std::vector<double> ss(m, 0.0);  // running Σ v_i² per query
+  Matrix v = kstar.transposed();
+  chol_->solve_lower_multi_in_place(v);
+  std::vector<double> ss(m, 0.0);  // Σ v_i² per query, i ascending
   for (std::size_t i = 0; i < n; ++i) {
-    const auto li = l.row(i);
     const auto vi = v.row(i);
-    for (std::size_t r = 0; r < m; ++r) vi[r] = kstar(r, i);
-    for (std::size_t k = 0; k < i; ++k) {
-      const double lik = li[k];
-      const auto vk = v.row(k);
-      for (std::size_t r = 0; r < m; ++r) vi[r] -= lik * vk[r];
-    }
-    const double lii = li[i];
-    for (std::size_t r = 0; r < m; ++r) vi[r] /= lii;
     for (std::size_t r = 0; r < m; ++r) ss[r] += vi[r] * vi[r];
   }
   for (std::size_t r = 0; r < m; ++r) {
@@ -384,8 +404,9 @@ void GpRegressor::predict_rows(const Matrix& q, std::size_t row_begin,
           }
           r2 = s * inv[0];
         }
-        krow[i] = a2 * kernel_.correlation_from_scaled_sq(r2);
+        krow[i] = r2;
       }
+      correlation_from_scaled_sq_batch(kernel_.family(), a2, krow.data(), n);
     }
     predict_chunk(kstar, std::span(out).subspan(base, m));
   }
@@ -438,10 +459,8 @@ void GpRegressor::predict_from_sq_dist_rows(const Matrix& d2,
     for (std::size_t r = 0; r < m; ++r) {
       const auto drow = d2.row(base + r);
       const auto krow = kstar.row(r);
-      for (std::size_t i = 0; i < n; ++i) {
-        krow[i] =
-            a2 * kernel_.correlation_from_scaled_sq(drow[i] * inv0);
-      }
+      for (std::size_t i = 0; i < n; ++i) krow[i] = drow[i] * inv0;
+      correlation_from_scaled_sq_batch(kernel_.family(), a2, krow.data(), n);
     }
     predict_chunk(kstar, std::span(out).subspan(base, m));
   }

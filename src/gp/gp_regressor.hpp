@@ -119,8 +119,6 @@ class GpRegressor {
       std::span<const double> x_new) const;
   void ensure_correlation();
   void ensure_cholesky();
-  double correlation_from_cache(std::size_t i, std::size_t j,
-                                const std::vector<double>& inv_sq_ls) const;
   std::vector<double> inverse_squared_lengthscales() const;
   void predict_chunk(const Matrix& kstar, std::span<Prediction> out) const;
 
@@ -137,6 +135,7 @@ class GpRegressor {
   // --- layered fit caches ---
   std::shared_ptr<const DistanceCache> dist_;
   Matrix corr_;                  // unit-amplitude correlation, unit diagonal
+  std::vector<double> corr_r2_;  // packed-r² scratch for the batch transform
   std::vector<double> corr_ls_;  // lengthscales corr_ was built with
   bool corr_valid_ = false;
   double chol_amp_ = 0.0;        // hyperparameters chol_ was built with

@@ -42,9 +42,10 @@ class Kernel {
   /// already-scaled squared distance. The cached-distance fit path in
   /// GpRegressor evaluates the kernel through this, so new hyperparameters
   /// never pay the O(dim) pairwise-difference loop again: k = amplitude² · g.
-  /// Defined here because prediction calls it once per (query, training
-  /// point) pair — millions of times per suggest() — and the out-of-line
-  /// call was measurable.
+  /// Single-point entry; GpRegressor's bulk paths (correlation rebuild,
+  /// prediction rows) go through correlation_from_scaled_sq_batch in
+  /// gp/kernel_batch.hpp instead, which must stay expression-for-expression
+  /// identical to the cases below.
   double correlation_from_scaled_sq(double r2) const {
     switch (family_) {
       case KernelFamily::kSquaredExponential:

@@ -1,0 +1,107 @@
+#include "gp/kernel_batch.hpp"
+
+#include <cmath>
+
+#if defined(__x86_64__) && defined(__GLIBC__)
+#define STORMTUNE_HAVE_VECTOR_EXP 1
+#include <emmintrin.h>
+
+// libmvec's 2-lane SSE vector exp (glibc ≥ 2.22 links it through the libm
+// linker script). The symbol dispatches internally on CPU features, so the
+// baseline x86-64 build stays portable; lanes are evaluated independently,
+// within 2 ulp of a correctly rounded exp, and bit-identical run-to-run.
+extern "C" __m128d _ZGVbN2v_exp(__m128d);
+#endif
+
+namespace stormtune::gp {
+
+#ifdef STORMTUNE_HAVE_VECTOR_EXP
+
+namespace {
+
+// Each helper computes one pair of lanes with the same operation sequence
+// as the scalar expressions in Kernel::correlation_from_scaled_sq (sqrt,
+// negate, exp, left-associated polynomial), so the two differ only through
+// the exp implementation.
+inline __m128d pair_sqexp(__m128d r2, __m128d scale) {
+  const __m128d e = _ZGVbN2v_exp(_mm_mul_pd(_mm_set1_pd(-0.5), r2));
+  return _mm_mul_pd(scale, e);
+}
+
+inline __m128d pair_matern32(__m128d r2, __m128d scale) {
+  const __m128d one = _mm_set1_pd(1.0);
+  const __m128d sr = _mm_sqrt_pd(_mm_mul_pd(_mm_set1_pd(3.0), r2));
+  const __m128d e = _ZGVbN2v_exp(_mm_sub_pd(_mm_setzero_pd(), sr));
+  return _mm_mul_pd(scale, _mm_mul_pd(_mm_add_pd(one, sr), e));
+}
+
+inline __m128d pair_matern52(__m128d r2, __m128d scale) {
+  const __m128d one = _mm_set1_pd(1.0);
+  const __m128d sr = _mm_sqrt_pd(_mm_mul_pd(_mm_set1_pd(5.0), r2));
+  const __m128d e = _ZGVbN2v_exp(_mm_sub_pd(_mm_setzero_pd(), sr));
+  const __m128d poly = _mm_add_pd(
+      _mm_add_pd(one, sr),
+      _mm_div_pd(_mm_mul_pd(sr, sr), _mm_set1_pd(3.0)));
+  return _mm_mul_pd(scale, _mm_mul_pd(poly, e));
+}
+
+template <__m128d (*Pair)(__m128d, __m128d)>
+void run(double scale, double* buf, std::size_t len) {
+  const __m128d vscale = _mm_set1_pd(scale);
+  std::size_t i = 0;
+  for (; i + 2 <= len; i += 2) {
+    _mm_storeu_pd(buf + i, Pair(_mm_loadu_pd(buf + i), vscale));
+  }
+  if (i < len) {
+    // Odd tail: both lanes carry the same value so the result matches the
+    // in-pair evaluation bit for bit.
+    const __m128d g = Pair(_mm_set1_pd(buf[i]), vscale);
+    _mm_store_sd(buf + i, g);
+  }
+}
+
+}  // namespace
+
+void correlation_from_scaled_sq_batch(KernelFamily family, double scale,
+                                      double* buf, std::size_t len) {
+  switch (family) {
+    case KernelFamily::kSquaredExponential:
+      run<pair_sqexp>(scale, buf, len);
+      return;
+    case KernelFamily::kMatern32:
+      run<pair_matern32>(scale, buf, len);
+      return;
+    case KernelFamily::kMatern52:
+      run<pair_matern52>(scale, buf, len);
+      return;
+  }
+}
+
+#else  // scalar fallback
+
+void correlation_from_scaled_sq_batch(KernelFamily family, double scale,
+                                      double* buf, std::size_t len) {
+  switch (family) {
+    case KernelFamily::kSquaredExponential:
+      for (std::size_t i = 0; i < len; ++i) {
+        buf[i] = scale * std::exp(-0.5 * buf[i]);
+      }
+      return;
+    case KernelFamily::kMatern32:
+      for (std::size_t i = 0; i < len; ++i) {
+        const double sr = std::sqrt(3.0 * buf[i]);
+        buf[i] = scale * ((1.0 + sr) * std::exp(-sr));
+      }
+      return;
+    case KernelFamily::kMatern52:
+      for (std::size_t i = 0; i < len; ++i) {
+        const double sr = std::sqrt(5.0 * buf[i]);
+        buf[i] = scale * ((1.0 + sr + sr * sr / 3.0) * std::exp(-sr));
+      }
+      return;
+  }
+}
+
+#endif
+
+}  // namespace stormtune::gp

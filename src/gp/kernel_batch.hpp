@@ -1,0 +1,25 @@
+// Batched evaluation of the stationary-kernel correlation function.
+//
+// Every correlation the regressor materializes (the cached correlation
+// matrix, appended columns, K* rows during prediction) flows through this
+// one transform, so all paths produce bit-identical values for the same
+// r². On x86-64/glibc it runs two lanes at a time through libmvec's vector
+// exp; elsewhere it falls back to the scalar expressions. Either way the
+// map is element-wise — no reductions — so vector width cannot change any
+// summation order, and a given binary is deterministic run-to-run.
+#pragma once
+
+#include <cstddef>
+
+#include "gp/kernel.hpp"
+
+namespace stormtune::gp {
+
+/// In-place map buf[i] = scale · g(buf[i]) where g is the unit-amplitude
+/// correlation of `family` and buf holds already-scaled squared distances
+/// r² = Σ((x_k−y_k)/l_k)². `scale` is amplitude² (or 1 for correlation
+/// matrices).
+void correlation_from_scaled_sq_batch(KernelFamily family, double scale,
+                                      double* buf, std::size_t len);
+
+}  // namespace stormtune::gp

@@ -1,0 +1,54 @@
+// Low-level cache-aware building blocks for the dense factorization and
+// triangular-solve kernels in matrix.cpp.
+//
+// Everything here is single-threaded and evaluates every floating-point
+// reduction in one fixed order (k ascending, left-associated), independent of
+// tile boundaries: the 4-way unrolled update below subtracts its four
+// products left-to-right, which is the same sequence a scalar k-loop would
+// produce. That is what lets the blocked Cholesky and the multi-RHS solves
+// match the naive reference kernels element-for-element up to compiler
+// contraction, and what keeps GP fits reproducible run-to-run.
+#pragma once
+
+#include <cstddef>
+
+namespace stormtune::linalg_kernels {
+
+/// Columns processed per panel by the blocked right-looking Cholesky, and the
+/// blocking width of the multi-RHS triangular solves. Measured on the target
+/// workload (n ≤ ~200 observations): small panels win because the trailing
+/// rank-k update then touches each destination row while it is still in L1;
+/// 16 was fastest-or-tied against 8/32/48 at n ∈ {60, 120, 180}, and wide
+/// panels (≥32) were consistently ~10–20% slower at n = 120. Override with
+/// -DSTORMTUNE_PANEL_WIDTH=<w> to retune for a different cache hierarchy.
+#ifndef STORMTUNE_PANEL_WIDTH
+#define STORMTUNE_PANEL_WIDTH 16
+#endif
+inline constexpr std::size_t kPanelWidth = STORMTUNE_PANEL_WIDTH;
+
+/// c[0..len) -= a0*p0[j] + a1*p1[j] + a2*p2[j] + a3*p3[j], evaluated
+/// left-associated per element so the subtraction order equals four
+/// consecutive iterations of the scalar k-loop. This is the register-blocked
+/// rank-k micro-kernel: the j-loop is stride-1 on all five arrays (the
+/// compiler vectorizes it), and the four products per element break the
+/// single-accumulator dependency chain of the unblocked code.
+inline void rank4_row_update(double* __restrict__ c,
+                             const double* __restrict__ p0,
+                             const double* __restrict__ p1,
+                             const double* __restrict__ p2,
+                             const double* __restrict__ p3, double a0,
+                             double a1, double a2, double a3,
+                             std::size_t len) {
+  for (std::size_t j = 0; j < len; ++j) {
+    c[j] = c[j] - a0 * p0[j] - a1 * p1[j] - a2 * p2[j] - a3 * p3[j];
+  }
+}
+
+/// c[0..len) -= a * p[j]; the remainder step of the rank-4 kernel.
+inline void rank1_row_update(double* __restrict__ c,
+                             const double* __restrict__ p, double a,
+                             std::size_t len) {
+  for (std::size_t j = 0; j < len; ++j) c[j] -= a * p[j];
+}
+
+}  // namespace stormtune::linalg_kernels

@@ -1,9 +1,17 @@
 // Dense linear algebra sized for Gaussian-process regression.
 //
 // GP training solves systems with the n×n kernel matrix (n = number of
-// optimizer observations, at most a few hundred in this paper's setting), so
-// a straightforward cache-friendly row-major implementation with Cholesky
-// factorization is both sufficient and fast.
+// optimizer observations, at most a few hundred in this paper's setting).
+// The Cholesky below is a blocked, cache-aware implementation: a
+// right-looking panel factorization whose trailing update runs through a
+// register-blocked rank-k micro-kernel (see linalg/kernels.hpp), a row-major
+// factor with separately tracked capacity so rank-grow updates append in
+// place, a maintained transposed mirror that makes back-substitution
+// stride-1, and multi-RHS triangular solves that sweep a whole block of
+// right-hand sides at once. Every reduction runs in a fixed k-ascending
+// order independent of tile boundaries, so results are deterministic
+// run-to-run and match the naive reference kernels (linalg/reference.hpp)
+// to the last few ulps.
 #pragma once
 
 #include <cstddef>
@@ -63,11 +71,37 @@ class Matrix {
 ///
 /// Throws stormtune::Error if the matrix is not (numerically) SPD. GP code
 /// relies on that exception to trigger jitter escalation.
+///
+/// Storage: the factor lives in a row-major buffer with leading dimension
+/// `capacity()` ≥ `size()`, so `append_row` grows the factor geometrically
+/// in place — no allocation while capacity suffices (observable through
+/// `allocation_count()`). A transposed mirror (row-major Lᵀ, same leading
+/// dimension) is kept in lockstep so Lᵀ-solves walk memory stride-1.
 class Cholesky {
  public:
   explicit Cholesky(const Matrix& a);
 
-  const Matrix& lower() const { return l_; }
+  /// Factor scale·A + diag_add·I without materializing it. `a` must be
+  /// square; only its lower triangle is read. This is the GP fit path:
+  /// the kernel matrix a²·C + (σ_n² + jitter)·I is factored straight from
+  /// the cached correlation matrix C.
+  Cholesky(const Matrix& a, double scale, double diag_add);
+
+  /// Re-factor scale·A + diag_add·I into this object, reusing the existing
+  /// buffers whenever `a.rows() <= capacity()` (the hyperparameter refit
+  /// loop calls this hundreds of times per suggestion with the same n).
+  /// Throws if not (numerically) SPD; the factor contents are unspecified
+  /// after a throw and must be refactored before further use.
+  void refactor(const Matrix& a, double scale, double diag_add);
+
+  /// The factor as a dense matrix (strict upper triangle zeroed).
+  /// Materialized on demand — O(n²).
+  Matrix lower() const;
+
+  /// Element L(i, j) of the factor; requires j <= i.
+  double lower_at(std::size_t i, std::size_t j) const {
+    return lf_[i * cap_ + j];
+  }
 
   /// Solve A x = b via forward + backward substitution.
   Vector solve(const Vector& b) const;
@@ -75,26 +109,68 @@ class Cholesky {
   /// Solve L y = b (forward substitution only).
   Vector solve_lower(const Vector& b) const;
 
-  /// Forward substitution overwriting `bx` (no allocation); the batched GP
-  /// prediction path calls this once per candidate.
+  /// Forward substitution overwriting `bx` (no allocation).
   void solve_lower_in_place(std::span<double> bx) const;
 
-  /// Solve L^T x = y (backward substitution only).
+  /// Solve L^T x = y (backward substitution only). Walks the transposed
+  /// mirror, so the inner loop is stride-1 instead of a column walk.
   Vector solve_lower_transpose(const Vector& y) const;
+
+  /// Backward substitution overwriting `yx` (no allocation).
+  void solve_lower_transpose_in_place(std::span<double> yx) const;
+
+  /// Multi-RHS forward substitution: solve L V = B for all columns of the
+  /// n×m row-major block `v` (row i = value of every right-hand side at
+  /// index i) in place. Blocked over the factor; per column the updates run
+  /// in the same ascending-k order for every m, so a given column's result
+  /// is independent of which other columns share the block. Differs from
+  /// the single-RHS solves only by their accumulator split and its
+  /// reciprocal-multiply division — a few ulps. This is GpRegressor's
+  /// batched-prediction kernel.
+  void solve_lower_multi_in_place(Matrix& v) const;
+
+  /// Multi-RHS backward substitution: solve Lᵀ X = V in place, same block
+  /// layout and the same per-column block-size independence as above.
+  void solve_lower_transpose_multi_in_place(Matrix& v) const;
 
   /// Rank-grow update: given this factor L of an n×n SPD matrix A, extend it
   /// in place to the factor of [[A, b], [bᵀ, c]] in O(n²) instead of the
-  /// O(n³) refactorization. Throws stormtune::Error if the extended matrix is
-  /// not (numerically) SPD; the factor is unchanged in that case.
+  /// O(n³) refactorization. Appends into the existing buffer when capacity
+  /// suffices; otherwise grows capacity geometrically (amortized O(n²) per
+  /// append, no per-append allocation). Throws stormtune::Error if the
+  /// extended matrix is not (numerically) SPD; the factor is unchanged in
+  /// that case.
   void append_row(std::span<const double> b, double c);
+
+  /// Ensure capacity for factors up to `cap` rows without reallocation.
+  void reserve(std::size_t cap);
 
   /// log|A| = 2 * sum(log diag(L)).
   double log_determinant() const;
 
-  std::size_t size() const { return l_.rows(); }
+  std::size_t size() const { return n_; }
+  std::size_t capacity() const { return cap_; }
+
+  /// Number of buffer (re)allocations this factor has performed, including
+  /// the initial one — the allocation-counting probe for tests asserting
+  /// that append_row never allocates while capacity suffices.
+  std::size_t allocation_count() const { return allocs_; }
 
  private:
-  Matrix l_;
+  /// Copy scale·(lower triangle of a) + diag_add·I into lf_ and run the
+  /// blocked factorization + mirror rebuild. Requires cap_ >= a.rows().
+  void factor_from(const Matrix& a, double scale, double diag_add);
+  void factor_in_place();
+  void rebuild_mirror();
+  /// Reallocate both buffers with leading dimension `new_cap`, preserving
+  /// the current factor.
+  void grow(std::size_t new_cap);
+
+  std::size_t n_ = 0;
+  std::size_t cap_ = 0;
+  std::size_t allocs_ = 0;
+  std::vector<double> lf_;   // row-major L, leading dimension cap_
+  std::vector<double> ltf_;  // row-major Lᵀ (mirror), leading dimension cap_
 };
 
 /// Dot product; dimension-checked.

@@ -1,0 +1,24 @@
+// Naive textbook kernels kept as the correctness oracle for the blocked
+// implementations in matrix.cpp. These are the pre-blocking algorithms,
+// verbatim: unblocked left-looking Cholesky, single-accumulator triangular
+// solves (the Lᵀ solve with the original column-strided walk). Tests sweep
+// sizes across tile boundaries and compare; production code should never
+// call these.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace stormtune::reference {
+
+/// Unblocked Cholesky: returns the lower factor of SPD `a` (strict upper
+/// zero). Throws stormtune::Error if not (numerically) SPD.
+Matrix cholesky_lower(const Matrix& a);
+
+/// Forward substitution L y = b against an explicit lower factor.
+Vector solve_lower(const Matrix& l, const Vector& b);
+
+/// Backward substitution Lᵀ x = y, walking l column-wise like the
+/// pre-mirror implementation did.
+Vector solve_lower_transpose(const Matrix& l, const Vector& y);
+
+}  // namespace stormtune::reference
