@@ -260,6 +260,78 @@ void BM_Campaign(benchmark::State& state) {
 }
 BENCHMARK(BM_Campaign)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+void BM_ObjectiveRepeat(benchmark::State& state) {
+  // Repeated evaluations through ONE long-lived SimObjective — the campaign
+  // driver's steady state. The persistent workspace makes every run after
+  // the first allocation-free; contrast with BM_Simulate, whose free
+  // simulate() calls rebuild the workspace each time.
+  topo::SyntheticSpec spec;
+  spec.size = topo::TopologySize::kMedium;
+  const sim::Topology topology = topo::build_synthetic(spec);
+  sim::SimParams params = topo::synthetic_sim_params();
+  params.duration_s = 5.0;
+  const sim::TopologyConfig config = sim::uniform_hint_config(topology, 8);
+  tuning::SimObjective objective(topology, topo::paper_cluster(), params, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.evaluate(config));
+  }
+}
+BENCHMARK(BM_ObjectiveRepeat)->Unit(benchmark::kMillisecond);
+
+/// The Figure-5-shaped campaign workload shared by BM_CampaignEndToEnd and
+/// the BENCH_campaign.json record: passes x steps x best-config
+/// repetitions of the small paper topology through the pooled campaign
+/// driver, with random search so evaluation (not suggestion) dominates.
+/// Short measurement windows on a small topology put the workload in the
+/// regime campaigns actually live in — many cheap evaluations, where the
+/// per-evaluation fixed cost (deployment build, allocation churn) is the
+/// bottleneck the reusable workspaces remove.
+double run_campaign_workload(const sim::Topology& topology,
+                             std::size_t threads) {
+  sim::SimParams params = topo::synthetic_sim_params();
+  params.duration_s = 2.0;
+  sim::TopologyConfig defaults = sim::uniform_hint_config(topology, 4);
+  // 50-tuple batches: at bench-scale windows the small topology's default
+  // 200-tuple batches never commit (see tests/test_adaptive_window.cpp).
+  defaults.batch_size = 50;
+  tuning::SpaceOptions sopts;
+  sopts.hint_max = 8;
+  tuning::ExperimentOptions eopts;
+  eopts.max_steps = 10;
+  // best_config_reps stays at the paper's protocol (30 re-runs of the best
+  // configuration per pass) — the repetition phase is where campaigns spend
+  // most of their evaluations.
+  ThreadPool pool(threads);
+  const auto best = tuning::run_campaign(
+      [&](std::size_t pass) -> std::unique_ptr<tuning::Tuner> {
+        return std::make_unique<tuning::RandomTuner>(
+            tuning::ConfigSpace(topology, sopts, defaults), 101 + pass);
+      },
+      [&](std::size_t pass) -> std::unique_ptr<tuning::Objective> {
+        return std::make_unique<tuning::SimObjective>(
+            topology, topo::paper_cluster(), params, 7 + pass * 7919);
+      },
+      eopts, 2, pool);
+  return best.best_rep_stats.mean;
+}
+
+void BM_CampaignEndToEnd(benchmark::State& state) {
+  // Full campaign evaluation path (2 passes x 10 random steps x 30 reps on
+  // the small topology, 2 s windows) over range(0) pool threads (0 =
+  // auto). Workspace reuse — SimObjective's persistent simulator plus the
+  // driver's per-worker-slot clone cache — is what this measures.
+  const std::size_t threads = state.range(0) > 0
+                                  ? static_cast<std::size_t>(state.range(0))
+                                  : ThreadPool::default_thread_count();
+  topo::SyntheticSpec spec;
+  spec.size = topo::TopologySize::kSmall;
+  const sim::Topology topology = topo::build_synthetic(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_campaign_workload(topology, threads));
+  }
+}
+BENCHMARK(BM_CampaignEndToEnd)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
 void BM_BayesOptSuggest(benchmark::State& state) {
   // Figure 7's unit of work: one suggestion given `range(0)`-many
   // observations in a 51-dimensional space (the medium topology).
@@ -453,20 +525,69 @@ void write_gp_record(const std::string& path) {
   std::printf("wrote %s\n", path.c_str());
 }
 
+/// Timing record of the campaign-scale evaluation path (the PR-4 workspace
+/// overhaul), same contract as the other records: compare the file across
+/// commits. Medians of 3 repetitions, µs per operation (one operation =
+/// one objective evaluation / one full campaign).
+void write_campaign_record(const std::string& path) {
+  JsonObject workloads;
+  {
+    topo::SyntheticSpec spec;
+    spec.size = topo::TopologySize::kMedium;
+    const sim::Topology topology = topo::build_synthetic(spec);
+    sim::SimParams params = topo::synthetic_sim_params();
+    params.duration_s = 5.0;
+    const sim::TopologyConfig config = sim::uniform_hint_config(topology, 8);
+    tuning::SimObjective objective(topology, topo::paper_cluster(), params,
+                                   7);
+    benchmark::DoNotOptimize(objective.evaluate(config));  // warm-up
+    workloads["objective_repeat/medium"] =
+        median3_us_per_op(40, [&](std::size_t iters) {
+          for (std::size_t i = 0; i < iters; ++i) {
+            benchmark::DoNotOptimize(objective.evaluate(config));
+          }
+        });
+  }
+  {
+    topo::SyntheticSpec spec;
+    spec.size = topo::TopologySize::kSmall;
+    const sim::Topology topology = topo::build_synthetic(spec);
+    workloads["campaign_end_to_end/small"] =
+        median3_us_per_op(3, [&](std::size_t iters) {
+          for (std::size_t i = 0; i < iters; ++i) {
+            benchmark::DoNotOptimize(run_campaign_workload(topology, 1));
+          }
+        });
+  }
+  JsonObject record;
+  record["benchmark"] = "campaign";
+  record["unit"] = "us_per_op";
+  record["statistic"] = "median_of_3_reps";
+  record["workloads"] = std::move(workloads);
+  std::ofstream out(path);
+  out << Json(std::move(record)).dump(2) << '\n';
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Strip our own flags before google-benchmark sees the command line.
   std::string simulate_json = "BENCH_simulate.json";
   std::string gp_json = "BENCH_gp.json";
+  std::string campaign_json = "BENCH_campaign.json";
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     constexpr const char* kSimFlag = "--simulate-json=";
     constexpr const char* kGpFlag = "--gp-json=";
+    constexpr const char* kCampaignFlag = "--campaign-json=";
     if (std::strncmp(argv[i], kSimFlag, std::strlen(kSimFlag)) == 0) {
       simulate_json = argv[i] + std::strlen(kSimFlag);
     } else if (std::strncmp(argv[i], kGpFlag, std::strlen(kGpFlag)) == 0) {
       gp_json = argv[i] + std::strlen(kGpFlag);
+    } else if (std::strncmp(argv[i], kCampaignFlag,
+                            std::strlen(kCampaignFlag)) == 0) {
+      campaign_json = argv[i] + std::strlen(kCampaignFlag);
     } else {
       argv[kept++] = argv[i];
     }
@@ -478,5 +599,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   if (!simulate_json.empty()) write_simulate_record(simulate_json);
   if (!gp_json.empty()) write_gp_record(gp_json);
+  if (!campaign_json.empty()) write_campaign_record(campaign_json);
   return 0;
 }

@@ -90,6 +90,13 @@ class IndexedHeap {
     erase(heap_.front().key);
   }
 
+  /// Remove every entry, keeping the key universe and the heap's capacity
+  /// (for workspace reuse across simulation runs).
+  void clear() {
+    for (const Entry& e : heap_) pos_[e.key] = npos;
+    heap_.clear();
+  }
+
  private:
   struct Entry {
     P priority;

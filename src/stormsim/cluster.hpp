@@ -85,6 +85,27 @@ struct SimParams {
   /// whole run, and the core-speed factor it then gets.
   double background_load_prob = 0.0;
   double background_load_factor = 0.5;
+
+  // --- Adaptive measurement window (opt-in; default OFF) ---------------
+  // When enabled, a run may end before `duration_s` of simulated time: an
+  // incremental estimator watches post-warmup batch commits, aggregated
+  // into blocks of `adaptive_block_commits` commits (pipelined commits
+  // arrive in bursts; block means smooth them out), and stops once the
+  // 95% confidence half-width of the mean block duration drops below
+  // `adaptive_epsilon` of the mean. Committed-tuple throughput is then
+  // extrapolated over the remaining window at the estimated steady rate.
+  // Golden tests and the default evaluation path never enable this — the
+  // full-window result is the reference the adaptive one is validated
+  // against (see tests/test_adaptive_window.cpp).
+  bool adaptive_window = false;
+  /// Target relative half-width of the steady-state estimate.
+  double adaptive_epsilon = 0.05;
+  /// Fraction of the window treated as warm-up and excluded.
+  double adaptive_warmup_fraction = 0.15;
+  /// Commits aggregated into one block mean.
+  std::size_t adaptive_block_commits = 8;
+  /// Minimum blocks observed before the stopping rule may fire.
+  std::size_t adaptive_min_blocks = 6;
 };
 
 }  // namespace stormtune::sim

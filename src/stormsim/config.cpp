@@ -10,15 +10,22 @@ namespace stormtune::sim {
 
 std::vector<int> TopologyConfig::normalized_hints(
     const Topology& topology) const {
+  std::vector<int> hints;
+  normalized_hints_into(topology, hints);
+  return hints;
+}
+
+void TopologyConfig::normalized_hints_into(const Topology& topology,
+                                           std::vector<int>& hints) const {
   const std::size_t n = topology.num_nodes();
-  std::vector<int> hints = parallelism_hints;
+  hints = parallelism_hints;
   if (hints.empty()) hints.assign(n, 1);
   STORMTUNE_REQUIRE(hints.size() == n,
                     "TopologyConfig: hint count does not match topology");
   for (int& h : hints) h = std::max(h, 1);
-  if (max_tasks <= 0) return hints;
+  if (max_tasks <= 0) return;
   long long total = std::accumulate(hints.begin(), hints.end(), 0LL);
-  if (total <= max_tasks) return hints;
+  if (total <= max_tasks) return;
   const double scale = static_cast<double>(max_tasks) /
                        static_cast<double>(total);
   for (int& h : hints) {
@@ -35,7 +42,6 @@ std::vector<int> TopologyConfig::normalized_hints(
     --*it;
     --total;
   }
-  return hints;
 }
 
 int TopologyConfig::effective_ackers(std::size_t num_workers) const {

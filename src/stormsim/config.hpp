@@ -37,6 +37,11 @@ struct TopologyConfig {
   /// scaled proportionally (floored at 1).
   std::vector<int> normalized_hints(const Topology& topology) const;
 
+  /// Allocation-free variant of normalized_hints() for hot callers: writes
+  /// into `hints`, which keeps its capacity across calls.
+  void normalized_hints_into(const Topology& topology,
+                             std::vector<int>& hints) const;
+
   /// Effective acker count given the deployment's worker count.
   int effective_ackers(std::size_t num_workers) const;
 

@@ -12,7 +12,7 @@
 #include "common/rng.hpp"
 
 namespace stormtune::sim {
-namespace {
+namespace engine_detail {
 
 using JobId = std::size_t;
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
@@ -69,6 +69,12 @@ struct ActiveJobEarlier {
 /// min(1, cores/active) * speed_factor, tracked with a shared virtual
 /// service clock V. A job entering with `work` remaining departs when V
 /// reaches its entry V plus work.
+///
+/// The rate is maintained incrementally: `cached_rate` is refreshed on
+/// every push/pop/speed change through a per-active-count share table, so
+/// the hot paths (advance + departure scheduling, the engine's dominant
+/// cost) never divide. The cached value is bit-identical to evaluating
+/// min(1, effective_cores/active) * speed_factor directly.
 struct MachineState {
   double cores = 4.0;           // physical cores (capacity accounting)
   double effective_cores = 4.0; // physical minus per-task polling overhead
@@ -77,6 +83,7 @@ struct MachineState {
 
   double virtual_service = 0.0;  // V
   double last_update = 0.0;
+  double cached_rate = 0.0;      // rate for the CURRENT active set / speed
 
   // Min-heap of active jobs by (V_end, ticket).
   DaryHeap<ActiveJob, 4, ActiveJobEarlier> active;
@@ -84,16 +91,40 @@ struct MachineState {
   double busy_core_ms = 0.0;  // integrated busy cores (capacity accounting)
   double egress_bytes = 0.0;
 
-  double rate() const {
-    if (active.empty()) return 0.0;
-    const double k = static_cast<double>(active.size());
-    return std::min(1.0, effective_cores / k) * speed_factor;
+  /// core_share[k] = min(1, effective_cores / k), filled lazily per run
+  /// (effective_cores is fixed once the deployment is built). The vector
+  /// keeps its capacity across runs; `core_share_filled` marks how many
+  /// entries are valid for the current run.
+  std::vector<double> core_share;
+  std::size_t core_share_filled = 0;
+
+  void fill_core_share(std::size_t k) {
+    if (core_share.size() <= k) core_share.resize(k + 1);
+    if (core_share_filled == 0) {
+      core_share[0] = 0.0;
+      core_share_filled = 1;
+    }
+    for (; core_share_filled <= k; ++core_share_filled) {
+      core_share[core_share_filled] = std::min(
+          1.0, effective_cores / static_cast<double>(core_share_filled));
+    }
+  }
+
+  /// Recompute cached_rate after the active set or speed factor changed.
+  void refresh_rate() {
+    const std::size_t k = active.size();
+    if (k == 0) {
+      cached_rate = 0.0;
+      return;
+    }
+    if (k >= core_share_filled) fill_core_share(k);
+    cached_rate = core_share[k] * speed_factor;
   }
 
   void advance(double now) {
     if (now > last_update) {
       const double dt = now - last_update;
-      virtual_service += dt * rate();
+      virtual_service += dt * cached_rate;
       busy_core_ms +=
           dt * std::min(static_cast<double>(active.size()), cores);
       last_update = now;
@@ -131,7 +162,7 @@ struct BatchState {
 
 /// A tuple transfer landing on a destination node. Departure events do not
 /// live here — each machine owns exactly one in-place entry in an indexed
-/// heap (see Simulation::departures_).
+/// heap (see SimWorkspace::departures_).
 struct EdgeEvent {
   double time = 0.0;
   std::uint64_t seq = 0;  // FIFO tie-break for determinism
@@ -161,23 +192,116 @@ struct DepartureEarlier {
   }
 };
 
-class Simulation {
- public:
-  Simulation(const Topology& topology, const TopologyConfig& config,
-             const ClusterSpec& cluster, const SimParams& params,
-             std::uint64_t seed)
-      : topo_(topology), config_(config), cluster_(cluster), params_(params),
-        rng_(seed) {
-    topo_.validate();
-    config_.validate(topo_);
-    build_deployment();
-    precompute_batch_profile();
-  }
+}  // namespace engine_detail
 
-  SimResult run();
+using namespace engine_detail;
+
+/// All engine state, persistent across runs. Every run rewrites every field
+/// it reads; vectors and heaps keep their capacity, and slot pools hand out
+/// indices from a per-run high-water mark so a reused workspace allocates
+/// (and orders) slots exactly like a fresh one.
+struct SimWorkspace {
+  // ---- inputs of the current run (borrowed; valid during run() only) ----
+  const Topology* topo_ = nullptr;
+  const TopologyConfig* config_ = nullptr;
+  const ClusterSpec* cluster_ = nullptr;
+  const SimParams* params_ = nullptr;
+  Rng rng_;
+
+  // ---- deployment (rebuilt per run into reused buffers) ----
+  std::vector<int> hints_;                     // per node, normalized
+  Assignment assignment_;                      // node_tasks / ackers / workers
+  AssignScratch assign_scratch_;
+  std::size_t coordinator_task_ = 0;
+  std::vector<TaskGate> tasks_;                // per task, +1 coordinator gate
+  std::vector<WorkerState> workers_;
+  std::vector<MachineState> machines_;         // last one is the master VM
+  std::size_t master_machine_ = 0;
+  std::size_t master_worker_ = 0;
+  std::vector<std::size_t> tasks_on_machine_;  // scratch
+  std::vector<std::size_t> spouts_;            // cached spout ids
+
+  // ---- validation scratch ----
+  std::vector<unsigned char> reachable_;
+  std::vector<std::size_t> reach_stack_;
+
+  // ---- per-batch workload profile (identical for every batch) ----
+  std::vector<double> in_tuples_;       // per node
+  std::vector<double> out_tuples_;      // per node
+  std::vector<double> compute_work_;    // per node, per task, core-ms
+  std::vector<double> recv_work_;       // per node, per task, core-ms
+  std::vector<double> ack_work_;        // per node, core-ms
+  std::vector<std::size_t> in_edge_count_;     // per node
+  std::vector<double> edge_delay_ms_;   // per edge
+  std::vector<double> edge_bytes_per_sender_;  // per edge
+  std::vector<std::vector<std::size_t>> edge_sender_machines_;  // per edge
+  std::vector<double> edge_tuples_;     // scratch
+  std::vector<std::size_t> seen_stamp_; // scratch (per-edge sender dedup)
+  std::vector<std::size_t> topo_order_; // scratch
+  std::vector<std::size_t> indegree_;   // scratch
+  double batch_memory_bytes_ = 0.0;
+
+  // ---- dynamic state ----
+  // Jobs and batches recycle slots through free lists; fresh slots come
+  // from the high-water counters so reused pools hand out 0, 1, 2, ... in
+  // exactly the order a fresh run's emplace_back would.
+  std::vector<Job> jobs_;
+  std::vector<JobId> free_jobs_;
+  std::size_t jobs_used_ = 0;
+  std::uint64_t job_ticket_ = 0;
+  DaryHeap<EdgeEvent, 4, EdgeEventEarlier> edge_events_;
+  IndexedHeap<DepartureKey, 4, DepartureEarlier> departures_;  // by machine
+  // Departure updates are buffered and sifted into the heap only when the
+  // event loop next reads it (see flush_departures): processing one event
+  // reschedules the same machine several times, and only the last key is
+  // ever observable. Keys (and their seq draws) are computed eagerly, so
+  // the flushed heap state — hence the pop order, a pure function of the
+  // {machine -> key} map under the total order — is bit-identical to
+  // updating the heap on every call.
+  enum class DepPending : std::uint8_t { kClean, kSet, kErase };
+  std::vector<DepPending> dep_pending_;
+  std::vector<DepartureKey> dep_key_;
+  std::vector<std::size_t> dep_dirty_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0.0;
+  double memory_pressure_ = 1.0;
+  double static_memory_share_ = 0.0;  // per-machine bytes for task overhead
+  std::vector<BatchState> batches_;   // slots, recycled
+  std::vector<std::size_t> free_batches_;
+  std::size_t batches_used_ = 0;
+  std::size_t batches_emitted_ = 0;
+  std::size_t batches_inflight_ = 0;
+  std::size_t batches_committed_ = 0;
+  double total_latency_ms_ = 0.0;
+  double duration_ms_ = 0.0;
+
+  // ---- adaptive measurement window (SimParams::adaptive_window) ----
+  bool adaptive_ = false;
+  bool early_stop_ = false;
+  double warmup_ms_ = 0.0;
+  double block_anchor_ms_ = -1.0;  // first commit of the current block
+  std::size_t block_commits_ = 0;  // commits accumulated in current block
+  std::size_t blocks_ = 0;         // completed blocks (Welford count)
+  double block_mean_ms_ = 0.0;     // running mean block duration
+  double block_m2_ = 0.0;          // running sum of squared deviations
+
+  // ---- per-node statistics (bottleneck attribution) ----
+  std::vector<double> node_stage_sum_ms_;
+  std::vector<double> node_stage_max_ms_;
+  std::vector<std::size_t> node_batches_done_;
+  std::vector<double> node_busy_core_ms_;
+
+  // ---- reusable result (returned by reference) ----
+  SimResult result_;
+
+  const SimResult& run(const Topology& topology, const TopologyConfig& config,
+                       const ClusterSpec& cluster, const SimParams& params,
+                       std::uint64_t seed);
 
  private:
   // ---- setup ----
+  void validate_inputs();
+  void reset_run_state();
   void build_deployment();
   void precompute_batch_profile();
 
@@ -186,6 +310,17 @@ class Simulation {
     edge_events_.push(EdgeEvent{time, seq_++, node, batch});
   }
   void schedule_machine_departure(std::size_t m);
+  void flush_departures() {
+    for (const std::size_t m : dep_dirty_) {
+      if (dep_pending_[m] == DepPending::kSet) {
+        departures_.set(m, dep_key_[m]);
+      } else {
+        departures_.erase(m);
+      }
+      dep_pending_[m] = DepPending::kClean;
+    }
+    dep_dirty_.clear();
+  }
   void update_memory_pressure();
 
   // ---- intrusive job queues ----
@@ -221,241 +356,305 @@ class Simulation {
   void maybe_commit(std::size_t batch);
   void batch_committed(std::size_t batch);
 
+  // ---- adaptive window ----
+  void observe_commit();
+
   bool task_gated(JobKind k) const { return k != JobKind::kReceive; }
-
-  // ---- inputs ----
-  Topology topo_;
-  TopologyConfig config_;
-  ClusterSpec cluster_;
-  SimParams params_;
-  Rng rng_;
-
-  // ---- deployment (static per run) ----
-  std::vector<int> hints_;                     // per node, normalized
-  std::vector<std::vector<std::size_t>> node_tasks_;  // node -> task ids
-  std::vector<std::size_t> acker_tasks_;
-  std::size_t coordinator_task_ = 0;
-  std::vector<TaskGate> tasks_;
-  std::vector<std::size_t> task_worker_;       // task -> worker
-  std::vector<WorkerState> workers_;
-  std::vector<MachineState> machines_;         // last one is the master VM
-  std::size_t master_machine_ = 0;
-  std::size_t master_worker_ = 0;
-
-  // ---- per-batch workload profile (identical for every batch) ----
-  std::vector<double> in_tuples_;       // per node
-  std::vector<double> out_tuples_;      // per node
-  std::vector<double> compute_work_;    // per node, per task, core-ms
-  std::vector<double> recv_work_;       // per node, per task, core-ms
-  std::vector<double> ack_work_;        // per node, core-ms
-  std::vector<std::size_t> in_edge_count_;     // per node
-  std::vector<double> edge_delay_ms_;   // per edge
-  std::vector<double> edge_bytes_per_sender_;  // per edge
-  std::vector<std::vector<std::size_t>> edge_sender_machines_;  // per edge
-  double batch_memory_bytes_ = 0.0;
-
-  // ---- dynamic state ----
-  // Jobs and batches recycle slots through free lists, so both pools stay
-  // O(concurrent work) instead of growing over the simulated run.
-  std::vector<Job> jobs_;
-  std::vector<JobId> free_jobs_;
-  std::uint64_t job_ticket_ = 0;
-  DaryHeap<EdgeEvent, 4, EdgeEventEarlier> edge_events_;
-  IndexedHeap<DepartureKey, 4, DepartureEarlier> departures_;  // by machine
-  std::uint64_t seq_ = 0;
-  double now_ = 0.0;
-  double memory_pressure_ = 1.0;
-  double static_memory_share_ = 0.0;  // per-machine bytes for task overhead
-  std::vector<BatchState> batches_;   // slots, recycled
-  std::vector<std::size_t> free_batches_;
-  std::size_t batches_emitted_ = 0;
-  std::size_t batches_inflight_ = 0;
-  std::size_t batches_committed_ = 0;
-  double total_latency_ms_ = 0.0;
-  double duration_ms_ = 0.0;
-
-  // ---- per-node statistics (bottleneck attribution) ----
-  std::vector<double> node_stage_sum_ms_;
-  std::vector<double> node_stage_max_ms_;
-  std::vector<std::size_t> node_batches_done_;
-  std::vector<double> node_busy_core_ms_;
 };
 
-void Simulation::build_deployment() {
-  hints_ = config_.normalized_hints(topo_);
-  node_stage_sum_ms_.assign(topo_.num_nodes(), 0.0);
-  node_stage_max_ms_.assign(topo_.num_nodes(), 0.0);
-  node_batches_done_.assign(topo_.num_nodes(), 0);
-  node_busy_core_ms_.assign(topo_.num_nodes(), 0.0);
+void SimWorkspace::validate_inputs() {
+  // Same checks and messages as Topology::validate() and
+  // TopologyConfig::validate(), but routed through reusable scratch so
+  // repeated runs stay allocation-free. The acyclicity check is redundant
+  // here: Topology::connect() rejects any edge that would create a cycle
+  // at insertion time.
+  const std::size_t n = topo_->num_nodes();
+  reachable_.assign(n, 0);
+  reach_stack_.clear();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (topo_->nodes()[v].kind == NodeKind::kSpout) {
+      reachable_[v] = 1;
+      reach_stack_.push_back(v);
+    }
+  }
+  STORMTUNE_REQUIRE(!reach_stack_.empty(),
+                    "Topology: needs at least one spout");
+  while (!reach_stack_.empty()) {
+    const std::size_t v = reach_stack_.back();
+    reach_stack_.pop_back();
+    for (std::size_t eid : topo_->out_edge_ids(v)) {
+      const std::size_t w = topo_->edges()[eid].to;
+      if (!reachable_[w]) {
+        reachable_[w] = 1;
+        reach_stack_.push_back(w);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    STORMTUNE_REQUIRE(reachable_[v],
+                      "Topology: node '" + topo_->nodes()[v].name +
+                          "' is not reachable from any spout");
+  }
+  config_->validate(*topo_);
+  if (params_->adaptive_window) {
+    STORMTUNE_REQUIRE(params_->adaptive_epsilon > 0.0,
+                      "simulate: adaptive_epsilon must be > 0");
+    STORMTUNE_REQUIRE(params_->adaptive_warmup_fraction >= 0.0 &&
+                          params_->adaptive_warmup_fraction < 1.0,
+                      "simulate: adaptive_warmup_fraction must be in [0, 1)");
+    STORMTUNE_REQUIRE(params_->adaptive_block_commits >= 1,
+                      "simulate: adaptive_block_commits must be >= 1");
+    STORMTUNE_REQUIRE(params_->adaptive_min_blocks >= 2,
+                      "simulate: adaptive_min_blocks must be >= 2");
+  }
+}
 
-  const std::size_t num_workers = cluster_.num_workers();
+void SimWorkspace::reset_run_state() {
+  free_jobs_.clear();
+  jobs_used_ = 0;
+  job_ticket_ = 0;
+  edge_events_.clear();
+  seq_ = 0;
+  now_ = 0.0;
+  memory_pressure_ = 1.0;
+  static_memory_share_ = 0.0;
+  free_batches_.clear();
+  batches_used_ = 0;
+  batches_emitted_ = 0;
+  batches_inflight_ = 0;
+  batches_committed_ = 0;
+  total_latency_ms_ = 0.0;
+  duration_ms_ = params_->duration_s * 1000.0;
+  adaptive_ = params_->adaptive_window;
+  early_stop_ = false;
+  warmup_ms_ = duration_ms_ * params_->adaptive_warmup_fraction;
+  block_anchor_ms_ = -1.0;
+  block_commits_ = 0;
+  blocks_ = 0;
+  block_mean_ms_ = 0.0;
+  block_m2_ = 0.0;
+}
+
+void SimWorkspace::build_deployment() {
+  config_->normalized_hints_into(*topo_, hints_);
+  const std::size_t n = topo_->num_nodes();
+  node_stage_sum_ms_.assign(n, 0.0);
+  node_stage_max_ms_.assign(n, 0.0);
+  node_batches_done_.assign(n, 0);
+  node_busy_core_ms_.assign(n, 0.0);
+
+  const std::size_t num_workers = cluster_->num_workers();
   STORMTUNE_REQUIRE(num_workers > 0, "simulate: cluster has no workers");
 
-  machines_.resize(cluster_.num_machines + 1);
+  machines_.resize(cluster_->num_machines + 1);
   for (auto& m : machines_) {
-    m.cores = static_cast<double>(cluster_.cores_per_machine);
-    if (params_.background_load_prob > 0.0 &&
-        rng_.bernoulli(params_.background_load_prob)) {
-      m.base_speed_factor = params_.background_load_factor;
+    m.cores = static_cast<double>(cluster_->cores_per_machine);
+    m.effective_cores = m.cores;
+    m.base_speed_factor = 1.0;
+    m.virtual_service = 0.0;
+    m.last_update = 0.0;
+    m.cached_rate = 0.0;
+    m.active.clear();
+    m.busy_core_ms = 0.0;
+    m.egress_bytes = 0.0;
+    m.core_share_filled = 0;
+    if (params_->background_load_prob > 0.0 &&
+        rng_.bernoulli(params_->background_load_prob)) {
+      m.base_speed_factor = params_->background_load_factor;
     }
     m.speed_factor = m.base_speed_factor;
   }
   master_machine_ = machines_.size() - 1;
   machines_[master_machine_].base_speed_factor = 1.0;  // dedicated VM
   machines_[master_machine_].speed_factor = 1.0;
+  departures_.clear();
   departures_.resize(machines_.size());
+  dep_pending_.assign(machines_.size(), DepPending::kClean);
+  dep_key_.resize(machines_.size());
+  dep_dirty_.clear();
 
   workers_.resize(num_workers + 1);
-  for (std::size_t w = 0; w < num_workers; ++w) {
-    workers_[w].machine = w / cluster_.workers_per_machine;
-  }
   master_worker_ = num_workers;
-  workers_[master_worker_].machine = master_machine_;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w].machine =
+        w < num_workers ? w / cluster_->workers_per_machine : master_machine_;
+    workers_[w].exec_active = 0;
+    workers_[w].exec_queue = JobQueue{};
+    workers_[w].recv_active = 0;
+    workers_[w].recv_queue = JobQueue{};
+  }
 
   // Plan the task placement with the configured scheduler policy (Storm's
   // even scheduler by default).
-  const Assignment assignment = assign_tasks(
-      topo_, hints_, config_.effective_ackers(num_workers), num_workers,
-      params_.scheduler, /*seed=*/rng_());
-  node_tasks_ = assignment.node_tasks;
-  acker_tasks_ = assignment.acker_tasks;
-  task_worker_ = assignment.task_worker;
-  tasks_.resize(task_worker_.size());
+  assign_tasks_into(*topo_, hints_, config_->effective_ackers(num_workers),
+                    num_workers, params_->scheduler, /*seed=*/rng_(),
+                    assignment_, assign_scratch_);
+  const std::size_t num_tasks = assignment_.task_worker.size();
 
-  // The coordinator lives on the master VM, outside the worker round-robin.
-  tasks_.emplace_back();
-  task_worker_.push_back(master_worker_);
-  coordinator_task_ = tasks_.size() - 1;
+  // One gate per task, plus the coordinator's gate on the master VM
+  // (outside the worker round-robin).
+  tasks_.resize(num_tasks + 1);
+  for (auto& gate : tasks_) {
+    gate.busy = false;
+    gate.pending = JobQueue{};
+  }
+  coordinator_task_ = num_tasks;
 
   // Per-task polling/scheduling overhead erodes each machine's effective
   // capacity; grossly over-provisioned deployments approach zero capacity
   // ("only waste resources on context switching", Section IV-B2).
-  std::vector<std::size_t> tasks_on_machine(machines_.size(), 0);
-  for (std::size_t t = 0; t + 1 < tasks_.size(); ++t) {  // skip coordinator
-    ++tasks_on_machine[workers_[task_worker_[t]].machine];
+  tasks_on_machine_.assign(machines_.size(), 0);
+  for (std::size_t t = 0; t < num_tasks; ++t) {  // coordinator not counted
+    ++tasks_on_machine_[workers_[assignment_.task_worker[t]].machine];
   }
   for (std::size_t m = 0; m < machines_.size(); ++m) {
     machines_[m].effective_cores = std::max(
         0.05, machines_[m].cores -
-                  params_.task_poll_cores *
-                      static_cast<double>(tasks_on_machine[m]));
+                  params_->task_poll_cores *
+                      static_cast<double>(tasks_on_machine_[m]));
+  }
+
+  spouts_.clear();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (topo_->nodes()[v].kind == NodeKind::kSpout) spouts_.push_back(v);
   }
 }
 
-void Simulation::precompute_batch_profile() {
-  const double bs = static_cast<double>(config_.batch_size);
-  in_tuples_ = topo_.input_tuples_per_batch(bs);
-  out_tuples_ = topo_.emitted_tuples_per_batch(bs);
+void SimWorkspace::precompute_batch_profile() {
+  const double bs = static_cast<double>(config_->batch_size);
+  topo_->input_tuples_per_batch_into(bs, in_tuples_, topo_order_, indegree_);
+  // emitted = input scaled by selectivity (same arithmetic as
+  // Topology::emitted_tuples_per_batch).
+  out_tuples_ = in_tuples_;
+  const std::size_t n = topo_->num_nodes();
+  for (std::size_t v = 0; v < n; ++v) {
+    out_tuples_[v] *= topo_->nodes()[v].selectivity;
+  }
 
-  const std::size_t n = topo_.num_nodes();
   compute_work_.resize(n);
   recv_work_.resize(n);
   ack_work_.resize(n);
   in_edge_count_.resize(n);
   batch_memory_bytes_ = 0.0;
   for (std::size_t v = 0; v < n; ++v) {
-    const Node& node = topo_.node(v);
+    const Node& node = topo_->node(v);
     const double ntasks = static_cast<double>(hints_[v]);
     const double contention = node.contentious ? ntasks : 1.0;
     compute_work_[v] = in_tuples_[v] / ntasks * node.time_complexity *
-                       contention * params_.compute_unit_ms;
+                       contention * params_->compute_unit_ms;
     recv_work_[v] = node.kind == NodeKind::kBolt
                         ? in_tuples_[v] / ntasks *
-                              params_.recv_units_per_tuple *
-                              params_.compute_unit_ms
+                              params_->recv_units_per_tuple *
+                              params_->compute_unit_ms
                         : 0.0;
-    ack_work_[v] = out_tuples_[v] * params_.ack_units_per_tuple *
-                   params_.compute_unit_ms;
-    in_edge_count_[v] = topo_.in_edge_ids(v).size();
-    batch_memory_bytes_ += in_tuples_[v] * params_.tuple_memory_bytes;
+    ack_work_[v] = out_tuples_[v] * params_->ack_units_per_tuple *
+                   params_->compute_unit_ms;
+    in_edge_count_[v] = topo_->in_edge_ids(v).size();
+    batch_memory_bytes_ += in_tuples_[v] * params_->tuple_memory_bytes;
   }
 
   // Per-edge transfer profile. A fraction (1 - 1/M) of tuples cross machine
   // boundaries under shuffle grouping with evenly spread tasks.
-  const double m = static_cast<double>(cluster_.num_machines);
+  const double m = static_cast<double>(cluster_->num_machines);
   const double cross_fraction = m > 1.0 ? 1.0 - 1.0 / m : 0.0;
-  const auto& edges = topo_.edges();
-  const std::vector<double> edge_tuples =
-      topo_.edge_tuples_per_batch(static_cast<double>(config_.batch_size));
+  const auto& edges = topo_->edges();
+  // Tuples per edge, from the emitted profile (same arithmetic as
+  // Topology::edge_tuples_per_batch).
+  edge_tuples_.assign(edges.size(), 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& out = topo_->out_edge_ids(v);
+    if (out.empty()) continue;
+    const double share =
+        topo_->nodes()[v].split_output
+            ? out_tuples_[v] / static_cast<double>(out.size())
+            : out_tuples_[v];
+    for (std::size_t eid : out) edge_tuples_[eid] = share;
+  }
   edge_delay_ms_.resize(edges.size());
   edge_bytes_per_sender_.resize(edges.size());
   edge_sender_machines_.resize(edges.size());
   // Stamp array for the per-edge sender dedup: seen_stamp[mach] == e marks
-  // machine `mach` as already collected for edge e. O(tasks) per edge where
-  // the old std::find-over-vector scan was O(tasks * machines).
-  std::vector<std::size_t> seen_stamp(machines_.size(), kNone);
+  // machine `mach` as already collected for edge e. Re-primed every run —
+  // stale stamps from a previous run would alias edge ids.
+  seen_stamp_.assign(machines_.size(), kNone);
   for (std::size_t e = 0; e < edges.size(); ++e) {
     const std::size_t from = edges[e].from;
-    std::vector<std::size_t> senders;
-    for (std::size_t t : node_tasks_[from]) {
-      const std::size_t mach = workers_[task_worker_[t]].machine;
-      if (seen_stamp[mach] != e) {
-        seen_stamp[mach] = e;
+    std::vector<std::size_t>& senders = edge_sender_machines_[e];
+    senders.clear();
+    for (std::size_t t : assignment_.node_tasks[from]) {
+      const std::size_t mach = workers_[assignment_.task_worker[t]].machine;
+      if (seen_stamp_[mach] != e) {
+        seen_stamp_[mach] = e;
         senders.push_back(mach);
       }
     }
-    edge_sender_machines_[e] = std::move(senders);
-    const double bytes = edge_tuples[e] * params_.tuple_bytes *
+    const double bytes = edge_tuples_[e] * params_->tuple_bytes *
                          cross_fraction;
-    const double nsenders =
-        std::max<std::size_t>(edge_sender_machines_[e].size(), 1);
+    const double nsenders = std::max<std::size_t>(senders.size(), 1);
     edge_bytes_per_sender_[e] = bytes / nsenders;
     const double transfer_ms =
-        bytes / (cluster_.nic_bytes_per_sec * nsenders) * 1000.0;
-    edge_delay_ms_[e] = params_.network_latency_ms + transfer_ms;
+        bytes / (cluster_->nic_bytes_per_sec * nsenders) * 1000.0;
+    edge_delay_ms_[e] = params_->network_latency_ms + transfer_ms;
   }
 }
 
-void Simulation::schedule_machine_departure(std::size_t m) {
+void SimWorkspace::schedule_machine_departure(std::size_t m) {
   MachineState& mach = machines_[m];
+  if (dep_pending_[m] == DepPending::kClean) dep_dirty_.push_back(m);
   if (mach.active.empty()) {
-    departures_.erase(m);
+    dep_pending_[m] = DepPending::kErase;
     return;
   }
-  const double rate = mach.rate();
+  const double rate = mach.cached_rate;
   STORMTUNE_REQUIRE(rate > 0.0, "simulate: machine with jobs but zero rate");
   const double remaining =
       std::max(0.0, mach.active.top().v_end - mach.virtual_service);
-  departures_.set(m, DepartureKey{now_ + remaining / rate, seq_++});
+  // x / 1.0 == x exactly, so the full-speed fast path skips the division
+  // without changing a single bit.
+  const double wait = rate == 1.0 ? remaining : remaining / rate;
+  dep_key_[m] = DepartureKey{now_ + wait, seq_++};
+  dep_pending_[m] = DepPending::kSet;
 }
 
-void Simulation::update_memory_pressure() {
+void SimWorkspace::update_memory_pressure() {
   // In-flight batch data spread over the worker machines; exceeding the
   // soft budget slows every worker machine down (GC/paging pressure).
   const double inflight_bytes =
       batch_memory_bytes_ * static_cast<double>(batches_inflight_);
   const double share = static_memory_share_ +
                        inflight_bytes /
-                           static_cast<double>(cluster_.num_machines);
+                           static_cast<double>(cluster_->num_machines);
   const double over =
-      std::max(0.0, share / cluster_.memory_soft_bytes - 1.0);
-  const double pressure = 1.0 / (1.0 + params_.memory_pressure_factor * over);
+      std::max(0.0, share / cluster_->memory_soft_bytes - 1.0);
+  const double pressure =
+      1.0 / (1.0 + params_->memory_pressure_factor * over);
   if (pressure == memory_pressure_) return;
   memory_pressure_ = pressure;
   for (std::size_t m = 0; m < master_machine_; ++m) {
     MachineState& mach = machines_[m];
     mach.advance(now_);
     mach.speed_factor = mach.base_speed_factor * pressure;
+    mach.refresh_rate();
     schedule_machine_departure(m);
   }
 }
 
-JobId Simulation::make_job(JobKind kind, std::size_t node, std::size_t task,
-                           std::size_t worker, std::size_t batch,
-                           double work) {
+JobId SimWorkspace::make_job(JobKind kind, std::size_t node, std::size_t task,
+                             std::size_t worker, std::size_t batch,
+                             double work) {
   JobId id;
   if (!free_jobs_.empty()) {
     id = free_jobs_.back();
     free_jobs_.pop_back();
   } else {
-    jobs_.emplace_back();
-    id = jobs_.size() - 1;
+    id = jobs_used_++;
+    if (id == jobs_.size()) jobs_.emplace_back();
   }
   jobs_[id] = Job{kind, node, task, worker, batch, work, job_ticket_++, kNone};
   return id;
 }
 
-void Simulation::submit(JobId id) {
+void SimWorkspace::submit(JobId id) {
   const Job& job = jobs_[id];
   if (task_gated(job.kind)) {
     TaskGate& gate = tasks_[job.task];
@@ -468,11 +667,11 @@ void Simulation::submit(JobId id) {
   enter_worker_gate(id);
 }
 
-void Simulation::enter_worker_gate(JobId id) {
+void SimWorkspace::enter_worker_gate(JobId id) {
   const Job& job = jobs_[id];
   WorkerState& w = workers_[job.worker];
   if (job.kind == JobKind::kReceive) {
-    if (w.recv_active >= config_.receiver_threads) {
+    if (w.recv_active >= config_->receiver_threads) {
       queue_push(w.recv_queue, id);
       return;
     }
@@ -480,7 +679,7 @@ void Simulation::enter_worker_gate(JobId id) {
   } else if (job.kind == JobKind::kCommit) {
     // The coordinator is not bounded by a worker executor pool.
   } else {
-    if (w.exec_active >= config_.worker_threads) {
+    if (w.exec_active >= config_->worker_threads) {
       queue_push(w.exec_queue, id);
       return;
     }
@@ -489,16 +688,18 @@ void Simulation::enter_worker_gate(JobId id) {
   start_on_machine(id);
 }
 
-void Simulation::start_on_machine(JobId id) {
+void SimWorkspace::start_on_machine(JobId id) {
   const Job& job = jobs_[id];
-  MachineState& mach = machines_[workers_[job.worker].machine];
+  const std::size_t m = workers_[job.worker].machine;
+  MachineState& mach = machines_[m];
   mach.advance(now_);
   mach.active.push(
       ActiveJob{mach.virtual_service + job.work, job.ticket, id});
-  schedule_machine_departure(workers_[job.worker].machine);
+  mach.refresh_rate();
+  schedule_machine_departure(m);
 }
 
-void Simulation::finish_job(JobId id) {
+void SimWorkspace::finish_job(JobId id) {
   const Job job = jobs_[id];
   free_jobs_.push_back(id);  // slot dead from here on; `job` holds the copy
   WorkerState& w = workers_[job.worker];
@@ -565,15 +766,15 @@ void Simulation::finish_job(JobId id) {
   }
 }
 
-void Simulation::emit_ready_batches() {
+void SimWorkspace::emit_ready_batches() {
   while (batches_inflight_ <
-             static_cast<std::size_t>(config_.batch_parallelism) &&
+             static_cast<std::size_t>(config_->batch_parallelism) &&
          now_ < duration_ms_) {
     emit_batch();
   }
 }
 
-void Simulation::emit_batch() {
+void SimWorkspace::emit_batch() {
   const std::uint64_t number = batches_emitted_++;
   ++batches_inflight_;
   std::size_t slot;
@@ -581,11 +782,11 @@ void Simulation::emit_batch() {
     slot = free_batches_.back();
     free_batches_.pop_back();
   } else {
-    batches_.emplace_back();
-    slot = batches_.size() - 1;
+    slot = batches_used_++;
+    if (slot == batches_.size()) batches_.emplace_back();
   }
   BatchState& b = batches_[slot];
-  const std::size_t n = topo_.num_nodes();
+  const std::size_t n = topo_->num_nodes();
   b.number = number;
   b.emit_time = now_;
   b.nodes_done = 0;
@@ -600,18 +801,19 @@ void Simulation::emit_batch() {
   }
   update_memory_pressure();
 
-  for (std::size_t s : topo_.spouts()) {
+  for (std::size_t s : spouts_) {
     b.node_ready_time[s] = now_;
-    b.jobs_remaining[s] = node_tasks_[s].size();
-    for (std::size_t t : node_tasks_[s]) {
-      const JobId id = make_job(JobKind::kSpoutEmit, s, t, task_worker_[t],
-                                slot, compute_work_[s]);
+    b.jobs_remaining[s] = assignment_.node_tasks[s].size();
+    for (std::size_t t : assignment_.node_tasks[s]) {
+      const JobId id = make_job(JobKind::kSpoutEmit, s, t,
+                                assignment_.task_worker[t], slot,
+                                compute_work_[s]);
       submit(id);
     }
   }
 }
 
-void Simulation::node_completed(std::size_t node, std::size_t batch) {
+void SimWorkspace::node_completed(std::size_t node, std::size_t batch) {
   BatchState& b = batches_[batch];
 
   const double stage_ms = now_ - b.node_ready_time[node];
@@ -621,33 +823,34 @@ void Simulation::node_completed(std::size_t node, std::size_t batch) {
 
   // Acker bookkeeping for this node's emissions. Selection keys on the
   // global batch number, not the recycled slot.
-  if (ack_work_[node] > 0.0 && !acker_tasks_.empty()) {
+  if (ack_work_[node] > 0.0 && !assignment_.acker_tasks.empty()) {
     ++b.acks_pending;
     const std::size_t acker =
-        acker_tasks_[(node + static_cast<std::size_t>(b.number) *
-                                 topo_.num_nodes()) %
-                     acker_tasks_.size()];
-    const JobId id = make_job(JobKind::kAck, node, acker, task_worker_[acker],
-                              batch, ack_work_[node]);
+        assignment_.acker_tasks[(node + static_cast<std::size_t>(b.number) *
+                                            topo_->num_nodes()) %
+                                assignment_.acker_tasks.size()];
+    const JobId id = make_job(JobKind::kAck, node, acker,
+                              assignment_.task_worker[acker], batch,
+                              ack_work_[node]);
     submit(id);
   }
 
   // Propagate tuples downstream (network transfer per edge).
-  for (std::size_t eid : topo_.out_edge_ids(node)) {
-    const Edge& e = topo_.edges()[eid];
+  for (std::size_t eid : topo_->out_edge_ids(node)) {
+    const Edge& e = topo_->edges()[eid];
     for (std::size_t m : edge_sender_machines_[eid]) {
       machines_[m].egress_bytes += edge_bytes_per_sender_[eid];
     }
     push_edge_event(now_ + edge_delay_ms_[eid], e.to, batch);
   }
 
-  if (++b.nodes_done == topo_.num_nodes()) {
+  if (++b.nodes_done == topo_->num_nodes()) {
     b.processing_done = true;
     maybe_commit(batch);
   }
 }
 
-void Simulation::edge_arrived(std::size_t node, std::size_t batch) {
+void SimWorkspace::edge_arrived(std::size_t node, std::size_t batch) {
   BatchState& b = batches_[batch];
   STORMTUNE_REQUIRE(b.edges_pending[node] > 0,
                     "simulate: edge accounting underflow");
@@ -655,33 +858,34 @@ void Simulation::edge_arrived(std::size_t node, std::size_t batch) {
   b.node_ready_time[node] = now_;
 
   // All inputs arrived: deserialization then compute, one pair per task.
-  b.jobs_remaining[node] = node_tasks_[node].size();
-  for (std::size_t t : node_tasks_[node]) {
+  b.jobs_remaining[node] = assignment_.node_tasks[node].size();
+  for (std::size_t t : assignment_.node_tasks[node]) {
     if (recv_work_[node] > 0.0) {
-      const JobId recv = make_job(JobKind::kReceive, node, t, task_worker_[t],
-                                  batch, recv_work_[node]);
+      const JobId recv = make_job(JobKind::kReceive, node, t,
+                                  assignment_.task_worker[t], batch,
+                                  recv_work_[node]);
       submit(recv);
     } else {
       const JobId compute = make_job(JobKind::kCompute, node, t,
-                                     task_worker_[t], batch,
+                                     assignment_.task_worker[t], batch,
                                      compute_work_[node]);
       submit(compute);
     }
   }
 }
 
-void Simulation::maybe_commit(std::size_t batch) {
+void SimWorkspace::maybe_commit(std::size_t batch) {
   BatchState& b = batches_[batch];
   if (!b.processing_done || b.acks_pending > 0 || b.commit_submitted) return;
   b.commit_submitted = true;
   const double work =
-      params_.commit_units_per_batch * params_.compute_unit_ms;
+      params_->commit_units_per_batch * params_->compute_unit_ms;
   const JobId id = make_job(JobKind::kCommit, kNone, coordinator_task_,
                             master_worker_, batch, work);
   submit(id);
 }
 
-void Simulation::batch_committed(std::size_t batch) {
+void SimWorkspace::batch_committed(std::size_t batch) {
   BatchState& b = batches_[batch];
   STORMTUNE_REQUIRE(batches_inflight_ > 0,
                     "simulate: inflight accounting underflow");
@@ -689,32 +893,75 @@ void Simulation::batch_committed(std::size_t batch) {
   if (now_ <= duration_ms_) {
     ++batches_committed_;
     total_latency_ms_ += now_ - b.emit_time;
+    if (adaptive_ && !early_stop_ && now_ >= warmup_ms_) observe_commit();
   }
   free_batches_.push_back(batch);  // all events for this batch have fired
   update_memory_pressure();
   emit_ready_batches();
 }
 
-SimResult Simulation::run() {
-  duration_ms_ = params_.duration_s * 1000.0;
+void SimWorkspace::observe_commit() {
+  // Sequential confidence rule over block means of post-warmup commit
+  // times. The first post-warmup commit anchors the first block; each
+  // completed block (adaptive_block_commits commits) feeds a Welford
+  // estimate of the mean block duration. Once the 95% CI half-width is
+  // below adaptive_epsilon of the mean, the steady-state rate is pinned
+  // down and the run ends early.
+  if (block_anchor_ms_ < 0.0) {
+    block_anchor_ms_ = now_;
+    return;
+  }
+  if (++block_commits_ < params_->adaptive_block_commits) return;
+  const double block_ms = now_ - block_anchor_ms_;
+  block_anchor_ms_ = now_;
+  block_commits_ = 0;
+  ++blocks_;
+  const double delta = block_ms - block_mean_ms_;
+  block_mean_ms_ += delta / static_cast<double>(blocks_);
+  block_m2_ += delta * (block_ms - block_mean_ms_);
+  if (blocks_ < params_->adaptive_min_blocks || block_mean_ms_ <= 0.0) return;
+  const double variance = block_m2_ / static_cast<double>(blocks_ - 1);
+  const double half_width =
+      1.96 * std::sqrt(variance / static_cast<double>(blocks_));
+  if (half_width < params_->adaptive_epsilon * block_mean_ms_) {
+    early_stop_ = true;
+  }
+}
+
+const SimResult& SimWorkspace::run(const Topology& topology,
+                                   const TopologyConfig& config,
+                                   const ClusterSpec& cluster,
+                                   const SimParams& params,
+                                   std::uint64_t seed) {
+  topo_ = &topology;
+  config_ = &config;
+  cluster_ = &cluster;
+  params_ = &params;
+  rng_.reseed(seed);
+
+  validate_inputs();
+  reset_run_state();
+  build_deployment();
+  precompute_batch_profile();
 
   // Static per-machine memory footprint of the deployment itself. Past the
   // hard limit the worker JVMs OOM before doing useful work — the paper's
-  // "zero performance" runs.
+  // "zero performance" runs. The coordinator gate counts as a task here,
+  // matching the pre-workspace engine.
   static_memory_share_ = static_cast<double>(tasks_.size()) *
-                         params_.task_memory_bytes /
-                         static_cast<double>(cluster_.num_machines);
+                         params_->task_memory_bytes /
+                         static_cast<double>(cluster_->num_machines);
   const double hard_limit =
-      cluster_.memory_soft_bytes * params_.memory_hard_multiple;
+      cluster_->memory_soft_bytes * params_->memory_hard_multiple;
   const double first_batch_share =
-      batch_memory_bytes_ / static_cast<double>(cluster_.num_machines);
+      batch_memory_bytes_ / static_cast<double>(cluster_->num_machines);
   if (static_memory_share_ + first_batch_share > hard_limit) {
-    SimResult crashed;
-    crashed.crashed = true;
+    result_ = SimResult{};
+    result_.crashed = true;
     std::size_t total_tasks = 0;
-    for (const auto& ts : node_tasks_) total_tasks += ts.size();
-    crashed.total_tasks = total_tasks;
-    return crashed;
+    for (const auto& ts : assignment_.node_tasks) total_tasks += ts.size();
+    result_.total_tasks = total_tasks;
+    return result_;
   }
 
   emit_ready_batches();
@@ -725,6 +972,7 @@ SimResult Simulation::run() {
   // old single-queue order — minus the stale departure entries, which no
   // longer exist to be popped and discarded.
   while (true) {
+    if (!dep_dirty_.empty()) flush_departures();
     const bool have_edge = !edge_events_.empty();
     const bool have_dep = !departures_.empty();
     if (!have_edge && !have_dep) break;
@@ -749,6 +997,7 @@ SimResult Simulation::run() {
       mach.virtual_service =
           std::max(mach.virtual_service, mach.active.top().v_end);
       mach.active.pop();
+      mach.refresh_rate();
       schedule_machine_departure(m);
       finish_job(id);
     } else {
@@ -756,17 +1005,35 @@ SimResult Simulation::run() {
       edge_events_.pop();
       edge_arrived(ev.node, ev.batch);
     }
+    // Adaptive window: the confidence rule fires inside batch commits.
+    if (early_stop_) break;
   }
 
-  SimResult r;
+  // With the adaptive window, the measured span is [0, now_]; rates are
+  // computed over it and the committed count is extrapolated to the full
+  // window at the estimated steady rate. Without it, the expressions below
+  // reduce exactly to the fixed-window ones (measured == duration).
+  const double measured_ms = early_stop_ ? now_ : duration_ms_;
+  const double measured_s = early_stop_ ? now_ / 1000.0 : params_->duration_s;
+
+  SimResult& r = result_;
+  r.crashed = false;
+  r.early_stopped = early_stop_;
+  r.simulated_ms = measured_ms;
   r.batches_committed = batches_committed_;
   r.batches_emitted = batches_emitted_;
-  r.tuples_committed = static_cast<double>(batches_committed_) *
-                       static_cast<double>(config_.batch_size);
-  r.noiseless_throughput = r.tuples_committed / params_.duration_s;
+  double committed = static_cast<double>(batches_committed_);
+  if (early_stop_) {
+    const double per_commit_ms =
+        block_mean_ms_ / static_cast<double>(params_->adaptive_block_commits);
+    committed += (duration_ms_ - now_) / per_commit_ms;
+  }
+  r.tuples_committed = committed * static_cast<double>(config_->batch_size);
+  r.noiseless_throughput = r.tuples_committed / params_->duration_s;
   const double noise =
-      params_.throughput_noise_sd > 0.0
-          ? std::max(0.0, 1.0 + rng_.normal(0.0, params_.throughput_noise_sd))
+      params_->throughput_noise_sd > 0.0
+          ? std::max(0.0,
+                     1.0 + rng_.normal(0.0, params_->throughput_noise_sd))
           : 1.0;
   r.throughput_tuples_per_s = r.noiseless_throughput * noise;
   r.mean_batch_latency_ms =
@@ -779,27 +1046,27 @@ SimResult Simulation::run() {
   double busy = 0.0;
   for (std::size_t m = 0; m < master_machine_; ++m) {
     total_egress += machines_[m].egress_bytes;
-    const double rate = machines_[m].egress_bytes / params_.duration_s;
-    peak_util = std::max(peak_util, rate / cluster_.nic_bytes_per_sec);
+    const double rate = machines_[m].egress_bytes / measured_s;
+    peak_util = std::max(peak_util, rate / cluster_->nic_bytes_per_sec);
     machines_[m].advance(std::min(now_, duration_ms_));
     busy += machines_[m].busy_core_ms;
   }
   r.network_bytes_per_s_per_worker =
-      total_egress / params_.duration_s /
-      static_cast<double>(cluster_.num_workers());
+      total_egress / measured_s /
+      static_cast<double>(cluster_->num_workers());
   r.peak_nic_utilization = peak_util;
   r.cpu_utilization =
-      busy / (duration_ms_ * static_cast<double>(cluster_.total_cores()));
+      busy / (measured_ms * static_cast<double>(cluster_->total_cores()));
 
   std::size_t total_tasks = 0;
-  for (const auto& ts : node_tasks_) total_tasks += ts.size();
+  for (const auto& ts : assignment_.node_tasks) total_tasks += ts.size();
   r.total_tasks = total_tasks;
 
-  r.node_stats.resize(topo_.num_nodes());
-  for (std::size_t v = 0; v < topo_.num_nodes(); ++v) {
+  r.node_stats.resize(topo_->num_nodes());
+  for (std::size_t v = 0; v < topo_->num_nodes(); ++v) {
     NodeStats& ns = r.node_stats[v];
-    ns.name = topo_.node(v).name;
-    ns.tasks = node_tasks_[v].size();
+    ns.name = topo_->node(v).name;
+    ns.tasks = assignment_.node_tasks[v].size();
     ns.batches_processed = node_batches_done_[v];
     ns.mean_stage_ms =
         node_batches_done_[v] > 0
@@ -812,13 +1079,23 @@ SimResult Simulation::run() {
   return r;
 }
 
-}  // namespace
+Simulator::Simulator() : ws_(std::make_unique<SimWorkspace>()) {}
+Simulator::~Simulator() = default;
+Simulator::Simulator(Simulator&&) noexcept = default;
+Simulator& Simulator::operator=(Simulator&&) noexcept = default;
+
+const SimResult& Simulator::run(const Topology& topology,
+                                const TopologyConfig& config,
+                                const ClusterSpec& cluster,
+                                const SimParams& params, std::uint64_t seed) {
+  return ws_->run(topology, config, cluster, params, seed);
+}
 
 SimResult simulate(const Topology& topology, const TopologyConfig& config,
                    const ClusterSpec& cluster, const SimParams& params,
                    std::uint64_t seed) {
-  Simulation sim(topology, config, cluster, params, seed);
-  return sim.run();
+  Simulator sim;
+  return sim.run(topology, config, cluster, params, seed);
 }
 
 }  // namespace stormtune::sim

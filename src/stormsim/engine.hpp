@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "stormsim/cluster.hpp"
 #include "stormsim/config.hpp"
@@ -35,7 +36,47 @@
 
 namespace stormtune::sim {
 
-/// Simulate one evaluation run and return its measurements.
+/// The engine's reusable per-run state: job/batch slot pools and free
+/// lists, gate FIFOs, event heaps, deployment and batch-profile buffers,
+/// metrics accumulators. Defined in engine.cpp; owned by Simulator.
+struct SimWorkspace;
+
+/// A simulator with a persistent workspace. Campaign-scale evaluation runs
+/// thousands of simulations; constructing the buffers afresh each time is
+/// pure overhead, so repeated run() calls reuse every buffer — after the
+/// first run of a given workload, a run performs zero heap allocations
+/// (pinned by tests/test_engine_golden.cpp).
+///
+/// Reuse is bitwise-transparent: run() through a used workspace returns
+/// exactly the bits a freshly constructed simulator would, for any history
+/// of prior runs (slot pools hand out indices in creation order from a
+/// high-water mark, the RNG is fully reseeded, and every field of every
+/// reused buffer is rewritten before use).
+///
+/// NOT thread-safe: one Simulator per thread (the campaign driver keeps one
+/// per pool worker slot). Move-only.
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+  Simulator(Simulator&&) noexcept;
+  Simulator& operator=(Simulator&&) noexcept;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Run one evaluation in this simulator's workspace. The returned
+  /// reference stays valid until the next run() call on this object.
+  const SimResult& run(const Topology& topology, const TopologyConfig& config,
+                       const ClusterSpec& cluster, const SimParams& params,
+                       std::uint64_t seed);
+
+ private:
+  std::unique_ptr<SimWorkspace> ws_;
+};
+
+/// Simulate one evaluation run and return its measurements. Thin wrapper
+/// over a scratch Simulator workspace — prefer a long-lived Simulator when
+/// evaluating repeatedly.
 ///
 /// `seed` drives all stochastic elements (noise, background load); the same
 /// seed yields a bit-identical result.

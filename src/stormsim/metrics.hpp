@@ -55,6 +55,16 @@ struct SimResult {
   /// workers OOM-crashed before processing anything (throughput is 0).
   bool crashed = false;
 
+  /// Simulated milliseconds actually run. Equals duration_s * 1000 unless
+  /// the adaptive measurement window (SimParams::adaptive_window) ended the
+  /// run early; 0 for crashed runs.
+  double simulated_ms = 0.0;
+  /// True when the adaptive window's confidence rule stopped the run before
+  /// the full measurement window elapsed. Throughput and tuples_committed
+  /// are then extrapolated to the full window; batches_committed and
+  /// batches_emitted remain the raw counts from the shortened run.
+  bool early_stopped = false;
+
   /// Per-node bottleneck attribution, ordered by node id.
   std::vector<NodeStats> node_stats;
 

@@ -41,4 +41,27 @@ Assignment assign_tasks(const Topology& topology,
                         std::size_t num_workers, SchedulerPolicy policy,
                         std::uint64_t seed);
 
+/// Reusable scratch buffers for assign_tasks_into. Owned by the caller
+/// (the simulation workspace) so repeated planning allocates nothing once
+/// capacities are warm.
+struct AssignScratch {
+  std::vector<double> input;
+  std::vector<double> task_load;
+  std::vector<std::size_t> order;
+  std::vector<double> worker_load;
+  std::vector<std::size_t> worker_tasks;
+  std::vector<std::size_t> topo_order;
+  std::vector<std::size_t> indegree;
+};
+
+/// Allocation-free variant of assign_tasks(): fills `out` and reuses
+/// `scratch` buffer capacity. Bitwise-identical plans to assign_tasks()
+/// (which is implemented on top of this). Note: the load-aware policy's
+/// stable_sort may still allocate its internal merge buffer; the default
+/// round-robin policy is allocation-free in steady state.
+void assign_tasks_into(const Topology& topology, const std::vector<int>& hints,
+                       int num_ackers, std::size_t num_workers,
+                       SchedulerPolicy policy, std::uint64_t seed,
+                       Assignment& out, AssignScratch& scratch);
+
 }  // namespace stormtune::sim

@@ -119,6 +119,48 @@ std::vector<std::size_t> Topology::topological_order() const {
   return to_dag().topological_order();
 }
 
+void Topology::topological_order_into(
+    std::vector<std::size_t>& order,
+    std::vector<std::size_t>& indegree_scratch) const {
+  const std::size_t n = nodes_.size();
+  // Indegree over DISTINCT predecessors, matching Dag's multiplicity
+  // collapse in to_dag(). Graphs are tiny (a dozen nodes), so the duplicate
+  // scan over earlier edges beats any allocating set.
+  indegree_scratch.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& in = in_edges_[v];
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const std::size_t src = edges_[in[i]].from;
+      bool dup = false;
+      for (std::size_t j = 0; j < i && !dup; ++j) {
+        dup = edges_[in[j]].from == src;
+      }
+      if (!dup) ++indegree_scratch[v];
+    }
+  }
+  // Kahn with `order` doubling as the FIFO frontier: processed nodes stay
+  // in place and `head` walks them in push order — the exact behavior of
+  // the std::queue in Dag::topological_order().
+  order.clear();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indegree_scratch[v] == 0) order.push_back(v);
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const std::size_t v = order[head];
+    const auto& out = out_edges_[v];
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::size_t w = edges_[out[i]].to;
+      bool dup = false;
+      for (std::size_t j = 0; j < i && !dup; ++j) {
+        dup = edges_[out[j]].to == w;
+      }
+      if (!dup && --indegree_scratch[w] == 0) order.push_back(w);
+    }
+  }
+  STORMTUNE_REQUIRE(order.size() == n,
+                    "Topology::topological_order: graph has a cycle");
+}
+
 void Topology::validate() const {
   STORMTUNE_REQUIRE(!spouts().empty(), "Topology: needs at least one spout");
   const graph::Dag dag = to_dag();
@@ -147,13 +189,30 @@ void Topology::validate() const {
 }
 
 std::vector<double> Topology::input_tuples_per_batch(double batch_size) const {
+  std::vector<double> input;
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> indegree;
+  input_tuples_per_batch_into(batch_size, input, order, indegree);
+  return input;
+}
+
+void Topology::input_tuples_per_batch_into(
+    double batch_size, std::vector<double>& input,
+    std::vector<std::size_t>& order_scratch,
+    std::vector<std::size_t>& indegree_scratch) const {
   STORMTUNE_REQUIRE(batch_size > 0.0, "Topology: batch size must be > 0");
-  const auto sp = spouts();
-  STORMTUNE_REQUIRE(!sp.empty(), "Topology: needs at least one spout");
-  std::vector<double> input(nodes_.size(), 0.0);
-  const double share = batch_size / static_cast<double>(sp.size());
-  for (std::size_t s : sp) input[s] = share;
-  for (std::size_t v : topological_order()) {
+  std::size_t num_spouts = 0;
+  for (const Node& n : nodes_) {
+    if (n.kind == NodeKind::kSpout) ++num_spouts;
+  }
+  STORMTUNE_REQUIRE(num_spouts > 0, "Topology: needs at least one spout");
+  input.assign(nodes_.size(), 0.0);
+  const double share = batch_size / static_cast<double>(num_spouts);
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (nodes_[v].kind == NodeKind::kSpout) input[v] = share;
+  }
+  topological_order_into(order_scratch, indegree_scratch);
+  for (std::size_t v : order_scratch) {
     const double emitted = input[v] * nodes_[v].selectivity;
     const double per_edge =
         nodes_[v].split_output && !out_edges_[v].empty()
@@ -163,7 +222,6 @@ std::vector<double> Topology::input_tuples_per_batch(double batch_size) const {
       input[edges_[eid].to] += per_edge;
     }
   }
-  return input;
 }
 
 std::vector<double> Topology::emitted_tuples_per_batch(

@@ -84,6 +84,16 @@ class Topology {
   /// Topological order of node ids.
   std::vector<std::size_t> topological_order() const;
 
+  /// Allocation-free variant of topological_order() for hot callers (the
+  /// simulation workspace). Fills `order` without building a Dag, using
+  /// `indegree_scratch` as reusable scratch; both vectors keep their
+  /// capacity across calls. Produces exactly the same order as
+  /// topological_order() (Kahn over the multiplicity-collapsed graph, FIFO
+  /// frontier seeded in ascending node id) — callers accumulate
+  /// floating-point sums in this order, so the two must never diverge.
+  void topological_order_into(std::vector<std::size_t>& order,
+                              std::vector<std::size_t>& indegree_scratch) const;
+
   /// Validate structure: at least one spout, acyclic, every bolt reachable
   /// from a spout. Throws stormtune::Error on violation.
   void validate() const;
@@ -94,6 +104,15 @@ class Topology {
   /// emissions are inputs scaled by selectivity. For spouts, "input" is the
   /// number of tuples they inject.
   std::vector<double> input_tuples_per_batch(double batch_size) const;
+
+  /// Allocation-free variant of input_tuples_per_batch(): fills `input`
+  /// through caller-owned scratch so repeated evaluations allocate nothing
+  /// once capacities are warm. Bitwise-identical to the by-value overload
+  /// (which is implemented on top of this).
+  void input_tuples_per_batch_into(
+      double batch_size, std::vector<double>& input,
+      std::vector<std::size_t>& order_scratch,
+      std::vector<std::size_t>& indegree_scratch) const;
 
   /// Tuples emitted by each node per batch (inputs scaled by selectivity;
   /// sinks emit 0 externally but their value is still selectivity-scaled,

@@ -85,13 +85,23 @@ ExperimentResult run_experiment(Tuner& tuner, Objective& objective,
                                 ThreadPool& pool) {
   ExperimentResult r = run_tuning_loop(tuner, objective, options);
   if (options.best_config_reps > 0 && r.best_step > 0) {
-    if (objective.clone_stream(0) == nullptr) {
+    // One cached clone per pool worker slot, retargeted per repetition via
+    // rebind_stream so each worker reuses one simulation workspace across
+    // all its repetitions. The pool shards statically (shard % threads), so
+    // slot `rep % slots` is only ever touched by one worker. A rebound
+    // clone behaves exactly like a fresh clone_stream(rep), so the values
+    // stay bit-identical to per-rep cloning, for any thread count.
+    const std::size_t slots = pool.num_threads();
+    std::vector<std::unique_ptr<Objective>> slot_obj(slots);
+    slot_obj[0] = objective.clone_stream(0);
+    if (slot_obj[0] == nullptr) {
       serial_best_config_reps(r, objective, options);
     } else {
       r.best_rep_values.assign(options.best_config_reps, 0.0);
       pool.parallel_for(options.best_config_reps, [&](std::size_t rep) {
-        r.best_rep_values[rep] =
-            objective.clone_stream(rep)->evaluate(r.best_config);
+        std::unique_ptr<Objective>& o = slot_obj[rep % slots];
+        if (!o || !o->rebind_stream(rep)) o = objective.clone_stream(rep);
+        r.best_rep_values[rep] = o->evaluate(r.best_config);
       });
       r.best_rep_stats = summarize(r.best_rep_values);
     }
@@ -153,12 +163,27 @@ ExperimentResult run_campaign(
     for (ExperimentResult& r : results) {
       if (r.best_step > 0) r.best_rep_values.assign(reps, 0.0);
     }
+    // One cached clone per pool worker slot, reused across shards through
+    // rebind_stream (and recloned when a worker's shards cross into the
+    // next pass's objective). The pool shards statically (shard % threads),
+    // so slot `shard % slots` is private to one worker; a rebound clone is
+    // indistinguishable from a fresh clone_stream(rep), keeping the result
+    // bit-identical for any thread count.
+    const std::size_t slots = pool.num_threads();
+    constexpr std::size_t kNoPass = static_cast<std::size_t>(-1);
+    std::vector<std::unique_ptr<Objective>> slot_obj(slots);
+    std::vector<std::size_t> slot_pass(slots, kNoPass);
     pool.parallel_for(passes * reps, [&](std::size_t shard) {
       const std::size_t pass = shard / reps;
       const std::size_t rep = shard % reps;
       ExperimentResult& r = results[pass];
       if (r.best_step == 0) return;  // pass never saw a working config
-      std::unique_ptr<Objective> o = objectives[pass]->clone_stream(rep);
+      const std::size_t slot = shard % slots;
+      std::unique_ptr<Objective>& o = slot_obj[slot];
+      if (slot_pass[slot] != pass || !o || !o->rebind_stream(rep)) {
+        o = objectives[pass]->clone_stream(rep);
+        slot_pass[slot] = pass;
+      }
       STORMTUNE_REQUIRE(
           o != nullptr,
           "run_campaign: parallel repetitions need clone_stream support");

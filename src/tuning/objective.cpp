@@ -1,6 +1,16 @@
 #include "tuning/objective.hpp"
 
 namespace stormtune::tuning {
+namespace {
+
+/// Stream seed derivation shared by clone_stream and rebind_stream: a
+/// different odd multiplier than evaluate()'s per-evaluation increment, so
+/// stream seed sequences and evaluation seed sequences never collide.
+std::uint64_t derive_stream_seed(std::uint64_t base, std::uint64_t stream) {
+  return base ^ (0x632be59bd9b4e019ULL * (stream + 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace
 
 SimObjective::SimObjective(sim::Topology topology, sim::ClusterSpec cluster,
                            sim::SimParams params, std::uint64_t seed)
@@ -14,17 +24,24 @@ double SimObjective::evaluate(const sim::TopologyConfig& config) {
   // while the whole campaign stays reproducible from `seed_`.
   const std::uint64_t run_seed =
       seed_ + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(++evaluations_);
-  last_ = sim::simulate(topology_, config, cluster_, params_, run_seed);
+  last_ = simulator_.run(topology_, config, cluster_, params_, run_seed);
   return last_.throughput_tuples_per_s;
 }
 
 std::unique_ptr<Objective> SimObjective::clone_stream(
     std::uint64_t stream) const {
-  // A different odd multiplier than evaluate()'s per-evaluation increment,
-  // so stream seed sequences and evaluation seed sequences never collide.
-  const std::uint64_t derived =
-      seed_ ^ (0x632be59bd9b4e019ULL * (stream + 0x9e3779b97f4a7c15ULL));
-  return std::make_unique<SimObjective>(topology_, cluster_, params_, derived);
+  auto clone = std::make_unique<SimObjective>(
+      topology_, cluster_, params_, derive_stream_seed(seed_, stream));
+  clone->stream_base_ = seed_;
+  clone->cloned_ = true;
+  return clone;
+}
+
+bool SimObjective::rebind_stream(std::uint64_t stream) {
+  if (!cloned_) return false;
+  seed_ = derive_stream_seed(stream_base_, stream);
+  evaluations_ = 0;
+  return true;
 }
 
 }  // namespace stormtune::tuning

@@ -34,6 +34,17 @@ class Objective {
     (void)stream;
     return nullptr;
   }
+
+  /// Retarget a clone_stream() copy at a different stream, reusing its
+  /// internal state (notably a SimObjective's simulation workspace) instead
+  /// of constructing a fresh clone. After rebind_stream(s) the object
+  /// behaves exactly like a fresh clone_stream(s) result. Returns false if
+  /// unsupported or if this objective is not a clone (the driver then makes
+  /// a fresh clone).
+  virtual bool rebind_stream(std::uint64_t stream) {
+    (void)stream;
+    return false;
+  }
 };
 
 /// Objective backed by the discrete-event simulator.
@@ -44,6 +55,7 @@ class SimObjective final : public Objective {
 
   double evaluate(const sim::TopologyConfig& config) override;
   std::unique_ptr<Objective> clone_stream(std::uint64_t stream) const override;
+  bool rebind_stream(std::uint64_t stream) override;
 
   /// Full result of the most recent evaluation (network stats etc.).
   const sim::SimResult& last_result() const { return last_; }
@@ -55,7 +67,14 @@ class SimObjective final : public Objective {
   sim::ClusterSpec cluster_;
   sim::SimParams params_;
   std::uint64_t seed_;
+  /// Parent seed this clone's seed was derived from; only meaningful when
+  /// cloned_ (rebind_stream re-derives seed_ from it for a new stream).
+  std::uint64_t stream_base_ = 0;
+  bool cloned_ = false;
   std::size_t evaluations_ = 0;
+  /// Persistent simulation workspace: repeated evaluations reuse all engine
+  /// buffers (see sim::Simulator) instead of reconstructing them per run.
+  sim::Simulator simulator_;
   sim::SimResult last_;
 };
 

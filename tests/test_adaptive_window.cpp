@@ -1,0 +1,128 @@
+// Validation of the opt-in adaptive measurement window
+// (SimParams::adaptive_window) on the paper's four evaluation topologies:
+// the three synthetic sizes and Sundog. For each, the adaptive run must
+// (a) actually stop early, (b) land close to the full 120 s window's
+// steady-state throughput, and (c) be bit-identical across repeated runs
+// with the same seed and epsilon — the stopping point is part of the
+// deterministic event schedule, not a wall-clock artifact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stormsim/engine.hpp"
+#include "topology/sundog.hpp"
+#include "topology/synthetic.hpp"
+
+namespace stormtune {
+namespace {
+
+struct AdaptiveCase {
+  const char* name;
+  sim::Topology topology;
+  sim::TopologyConfig config;
+  sim::ClusterSpec cluster;
+  sim::SimParams params;  // full 120 s window, adaptive off
+  std::uint64_t seed;
+};
+
+std::vector<AdaptiveCase> adaptive_cases() {
+  std::vector<AdaptiveCase> cases;
+  auto synth = [&](const char* name, topo::TopologySize size, int hint,
+                   int batch_size, std::uint64_t seed) {
+    topo::SyntheticSpec spec;
+    spec.size = size;
+    sim::Topology t = topo::build_synthetic(spec);
+    sim::TopologyConfig c = sim::uniform_hint_config(t, hint);
+    c.batch_size = batch_size;
+    cases.push_back({name, t, c, topo::paper_cluster(),
+                     topo::synthetic_sim_params(), seed});
+  };
+  // The small topology needs smaller batches to commit often enough for
+  // the block estimator (the default 200-tuple batches commit only ~50
+  // times in 120 s — under the warm-up plus 6 blocks of 8 the stopping
+  // rule needs, so such a run correctly declines to stop early).
+  synth("small/h4", topo::TopologySize::kSmall, 4, 50, 17);
+  synth("medium/h6", topo::TopologySize::kMedium, 6, 200, 17);
+  synth("large/h8", topo::TopologySize::kLarge, 8, 200, 17);
+  {
+    sim::Topology t = topo::build_sundog();
+    cases.push_back({"sundog", t, topo::sundog_baseline_config(t),
+                     topo::sundog_cluster(), topo::sundog_sim_params(), 17});
+  }
+  return cases;
+}
+
+TEST(AdaptiveWindow, DefaultIsOffAndRunsTheFullWindow) {
+  const auto cases = adaptive_cases();
+  const AdaptiveCase& c = cases[0];
+  ASSERT_FALSE(c.params.adaptive_window);
+  const sim::SimResult r =
+      sim::simulate(c.topology, c.config, c.cluster, c.params, c.seed);
+  EXPECT_FALSE(r.early_stopped);
+  EXPECT_EQ(r.simulated_ms, c.params.duration_s * 1000.0);
+}
+
+TEST(AdaptiveWindow, TracksFullWindowThroughputOnPaperTopologies) {
+  for (const AdaptiveCase& c : adaptive_cases()) {
+    SCOPED_TRACE(c.name);
+    const sim::SimResult full =
+        sim::simulate(c.topology, c.config, c.cluster, c.params, c.seed);
+    ASSERT_GT(full.noiseless_throughput, 0.0);
+
+    sim::SimParams adaptive_params = c.params;
+    adaptive_params.adaptive_window = true;
+    const sim::SimResult adaptive = sim::simulate(
+        c.topology, c.config, c.cluster, adaptive_params, c.seed);
+
+    EXPECT_TRUE(adaptive.early_stopped);
+    // The shortened window must be a real saving, not a near-full run.
+    EXPECT_LT(adaptive.simulated_ms, 0.5 * full.simulated_ms);
+    // ...but still cover the warm-up plus the minimum block count.
+    EXPECT_GT(adaptive.simulated_ms,
+              adaptive_params.adaptive_warmup_fraction * 1000.0 *
+                  adaptive_params.duration_s);
+    // The extrapolated steady-state estimate tracks the full window within
+    // a couple of epsilons (epsilon bounds the CI half-width of the block
+    // mean, not the end-to-end extrapolation error).
+    const double rel =
+        std::abs(adaptive.noiseless_throughput - full.noiseless_throughput) /
+        full.noiseless_throughput;
+    EXPECT_LT(rel, 2.0 * adaptive_params.adaptive_epsilon);
+  }
+}
+
+TEST(AdaptiveWindow, EarlyStopIsDeterministic) {
+  for (const AdaptiveCase& c : adaptive_cases()) {
+    SCOPED_TRACE(c.name);
+    sim::SimParams p = c.params;
+    p.adaptive_window = true;
+    const sim::SimResult a =
+        sim::simulate(c.topology, c.config, c.cluster, p, c.seed);
+    const sim::SimResult b =
+        sim::simulate(c.topology, c.config, c.cluster, p, c.seed);
+    EXPECT_EQ(a.early_stopped, b.early_stopped);
+    EXPECT_EQ(a.simulated_ms, b.simulated_ms);
+    EXPECT_EQ(a.batches_committed, b.batches_committed);
+    EXPECT_EQ(a.noiseless_throughput, b.noiseless_throughput);
+    EXPECT_EQ(a.throughput_tuples_per_s, b.throughput_tuples_per_s);
+  }
+}
+
+TEST(AdaptiveWindow, TighterEpsilonRunsLonger) {
+  const auto cases = adaptive_cases();
+  const AdaptiveCase& c = cases[1];  // medium
+  sim::SimParams loose = c.params;
+  loose.adaptive_window = true;
+  loose.adaptive_epsilon = 0.10;
+  sim::SimParams tight = c.params;
+  tight.adaptive_window = true;
+  tight.adaptive_epsilon = 0.005;
+  const sim::SimResult rl =
+      sim::simulate(c.topology, c.config, c.cluster, loose, c.seed);
+  const sim::SimResult rt =
+      sim::simulate(c.topology, c.config, c.cluster, tight, c.seed);
+  EXPECT_LE(rl.simulated_ms, rt.simulated_ms);
+}
+
+}  // namespace
+}  // namespace stormtune

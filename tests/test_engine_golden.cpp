@@ -14,11 +14,29 @@
 // history: print every SimResult field with %a and paste the table.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "stormsim/engine.hpp"
 #include "topology/sundog.hpp"
 #include "topology/synthetic.hpp"
+
+// Binary-wide allocation counter (in the style of the CholeskyWorkspace
+// allocation_count() tests): every operator new bumps it, so a test can
+// assert that a code region performed zero heap allocations. Deletes are
+// left to the default implementation (our new uses malloc, default delete
+// uses free — a matching pair).
+static std::atomic<std::size_t> g_new_calls{0};
+
+void* operator new(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
 
 namespace stormtune {
 namespace {
@@ -491,6 +509,72 @@ TEST(EngineGolden, BitwiseIdenticalToPreOverhaulEngine) {
       EXPECT_EQ(r.node_stats[n].busy_core_ms, e.nodes[n].busy_core_ms);
     }
   }
+}
+
+void expect_bitwise_equal(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.throughput_tuples_per_s, b.throughput_tuples_per_s);
+  EXPECT_EQ(a.noiseless_throughput, b.noiseless_throughput);
+  EXPECT_EQ(a.batches_committed, b.batches_committed);
+  EXPECT_EQ(a.batches_emitted, b.batches_emitted);
+  EXPECT_EQ(a.tuples_committed, b.tuples_committed);
+  EXPECT_EQ(a.mean_batch_latency_ms, b.mean_batch_latency_ms);
+  EXPECT_EQ(a.network_bytes_per_s_per_worker, b.network_bytes_per_s_per_worker);
+  EXPECT_EQ(a.peak_nic_utilization, b.peak_nic_utilization);
+  EXPECT_EQ(a.cpu_utilization, b.cpu_utilization);
+  EXPECT_EQ(a.total_tasks, b.total_tasks);
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.simulated_ms, b.simulated_ms);
+  EXPECT_EQ(a.early_stopped, b.early_stopped);
+  ASSERT_EQ(a.node_stats.size(), b.node_stats.size());
+  for (std::size_t n = 0; n < a.node_stats.size(); ++n) {
+    SCOPED_TRACE(a.node_stats[n].name);
+    EXPECT_EQ(a.node_stats[n].name, b.node_stats[n].name);
+    EXPECT_EQ(a.node_stats[n].tasks, b.node_stats[n].tasks);
+    EXPECT_EQ(a.node_stats[n].batches_processed,
+              b.node_stats[n].batches_processed);
+    EXPECT_EQ(a.node_stats[n].mean_stage_ms, b.node_stats[n].mean_stage_ms);
+    EXPECT_EQ(a.node_stats[n].max_stage_ms, b.node_stats[n].max_stage_ms);
+    EXPECT_EQ(a.node_stats[n].busy_core_ms, b.node_stats[n].busy_core_ms);
+  }
+}
+
+TEST(EngineGolden, ReusedWorkspaceIsBitwiseIdenticalToFreshRuns) {
+  // One Simulator run through every golden case twice — mixed topology
+  // sizes, schedulers, background load, and the crash path, so every
+  // workspace buffer gets resized down and up and every slot pool gets
+  // recycled — must return exactly the bits a fresh simulate() returns.
+  const auto cases = golden_cases();
+  sim::Simulator simulator;
+  for (int round = 0; round < 2; ++round) {
+    for (const Case& c : cases) {
+      SCOPED_TRACE(c.name);
+      const sim::SimResult& reused =
+          simulator.run(c.topology, c.config, c.cluster, c.params, c.seed);
+      const sim::SimResult fresh =
+          sim::simulate(c.topology, c.config, c.cluster, c.params, c.seed);
+      expect_bitwise_equal(reused, fresh);
+    }
+  }
+}
+
+TEST(EngineGolden, ReusedWorkspaceReachesZeroSteadyStateAllocations) {
+  // After warm-up runs of a given workload, further runs through the same
+  // workspace must not touch the heap at all: every buffer has reached its
+  // high-water capacity and is reused in place.
+  const auto cases = golden_cases();
+  const Case& c = cases[2];  // medium/h6: the mid-sized workload
+  sim::Simulator simulator;
+  for (int warm = 0; warm < 2; ++warm) {
+    simulator.run(c.topology, c.config, c.cluster, c.params, c.seed);
+  }
+  const std::size_t before = g_new_calls.load(std::memory_order_relaxed);
+  for (int rep = 0; rep < 3; ++rep) {
+    simulator.run(c.topology, c.config, c.cluster, c.params, c.seed);
+  }
+  const std::size_t after = g_new_calls.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state simulator runs allocated " << (after - before)
+      << " times";
 }
 
 TEST(EngineGolden, RepeatedRunsAreIdentical) {

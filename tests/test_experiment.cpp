@@ -267,6 +267,122 @@ TEST(RunCampaign, ParallelMatchesSerialSelection) {
   }
 }
 
+/// Reference objective replicating SimObjective's seed schedule but running
+/// every evaluation through a fresh throwaway simulator (the free simulate()
+/// entry point) instead of SimObjective's long-lived workspace. Any state
+/// leaking across runs of a reused workspace would make the two diverge.
+class FreshSimObjective final : public Objective {
+ public:
+  FreshSimObjective(sim::Topology topology, sim::ClusterSpec cluster,
+                    sim::SimParams params, std::uint64_t seed)
+      : topology_(std::move(topology)), cluster_(cluster), params_(params),
+        seed_(seed) {}
+
+  double evaluate(const sim::TopologyConfig& config) override {
+    const std::uint64_t run_seed =
+        seed_ +
+        0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(++evaluations_);
+    return sim::simulate(topology_, config, cluster_, params_, run_seed)
+        .throughput_tuples_per_s;
+  }
+
+  std::unique_ptr<Objective> clone_stream(std::uint64_t stream) const override {
+    return std::make_unique<FreshSimObjective>(
+        topology_, cluster_, params_,
+        seed_ ^ (0x632be59bd9b4e019ULL * (stream + 0x9e3779b97f4a7c15ULL)));
+  }
+
+ private:
+  sim::Topology topology_;
+  sim::ClusterSpec cluster_;
+  sim::SimParams params_;
+  std::uint64_t seed_;
+  std::size_t evaluations_ = 0;
+};
+
+void expect_same_experiment(const ExperimentResult& a,
+                            const ExperimentResult& b) {
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].throughput, b.trace[i].throughput) << "step " << i;
+  }
+  EXPECT_EQ(a.best_throughput, b.best_throughput);
+  EXPECT_EQ(a.best_step, b.best_step);
+  ASSERT_EQ(a.best_rep_values.size(), b.best_rep_values.size());
+  for (std::size_t i = 0; i < a.best_rep_values.size(); ++i) {
+    EXPECT_EQ(a.best_rep_values[i], b.best_rep_values[i]) << "rep " << i;
+  }
+}
+
+TEST(SimObjective, LongLivedWorkspaceMatchesFreshPerEvaluation) {
+  // A serial experiment through one long-lived SimObjective (workspace
+  // reused across all evaluations) must produce the exact trace of the
+  // fresh-simulator-per-evaluation reference.
+  const sim::Topology t = demo_topology();
+  sim::ClusterSpec cluster;
+  cluster.num_machines = 4;
+  sim::SimParams params;
+  params.duration_s = 10.0;
+  params.throughput_noise_sd = 0.05;
+  const ExperimentOptions opts = fast_options();
+
+  PlaTuner pla_a(t, sim::TopologyConfig{}, false);
+  SimObjective long_lived(t, cluster, params, 21);
+  const ExperimentResult a = run_experiment(pla_a, long_lived, opts);
+
+  PlaTuner pla_b(t, sim::TopologyConfig{}, false);
+  FreshSimObjective fresh(t, cluster, params, 21);
+  const ExperimentResult b = run_experiment(pla_b, fresh, opts);
+
+  expect_same_experiment(a, b);
+}
+
+TEST(RunCampaign, PooledWorkspaceReuseMatchesFreshPerEvaluation) {
+  // The pooled campaign driver caches one clone (one workspace) per worker
+  // slot and retargets it per repetition; the result must stay identical to
+  // fresh-per-evaluation objectives, for more than one thread count.
+  const sim::Topology t = demo_topology();
+  sim::ClusterSpec cluster;
+  cluster.num_machines = 4;
+  sim::SimParams params;
+  params.duration_s = 10.0;
+  params.throughput_noise_sd = 0.05;
+  ExperimentOptions opts;
+  opts.max_steps = 5;
+  opts.best_config_reps = 7;
+
+  auto tuner_factory = [&](std::size_t) -> std::unique_ptr<Tuner> {
+    return std::make_unique<PlaTuner>(t, sim::TopologyConfig{}, false);
+  };
+  auto run_with = [&](bool fresh, std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<ExperimentResult> passes;
+    run_campaign(
+        tuner_factory,
+        [&](std::size_t pass) -> std::unique_ptr<Objective> {
+          const std::uint64_t seed = 11 + pass * 101;
+          if (fresh) {
+            return std::make_unique<FreshSimObjective>(t, cluster, params,
+                                                       seed);
+          }
+          return std::make_unique<SimObjective>(t, cluster, params, seed);
+        },
+        opts, 2, pool, &passes);
+    return passes;
+  };
+
+  const auto reference = run_with(/*fresh=*/true, 1);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE(threads);
+    const auto reused = run_with(/*fresh=*/false, threads);
+    ASSERT_EQ(reused.size(), reference.size());
+    for (std::size_t p = 0; p < reference.size(); ++p) {
+      SCOPED_TRACE(p);
+      expect_same_experiment(reused[p], reference[p]);
+    }
+  }
+}
+
 TEST(RunCampaign, ParallelRequiresCloneStreamForReps) {
   // A reps>0 parallel campaign over an objective without clone_stream must
   // fail loudly instead of silently producing wrong repetition stats.

@@ -16,6 +16,10 @@
 //                   --what=h|h,batch|h,batch,cc|batch,cc --seed=N
 //                   --json=FILE --csv=FILE --threads=N (default: hardware
 //                   concurrency; 1 preserves the serial protocol)
+//                   --adaptive-window[=EPS]  end each evaluation once its
+//                   steady-state throughput estimate converges (relative
+//                   95% CI half-width < EPS, default 0.05) instead of
+//                   always simulating the full window
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -56,6 +60,8 @@ struct Options {
   std::string json_path;
   std::string csv_path;
   std::size_t threads = 0;  // 0 = hardware concurrency; 1 = serial path
+  bool adaptive_window = false;
+  double adaptive_epsilon = 0.0;  // 0 = keep SimParams default
 };
 
 [[noreturn]] void usage() {
@@ -64,6 +70,10 @@ struct Options {
       "usage: stormtune <list|info|dot|simulate|tune> [topology] [options]\n"
       "topologies: small medium large sundog linear_road dissemination\n"
       "            linear_road_compact debs13\n"
+      "tune: --strategy=pla|ipla|bo|ibo|random --steps=N --reps=N --what=...\n"
+      "      --seed=N --json=FILE --csv=FILE --threads=N\n"
+      "      --adaptive-window[=EPS]  stop each simulation once throughput\n"
+      "      converges (relative CI half-width < EPS, default 0.05)\n"
       "see the header of tools/stormtune_main.cpp for all options\n");
   std::exit(2);
 }
@@ -97,6 +107,12 @@ Options parse(int argc, char** argv, int first) {
     else if (const char* v = value_of(a, "--json")) o.json_path = v;
     else if (const char* v = value_of(a, "--csv")) o.csv_path = v;
     else if (const char* v = value_of(a, "--threads")) o.threads = std::stoul(v);
+    else if (std::strcmp(a, "--adaptive-window") == 0) o.adaptive_window = true;
+    else if (const char* v = value_of(a, "--adaptive-window")) {
+      o.adaptive_window = true;
+      o.adaptive_epsilon = std::stod(v);
+    }
+    else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) usage();
     else {
       std::fprintf(stderr, "unknown option '%s'\n", a);
       usage();
@@ -148,6 +164,8 @@ Workload load_workload(const Options& o) {
     usage();
   }
   w.params.duration_s = o.duration_s;
+  w.params.adaptive_window = o.adaptive_window;
+  if (o.adaptive_epsilon > 0.0) w.params.adaptive_epsilon = o.adaptive_epsilon;
   return w;
 }
 
