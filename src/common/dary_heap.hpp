@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace stormtune {
 
 template <typename T, std::size_t Arity = 4, typename Less = std::less<T>>
@@ -32,7 +34,10 @@ class DaryHeap {
   void clear() { heap_.clear(); }
 
   /// Smallest element under Less.
-  const T& top() const { return heap_.front(); }
+  const T& top() const {
+    STORMTUNE_DCHECK(!heap_.empty(), "DaryHeap::top on empty heap");
+    return heap_.front();
+  }
 
   void push(T value) {
     heap_.push_back(std::move(value));
@@ -40,10 +45,22 @@ class DaryHeap {
   }
 
   void pop() {
+    STORMTUNE_DCHECK(!heap_.empty(), "DaryHeap::pop on empty heap");
     heap_.front() = std::move(heap_.back());
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
   }
+
+#ifdef STORMTUNE_CHECKED
+  /// Full O(n) heap-property verification, checked builds only. Throws
+  /// InvariantError on violation.
+  void checked_verify() const {
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      STORMTUNE_INVARIANT(!less_(heap_[i], heap_[(i - 1) / Arity]),
+                          "DaryHeap: heap property violated");
+    }
+  }
+#endif
 
  private:
   void sift_up(std::size_t i) {

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace stormtune {
@@ -40,16 +41,30 @@ class IndexedHeap {
   std::size_t num_keys() const { return pos_.size(); }
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
-  bool contains(std::size_t key) const { return pos_[key] != npos; }
+  bool contains(std::size_t key) const {
+    STORMTUNE_DCHECK(key < pos_.size(), "IndexedHeap: key out of universe");
+    return pos_[key] != npos;
+  }
 
-  const P& priority(std::size_t key) const { return heap_[pos_[key]].priority; }
+  const P& priority(std::size_t key) const {
+    STORMTUNE_DCHECK(key < pos_.size() && pos_[key] != npos,
+                     "IndexedHeap::priority: key absent");
+    return heap_[pos_[key]].priority;
+  }
 
   /// Key and priority of the smallest entry under Less.
-  std::size_t top_key() const { return heap_.front().key; }
-  const P& top_priority() const { return heap_.front().priority; }
+  std::size_t top_key() const {
+    STORMTUNE_DCHECK(!heap_.empty(), "IndexedHeap::top_key on empty heap");
+    return heap_.front().key;
+  }
+  const P& top_priority() const {
+    STORMTUNE_DCHECK(!heap_.empty(), "IndexedHeap::top_priority on empty heap");
+    return heap_.front().priority;
+  }
 
   /// Insert `key` with `priority`, or change its priority in place.
   void set(std::size_t key, P priority) {
+    STORMTUNE_DCHECK(key < pos_.size(), "IndexedHeap::set: key out of universe");
     const std::size_t i = pos_[key];
     if (i == npos) {
       heap_.push_back(Entry{std::move(priority), key});
@@ -61,10 +76,14 @@ class IndexedHeap {
       heap_[i].priority = std::move(priority);
       sift_down(i);
     }
+    STORMTUNE_DCHECK(pos_[key] < heap_.size() && heap_[pos_[key]].key == key,
+                     "IndexedHeap::set: index map lost the key");
   }
 
   /// Remove `key`'s entry if present.
   void erase(std::size_t key) {
+    STORMTUNE_DCHECK(key < pos_.size(),
+                     "IndexedHeap::erase: key out of universe");
     const std::size_t i = pos_[key];
     if (i == npos) return;
     pos_[key] = npos;
@@ -96,6 +115,49 @@ class IndexedHeap {
     for (const Entry& e : heap_) pos_[e.key] = npos;
     heap_.clear();
   }
+
+#ifdef STORMTUNE_CHECKED
+  /// Full O(n) structural verification, checked builds only: the heap
+  /// property holds at every node and {key -> heap index} is an exact
+  /// bijection onto the stored entries (no stale, duplicated, or dangling
+  /// pos_ entries — the reuse hazard of a workspace that survives across
+  /// runs). Throws InvariantError on violation.
+  void checked_verify() const {
+    std::size_t mapped = 0;
+    for (std::size_t k = 0; k < pos_.size(); ++k) {
+      if (pos_[k] == npos) continue;
+      STORMTUNE_INVARIANT(pos_[k] < heap_.size(),
+                          "IndexedHeap: pos_ entry points past the heap");
+      STORMTUNE_INVARIANT(heap_[pos_[k]].key == k,
+                          "IndexedHeap: pos_ entry disagrees with heap entry");
+      ++mapped;
+    }
+    STORMTUNE_INVARIANT(mapped == heap_.size(),
+                        "IndexedHeap: heap entry missing from the index map");
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      STORMTUNE_INVARIANT(
+          !less_(heap_[i].priority, heap_[(i - 1) / Arity].priority),
+          "IndexedHeap: heap property violated");
+    }
+  }
+
+  /// Test hook: overwrite a stored priority in place WITHOUT re-sifting,
+  /// breaking the heap property for checked_verify() to catch. Only exists
+  /// in checked builds; never call it outside invariant tests.
+  void checked_corrupt_priority_for_test(std::size_t key, P priority) {
+    STORMTUNE_REQUIRE(key < pos_.size() && pos_[key] != npos,
+                      "checked_corrupt_priority_for_test: key absent");
+    heap_[pos_[key]].priority = std::move(priority);
+  }
+
+  /// Test hook: plant a dangling index-map entry, emulating state leaked by
+  /// a prior run — the precondition checked_verify() guards against when a
+  /// workspace is reused. Only exists in checked builds.
+  void checked_corrupt_index_for_test() {
+    if (pos_.empty()) pos_.resize(1, npos);
+    pos_[0] = heap_.size() + 1;  // dangles past every live entry
+  }
+#endif
 
  private:
   struct Entry {

@@ -21,7 +21,7 @@ double Json::as_number() const {
 
 std::int64_t Json::as_int() const {
   const double d = as_number();
-  const double r = std::llround(d);
+  const double r = static_cast<double>(std::llround(d));
   STORMTUNE_REQUIRE(std::abs(d - r) < 1e-9, "Json: number is not integral");
   return static_cast<std::int64_t>(r);
 }
@@ -106,7 +106,7 @@ void escape_to(std::string& out, const std::string& s) {
 
 void number_to(std::string& out, double d) {
   STORMTUNE_REQUIRE(std::isfinite(d), "Json: cannot serialize non-finite");
-  if (d == std::llround(d) && std::abs(d) < 1e15) {
+  if (d == static_cast<double>(std::llround(d)) && std::abs(d) < 1e15) {
     out += std::to_string(std::llround(d));
     return;
   }

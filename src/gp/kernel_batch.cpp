@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.hpp"
+
 #if defined(__x86_64__) && defined(__GLIBC__)
 #define STORMTUNE_HAVE_VECTOR_EXP 1
 #include <emmintrin.h>
@@ -14,6 +16,51 @@ extern "C" __m128d _ZGVbN2v_exp(__m128d);
 #endif
 
 namespace stormtune::gp {
+
+#ifdef STORMTUNE_CHECKED
+namespace {
+
+/// The scalar expressions of Kernel::correlation_from_scaled_sq, used as
+/// the agreement reference for the batch transform.
+double checked_scalar_reference(KernelFamily family, double scale, double r2) {
+  switch (family) {
+    case KernelFamily::kSquaredExponential:
+      return scale * std::exp(-0.5 * r2);
+    case KernelFamily::kMatern32: {
+      const double sr = std::sqrt(3.0 * r2);
+      return scale * ((1.0 + sr) * std::exp(-sr));
+    }
+    case KernelFamily::kMatern52: {
+      const double sr = std::sqrt(5.0 * r2);
+      return scale * ((1.0 + sr + sr * sr / 3.0) * std::exp(-sr));
+    }
+  }
+  return 0.0;
+}
+
+/// Agreement sampling: a handful of inputs per batch call are re-evaluated
+/// through the scalar reference and compared against the batch output. On
+/// the scalar fallback the two are the same expressions (exact match); on
+/// the libmvec path the lanes are specified within 2 ulp of correctly
+/// rounded exp, so 1e-12 relative (plus an absolute floor for results that
+/// underflow toward denormals) leaves three orders of magnitude of margin
+/// while still catching any use of a reassociated or approximate transform.
+void checked_sample_agreement(KernelFamily family, double scale,
+                              const double* out, const double* in,
+                              const std::size_t* idx, std::size_t count) {
+  for (std::size_t s = 0; s < count; ++s) {
+    const double ref = checked_scalar_reference(family, scale, in[s]);
+    const double got = out[idx[s]];
+    const double tol =
+        1e-12 * std::max(std::fabs(ref), std::fabs(got)) + 1e-280;
+    STORMTUNE_INVARIANT(std::fabs(got - ref) <= tol,
+                        "kernel_batch: batch path disagrees with the scalar "
+                        "reference beyond ulp tolerance");
+  }
+}
+
+}  // namespace
+#endif
 
 #ifdef STORMTUNE_HAVE_VECTOR_EXP
 
@@ -60,10 +107,8 @@ void run(double scale, double* buf, std::size_t len) {
   }
 }
 
-}  // namespace
-
-void correlation_from_scaled_sq_batch(KernelFamily family, double scale,
-                                      double* buf, std::size_t len) {
+void batch_transform(KernelFamily family, double scale, double* buf,
+                     std::size_t len) {
   switch (family) {
     case KernelFamily::kSquaredExponential:
       run<pair_sqexp>(scale, buf, len);
@@ -77,10 +122,14 @@ void correlation_from_scaled_sq_batch(KernelFamily family, double scale,
   }
 }
 
+}  // namespace
+
 #else  // scalar fallback
 
-void correlation_from_scaled_sq_batch(KernelFamily family, double scale,
-                                      double* buf, std::size_t len) {
+namespace {
+
+void batch_transform(KernelFamily family, double scale, double* buf,
+                     std::size_t len) {
   switch (family) {
     case KernelFamily::kSquaredExponential:
       for (std::size_t i = 0; i < len; ++i) {
@@ -102,6 +151,32 @@ void correlation_from_scaled_sq_batch(KernelFamily family, double scale,
   }
 }
 
+}  // namespace
+
 #endif
+
+void correlation_from_scaled_sq_batch(KernelFamily family, double scale,
+                                      double* buf, std::size_t len) {
+#ifdef STORMTUNE_CHECKED
+  // Snapshot up to four inputs before the in-place transform overwrites
+  // them; compared against the scalar reference afterwards.
+  std::size_t sample_idx[4];
+  double sample_in[4];
+  std::size_t samples = 0;
+  if (len > 0) {
+    const std::size_t candidates[4] = {0, len / 3, (2 * len) / 3, len - 1};
+    for (const std::size_t c : candidates) {
+      if (samples > 0 && sample_idx[samples - 1] == c) continue;
+      sample_idx[samples] = c;
+      sample_in[samples] = buf[c];
+      ++samples;
+    }
+  }
+#endif
+  batch_transform(family, scale, buf, len);
+#ifdef STORMTUNE_CHECKED
+  checked_sample_agreement(family, scale, buf, sample_in, sample_idx, samples);
+#endif
+}
 
 }  // namespace stormtune::gp

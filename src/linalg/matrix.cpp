@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 #include "linalg/kernels.hpp"
 
@@ -103,6 +104,22 @@ void Cholesky::refactor(const Matrix& a, double scale, double diag_add) {
 
 void Cholesky::factor_from(const Matrix& a, double scale, double diag_add) {
   n_ = a.rows();
+#ifdef STORMTUNE_CHECKED
+  // Entry conditions for a factorization attempt: every consumed input must
+  // be finite. Non-finite values are caller corruption (a poisoned kernel
+  // matrix, an uninitialized buffer), never a legitimate numerical state —
+  // unlike non-positive-definiteness, which the factorization itself
+  // reports as stormtune::Error so the GP's jitter escalation can retry.
+  STORMTUNE_INVARIANT(std::isfinite(scale) && std::isfinite(diag_add),
+                      "Cholesky: non-finite scale or diagonal shift");
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto src = a.row(i);
+    for (std::size_t j = 0; j <= i; ++j) {
+      STORMTUNE_INVARIANT(std::isfinite(src[j]),
+                          "Cholesky: non-finite input entry");
+    }
+  }
+#endif
   for (std::size_t i = 0; i < n_; ++i) {
     const auto src = a.row(i);
     double* dst = lf_.data() + i * cap_;
@@ -321,6 +338,14 @@ void Cholesky::solve_lower_transpose_multi_in_place(Matrix& v) const {
 
 void Cholesky::append_row(std::span<const double> b, double c) {
   STORMTUNE_REQUIRE(b.size() == n_, "Cholesky::append_row: size mismatch");
+#ifdef STORMTUNE_CHECKED
+  STORMTUNE_INVARIANT(std::isfinite(c),
+                      "Cholesky::append_row: non-finite diagonal entry");
+  for (const double bi : b) {
+    STORMTUNE_INVARIANT(std::isfinite(bi),
+                        "Cholesky::append_row: non-finite border entry");
+  }
+#endif
   // New bottom row of L is [yᵀ, l] with L y = b and l = sqrt(c - yᵀy).
   Vector y(b.begin(), b.end());
   solve_lower_in_place(y);

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/dary_heap.hpp"
 #include "common/error.hpp"
 #include "common/indexed_heap.hpp"
@@ -294,6 +295,46 @@ struct SimWorkspace {
   // ---- reusable result (returned by reference) ----
   SimResult result_;
 
+#ifdef STORMTUNE_CHECKED
+  // ---- checked-build shadow state (absent from release builds) ----
+  // One liveness bit per slot: set when the pool hands a slot out, cleared
+  // when it returns to the free list. Catches double-free and
+  // use-after-free of recycled slots, the failure mode the golden tests can
+  // only detect indirectly through a changed bit pattern.
+  std::vector<unsigned char> job_live_;
+  std::vector<unsigned char> batch_live_;
+
+  /// Reuse-precondition verification, run at every run() entry against the
+  /// state the previous run left behind: the departure heap's index map
+  /// must be a consistent bijection and both free lists must hold unique,
+  /// dead slots below their high-water marks. A corrupted workspace fails
+  /// here instead of silently diverging from a fresh simulator.
+  void checked_verify_reuse() const {
+    departures_.checked_verify();
+    std::vector<unsigned char> seen(jobs_used_, 0);
+    for (const JobId id : free_jobs_) {
+      STORMTUNE_INVARIANT(id < jobs_used_,
+                          "SimWorkspace: free job slot beyond high-water mark");
+      STORMTUNE_INVARIANT(!seen[id],
+                          "SimWorkspace: job slot on the free list twice");
+      seen[id] = 1;
+      STORMTUNE_INVARIANT(!job_live_[id],
+                          "SimWorkspace: free job slot still marked live");
+    }
+    seen.assign(batches_used_, 0);
+    for (const std::size_t slot : free_batches_) {
+      STORMTUNE_INVARIANT(
+          slot < batches_used_,
+          "SimWorkspace: free batch slot beyond high-water mark");
+      STORMTUNE_INVARIANT(!seen[slot],
+                          "SimWorkspace: batch slot on the free list twice");
+      seen[slot] = 1;
+      STORMTUNE_INVARIANT(!batch_live_[slot],
+                          "SimWorkspace: free batch slot still marked live");
+    }
+  }
+#endif
+
   const SimResult& run(const Topology& topology, const TopologyConfig& config,
                        const ClusterSpec& cluster, const SimParams& params,
                        std::uint64_t seed);
@@ -325,6 +366,8 @@ struct SimWorkspace {
 
   // ---- intrusive job queues ----
   void queue_push(JobQueue& q, JobId id) {
+    STORMTUNE_DCHECK(job_live_[id], "simulate: queued a dead job slot");
+    STORMTUNE_DCHECK(id != q.tail, "simulate: job FIFO self-link");
     jobs_[id].next = kNone;
     if (q.tail == kNone) {
       q.head = id;
@@ -334,7 +377,9 @@ struct SimWorkspace {
     q.tail = id;
   }
   JobId queue_pop(JobQueue& q) {
+    STORMTUNE_DCHECK(q.head != kNone, "simulate: pop from empty job FIFO");
     const JobId id = q.head;
+    STORMTUNE_DCHECK(job_live_[id], "simulate: popped a dead job slot");
     q.head = jobs_[id].next;
     if (q.head == kNone) q.tail = kNone;
     return id;
@@ -410,6 +455,11 @@ void SimWorkspace::validate_inputs() {
 }
 
 void SimWorkspace::reset_run_state() {
+#ifdef STORMTUNE_CHECKED
+  // Fresh run: every slot is dead until make_job/emit_batch hands it out.
+  job_live_.assign(job_live_.size(), 0);
+  batch_live_.assign(batch_live_.size(), 0);
+#endif
   free_jobs_.clear();
   jobs_used_ = 0;
   job_ticket_ = 0;
@@ -590,7 +640,8 @@ void SimWorkspace::precompute_batch_profile() {
     }
     const double bytes = edge_tuples_[e] * params_->tuple_bytes *
                          cross_fraction;
-    const double nsenders = std::max<std::size_t>(senders.size(), 1);
+    const double nsenders =
+        static_cast<double>(std::max<std::size_t>(senders.size(), 1));
     edge_bytes_per_sender_[e] = bytes / nsenders;
     const double transfer_ms =
         bytes / (cluster_->nic_bytes_per_sec * nsenders) * 1000.0;
@@ -650,7 +701,20 @@ JobId SimWorkspace::make_job(JobKind kind, std::size_t node, std::size_t task,
     id = jobs_used_++;
     if (id == jobs_.size()) jobs_.emplace_back();
   }
+#ifdef STORMTUNE_CHECKED
+  if (id == job_live_.size()) job_live_.push_back(0);
+#endif
+  STORMTUNE_DCHECK(!job_live_[id], "simulate: allocated a live job slot");
   jobs_[id] = Job{kind, node, task, worker, batch, work, job_ticket_++, kNone};
+#ifdef STORMTUNE_CHECKED
+  job_live_[id] = 1;
+#endif
+  // Creation-ticket monotonicity: every ordering decision in the machine
+  // heaps keys on the ticket, which must be the value the counter just
+  // issued — a slot recycled with a stale ticket would silently reorder
+  // ties against the fresh-run reference.
+  STORMTUNE_DCHECK(jobs_[id].ticket + 1 == job_ticket_,
+                   "simulate: job ticket not monotone with the counter");
   return id;
 }
 
@@ -659,6 +723,12 @@ void SimWorkspace::submit(JobId id) {
   if (task_gated(job.kind)) {
     TaskGate& gate = tasks_[job.task];
     if (gate.busy) {
+      // Jobs are submitted immediately after creation, so a task gate's
+      // pending FIFO is ordered by creation ticket — the property that
+      // makes gate admission independent of slot recycling.
+      STORMTUNE_DCHECK(gate.pending.tail == kNone ||
+                           jobs_[gate.pending.tail].ticket < job.ticket,
+                       "simulate: task gate FIFO out of creation order");
       queue_push(gate.pending, id);
       return;
     }
@@ -700,8 +770,13 @@ void SimWorkspace::start_on_machine(JobId id) {
 }
 
 void SimWorkspace::finish_job(JobId id) {
+  STORMTUNE_DCHECK(id < jobs_.size() && job_live_[id],
+                   "simulate: finishing a dead job slot");
   const Job job = jobs_[id];
   free_jobs_.push_back(id);  // slot dead from here on; `job` holds the copy
+#ifdef STORMTUNE_CHECKED
+  job_live_[id] = 0;
+#endif
   WorkerState& w = workers_[job.worker];
 
   // Release the worker pool slot and admit the next queued job.
@@ -785,6 +860,13 @@ void SimWorkspace::emit_batch() {
     slot = batches_used_++;
     if (slot == batches_.size()) batches_.emplace_back();
   }
+#ifdef STORMTUNE_CHECKED
+  if (slot == batch_live_.size()) batch_live_.push_back(0);
+#endif
+  STORMTUNE_DCHECK(!batch_live_[slot], "simulate: allocated a live batch slot");
+#ifdef STORMTUNE_CHECKED
+  batch_live_[slot] = 1;
+#endif
   BatchState& b = batches_[slot];
   const std::size_t n = topo_->num_nodes();
   b.number = number;
@@ -895,6 +977,10 @@ void SimWorkspace::batch_committed(std::size_t batch) {
     total_latency_ms_ += now_ - b.emit_time;
     if (adaptive_ && !early_stop_ && now_ >= warmup_ms_) observe_commit();
   }
+  STORMTUNE_DCHECK(batch_live_[batch], "simulate: committing a dead batch slot");
+#ifdef STORMTUNE_CHECKED
+  batch_live_[batch] = 0;
+#endif
   free_batches_.push_back(batch);  // all events for this batch have fired
   update_memory_pressure();
   emit_ready_batches();
@@ -938,6 +1024,12 @@ const SimResult& SimWorkspace::run(const Topology& topology,
   cluster_ = &cluster;
   params_ = &params;
   rng_.reseed(seed);
+
+#ifdef STORMTUNE_CHECKED
+  // Reuse is only bitwise-transparent if the previous run left the
+  // persistent structures consistent; verify before reset wipes them.
+  checked_verify_reuse();
+#endif
 
   validate_inputs();
   reset_run_state();
@@ -1078,6 +1170,24 @@ const SimResult& SimWorkspace::run(const Topology& topology,
   }
   return r;
 }
+
+#ifdef STORMTUNE_CHECKED
+namespace testing {
+
+void corrupt_job_free_list(Simulator& sim) {
+  SimWorkspace& ws = *sim.ws_;
+  // Duplicate the newest free slot (or plant one past the high-water mark
+  // on a fresh workspace) — either way the next run's reuse verification
+  // must reject the free list.
+  ws.free_jobs_.push_back(ws.free_jobs_.empty() ? 0 : ws.free_jobs_.back());
+}
+
+void corrupt_departure_index(Simulator& sim) {
+  sim.ws_->departures_.checked_corrupt_index_for_test();
+}
+
+}  // namespace testing
+#endif
 
 Simulator::Simulator() : ws_(std::make_unique<SimWorkspace>()) {}
 Simulator::~Simulator() = default;

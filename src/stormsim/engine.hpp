@@ -41,6 +41,19 @@ namespace stormtune::sim {
 /// metrics accumulators. Defined in engine.cpp; owned by Simulator.
 struct SimWorkspace;
 
+class Simulator;
+
+#ifdef STORMTUNE_CHECKED
+namespace testing {
+/// Checked-build corruption hooks for the invariant tests: each one damages
+/// the persistent workspace state the way a reuse bug would, so the next
+/// run() must fail its reuse-precondition verification with InvariantError.
+/// These functions only exist when built with STORMTUNE_CHECKED=ON.
+void corrupt_job_free_list(Simulator& sim);
+void corrupt_departure_index(Simulator& sim);
+}  // namespace testing
+#endif
+
 /// A simulator with a persistent workspace. Campaign-scale evaluation runs
 /// thousands of simulations; constructing the buffers afresh each time is
 /// pure overhead, so repeated run() calls reuse every buffer — after the
@@ -71,6 +84,10 @@ class Simulator {
                        std::uint64_t seed);
 
  private:
+#ifdef STORMTUNE_CHECKED
+  friend void testing::corrupt_job_free_list(Simulator& sim);
+  friend void testing::corrupt_departure_index(Simulator& sim);
+#endif
   std::unique_ptr<SimWorkspace> ws_;
 };
 

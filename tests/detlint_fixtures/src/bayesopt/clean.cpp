@@ -1,0 +1,13 @@
+// Negative fixture: a file with nothing to report. Any finding here is a
+// false positive and fails the fixture run.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+std::map<std::string, double> scores;
+
+double best_score(std::vector<double> v) {
+  std::sort(v.begin(), v.end(), [](double a, double b) { return a > b; });
+  return v.empty() ? 0.0 : v.front();
+}

@@ -1,0 +1,9 @@
+// DET001 exemption fixture: src/common/rng is the one place allowed to
+// name the primitive randomness sources (it wraps them behind the seeded
+// Rng). Nothing in this file may fire.
+#include <random>
+
+unsigned hardware_entropy() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,22 @@
+// DET004 fixture: clock reads in library code must fire; one audited
+// exception is suppressed through the fixture allowlist.
+#include <chrono>
+#include <ctime>
+
+using audited_probe_clock = std::chrono::steady_clock;  // expect-allowed: DET004
+
+double wall_seconds() {
+  const auto t = std::chrono::system_clock::now();        // expect: DET004
+  const auto m = std::chrono::steady_clock::now();        // expect: DET004
+  const auto h = std::chrono::high_resolution_clock::now();  // expect: DET004
+  const std::time_t raw = time(nullptr);                  // expect: DET004
+  const std::clock_t ticks = clock();                     // expect: DET004
+  (void)t;
+  (void)m;
+  (void)h;
+  (void)raw;
+  return static_cast<double>(ticks) + static_cast<double>(raw);
+}
+
+// Parameterized or non-clock identifiers must not fire:
+double runtime(double time_budget) { return time_budget * 2.0; }

@@ -1,0 +1,23 @@
+// DET005 fixture (thread-pool half): compound assignment to a captured
+// identifier inside a pool-sharded lambda must fire — cross-shard
+// accumulation order depends on the thread count. Shard-local accumulators
+// and per-slot indexed writes must not.
+#include <cstddef>
+#include <vector>
+
+struct Pool {
+  template <typename F>
+  void parallel_for(std::size_t shards, F&& body);
+};
+
+double sum_badly(Pool& pool, const std::vector<double>& xs,
+                 std::vector<double>& partial) {
+  double total = 0.0;
+  pool.parallel_for(4, [&](std::size_t shard) {
+    total += xs[shard];  // expect: DET005
+    double local = 0.0;
+    local += xs[shard];         // shard-local: safe
+    partial[shard] += local;    // indexed per-slot write: safe
+  });
+  return total;
+}

@@ -1,0 +1,17 @@
+// DET003 fixture: std::sort without an explicit comparator must fire;
+// the total-order comparator forms must not.
+#include <algorithm>
+#include <vector>
+
+void sort_things(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());          // expect: DET003
+  std::stable_sort(v.begin(), v.end());   // expect: DET003
+  std::sort(v.begin(), v.end(), [](double a, double b) { return a < b; });
+  std::stable_sort(v.begin(), v.end(),
+                   [](double a, double b) { return a < b; });
+}
+
+// Nested calls in the argument list must not confuse the arg counter:
+void sort_range(std::vector<double>& v) {
+  std::sort(v.begin(), std::min(v.begin() + 4, v.end()));  // expect: DET003
+}

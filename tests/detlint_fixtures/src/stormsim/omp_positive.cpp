@@ -1,0 +1,12 @@
+// DET005 fixture (OpenMP half): any omp pragma in src/ must fire —
+// OpenMP scheduling and reduction order are runtime-dependent.
+void scale(double* xs, int n) {
+#pragma omp parallel for  // expect: DET005
+  for (int i = 0; i < n; ++i) {
+    xs[i] *= 2.0;
+  }
+}
+
+// Unrelated pragmas must not fire:
+#pragma once
+void noop() {}

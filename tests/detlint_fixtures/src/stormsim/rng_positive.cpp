@@ -1,0 +1,14 @@
+// DET001 fixture: raw randomness sources outside common/rng must fire.
+#include <cstdlib>
+#include <random>
+
+int unseeded_noise() {
+  std::random_device rd;             // expect: DET001
+  const int a = std::rand();         // expect: DET001
+  srand(42);                         // expect: DET001
+  return static_cast<int>(rd()) + a;
+}
+
+// Mentions of rand() in comments or strings must NOT fire:
+// calling rand() here would be wrong.
+const char* kDoc = "never use std::rand() or std::random_device";

@@ -1,0 +1,22 @@
+// DET002 fixture: unordered and pointer-keyed containers in the
+// deterministic layers must fire.
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>  // expect: DET002
+#include <unordered_set>  // expect: DET002
+
+struct Node {
+  int id;
+};
+
+std::unordered_map<std::string, int> name_index;   // expect: DET002
+std::unordered_set<int> seen_ids;                  // expect: DET002
+std::map<Node*, int> node_rank;                    // expect: DET002
+std::set<const Node*> visited;                     // expect: DET002
+
+// Value-keyed ordered containers are fine:
+std::map<std::string, int> ordered_index;
+std::set<int> ordered_ids;
+// Pointer VALUES (not keys) are fine too:
+std::map<int, Node*> by_id;

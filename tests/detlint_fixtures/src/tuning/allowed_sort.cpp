@@ -1,0 +1,8 @@
+// DET003 allowlist fixture: the rule must hit this call AND the fixture
+// allowlist (allow.txt) must suppress it.
+#include <algorithm>
+#include <vector>
+
+void audited_quantile_prep(std::vector<double>& audited) {
+  std::sort(audited.begin(), audited.end());  // expect-allowed: DET003
+}

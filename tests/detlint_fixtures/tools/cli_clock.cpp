@@ -1,0 +1,8 @@
+// Scope fixture: wall-clock reads are legitimate in CLI / bench code —
+// DET004 is limited to src/, so nothing here may fire.
+#include <chrono>
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start).count();
+}
