@@ -12,6 +12,7 @@
 #include <string>
 
 #include "bayesopt/bayesopt.hpp"
+#include "common/isa.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -180,6 +181,27 @@ void BM_AcquisitionSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AcquisitionSearch)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_AcquisitionBatch(benchmark::State& state) {
+  // The per-batch acquisition accumulation in isolation: one
+  // acquisition_accumulate call over a 256-candidate mean/variance batch
+  // (the surrogate's per-GP scoring step), for each acquisition kind via
+  // range(0). This is the loop the batched-scoring rework hoisted the
+  // per-candidate kind dispatch out of.
+  const auto kind = static_cast<bo::AcquisitionKind>(state.range(0));
+  const std::size_t m = 256;
+  Rng rng(11);
+  std::vector<double> means(m), vars(m), acc(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    means[i] = rng.normal();
+    vars[i] = 0.5 + rng.uniform();
+  }
+  for (auto _ : state) {
+    bo::acquisition_accumulate(kind, means, vars, 0.8, 0.0, 2.0, acc);
+    benchmark::DoNotOptimize(acc.data());
+  }
+}
+BENCHMARK(BM_AcquisitionBatch)->Arg(0)->Arg(1)->Arg(2);
 
 topo::TopologySize size_for_vertices(std::int64_t vertices) {
   switch (vertices) {
@@ -403,6 +425,7 @@ void write_simulate_record(const std::string& path) {
   JsonObject record;
   record["benchmark"] = "simulate";
   record["unit"] = "ms_per_run";
+  record["isa"] = isa::to_string(isa::selected());
   record["window_s"] = 15.0;
   record["workloads"] = std::move(workloads);
   std::ofstream out(path);
@@ -519,6 +542,7 @@ void write_gp_record(const std::string& path) {
   record["benchmark"] = "gp";
   record["unit"] = "us_per_op";
   record["statistic"] = "median_of_3_reps";
+  record["isa"] = isa::to_string(isa::selected());
   record["workloads"] = std::move(workloads);
   std::ofstream out(path);
   out << Json(std::move(record)).dump(2) << '\n';
@@ -563,6 +587,7 @@ void write_campaign_record(const std::string& path) {
   record["benchmark"] = "campaign";
   record["unit"] = "us_per_op";
   record["statistic"] = "median_of_3_reps";
+  record["isa"] = isa::to_string(isa::selected());
   record["workloads"] = std::move(workloads);
   std::ofstream out(path);
   out << Json(std::move(record)).dump(2) << '\n';
@@ -581,6 +606,7 @@ int main(int argc, char** argv) {
     constexpr const char* kSimFlag = "--simulate-json=";
     constexpr const char* kGpFlag = "--gp-json=";
     constexpr const char* kCampaignFlag = "--campaign-json=";
+    constexpr const char* kIsaFlag = "--isa=";
     if (std::strncmp(argv[i], kSimFlag, std::strlen(kSimFlag)) == 0) {
       simulate_json = argv[i] + std::strlen(kSimFlag);
     } else if (std::strncmp(argv[i], kGpFlag, std::strlen(kGpFlag)) == 0) {
@@ -588,11 +614,29 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], kCampaignFlag,
                             std::strlen(kCampaignFlag)) == 0) {
       campaign_json = argv[i] + std::strlen(kCampaignFlag);
+    } else if (std::strncmp(argv[i], kIsaFlag, std::strlen(kIsaFlag)) == 0) {
+      const char* v = argv[i] + std::strlen(kIsaFlag);
+      stormtune::isa::Path path;
+      if (std::strcmp(v, "auto") == 0) {
+        path = stormtune::isa::detect_best();
+      } else if (!stormtune::isa::parse(v, path)) {
+        std::fprintf(stderr,
+                     "--isa=%s: expected portable, avx2, avx512, neon, or "
+                     "auto\n",
+                     v);
+        return 2;
+      }
+      stormtune::isa::select(path);
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  // The selected kernel path changes every GP/linalg number below, so it
+  // belongs in the visible provenance of a run (the JSON records carry it
+  // too).
+  std::printf("stormtune isa path: %s\n",
+              stormtune::isa::to_string(stormtune::isa::selected()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/isa.hpp"
 #include "topology/sundog.hpp"
 #include "tuning/objective.hpp"
 
@@ -48,11 +49,23 @@ Args Args::parse(int argc, char** argv) {
       args.seed = std::stoull(v);
     } else if (const char* v = value_of(a, "--threads")) {
       args.threads = std::stoul(v);
+    } else if (const char* v = value_of(a, "--isa")) {
+      isa::Path path;
+      if (std::strcmp(v, "auto") == 0) {
+        path = isa::detect_best();
+      } else if (!isa::parse(v, path)) {
+        std::fprintf(stderr,
+                     "--isa=%s: expected portable, avx2, avx512, neon, or "
+                     "auto\n",
+                     v);
+        std::exit(2);
+      }
+      isa::select(path);
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (expected --full, --steps=N, "
                    "--bo-steps=N, --bo180=N, --reps=N, --passes=N, "
-                   "--duration=S, --seed=N, --threads=N)\n",
+                   "--duration=S, --seed=N, --threads=N, --isa=PATH)\n",
                    a);
       std::exit(2);
     }
@@ -68,10 +81,11 @@ std::string Args::describe() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "scale=%s pla_steps=%zu bo_steps=%zu bo180=%zu reps=%zu "
-                "passes=%zu window=%.0fs seed=%llu threads=%zu",
+                "passes=%zu window=%.0fs seed=%llu threads=%zu isa=%s",
                 full ? "full(paper)" : "quick", pla_steps, bo_steps,
                 bo180_steps, reps, passes, duration_s,
-                static_cast<unsigned long long>(seed), pool_threads());
+                static_cast<unsigned long long>(seed), pool_threads(),
+                isa::to_string(isa::selected()));
   return buf;
 }
 

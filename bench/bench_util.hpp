@@ -34,9 +34,10 @@ struct Args {
   std::size_t threads = 0;      ///< campaign pool size; 0 = auto
 
   /// Parse --full, --steps=N, --bo-steps=N, --bo180=N, --reps=N,
-  /// --passes=N, --duration=S, --seed=N, --threads=N. --full switches every
-  /// default to the paper-scale protocol first; explicit flags then
-  /// override.
+  /// --passes=N, --duration=S, --seed=N, --threads=N, --isa=PATH. --full
+  /// switches every default to the paper-scale protocol first; explicit
+  /// flags then override. --isa pins the runtime kernel dispatch (portable,
+  /// avx2, avx512, neon, or auto) process-wide via isa::select.
   static Args parse(int argc, char** argv);
 
   /// The campaign thread pool implied by `threads` (results are

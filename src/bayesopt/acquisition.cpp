@@ -59,4 +59,60 @@ double acquisition_value(AcquisitionKind kind, double mean, double variance,
   return 0.0;
 }
 
+// The accumulate loops call the scalar functions (same translation unit, so
+// they inline): the per-element arithmetic is literally the scalar path, and
+// the only thing hoisted out of the loop is the kind dispatch and the
+// call/ABI overhead of going through acquisition_value per element.
+
+void expected_improvement_accumulate(std::span<const double> means,
+                                     std::span<const double> variances,
+                                     double best, double xi,
+                                     std::span<double> acc) {
+  STORMTUNE_REQUIRE(
+      means.size() == variances.size() && means.size() == acc.size(),
+      "expected_improvement_accumulate: size mismatch");
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    acc[i] += expected_improvement(means[i], variances[i], best, xi);
+  }
+}
+
+void probability_of_improvement_accumulate(std::span<const double> means,
+                                           std::span<const double> variances,
+                                           double best, double xi,
+                                           std::span<double> acc) {
+  STORMTUNE_REQUIRE(
+      means.size() == variances.size() && means.size() == acc.size(),
+      "probability_of_improvement_accumulate: size mismatch");
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    acc[i] += probability_of_improvement(means[i], variances[i], best, xi);
+  }
+}
+
+void upper_confidence_bound_accumulate(std::span<const double> means,
+                                       std::span<const double> variances,
+                                       double beta, std::span<double> acc) {
+  STORMTUNE_REQUIRE(
+      means.size() == variances.size() && means.size() == acc.size(),
+      "upper_confidence_bound_accumulate: size mismatch");
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    acc[i] += upper_confidence_bound(means[i], variances[i], beta);
+  }
+}
+
+void acquisition_accumulate(AcquisitionKind kind, std::span<const double> means,
+                            std::span<const double> variances, double best,
+                            double xi, double beta, std::span<double> acc) {
+  switch (kind) {
+    case AcquisitionKind::kExpectedImprovement:
+      expected_improvement_accumulate(means, variances, best, xi, acc);
+      return;
+    case AcquisitionKind::kProbabilityOfImprovement:
+      probability_of_improvement_accumulate(means, variances, best, xi, acc);
+      return;
+    case AcquisitionKind::kUpperConfidenceBound:
+      upper_confidence_bound_accumulate(means, variances, beta, acc);
+      return;
+  }
+}
+
 }  // namespace stormtune::bo

@@ -7,6 +7,7 @@
 // the paper's throughput-maximization setting.
 #pragma once
 
+#include <span>
 #include <string>
 
 namespace stormtune::bo {
@@ -37,5 +38,30 @@ double upper_confidence_bound(double mean, double variance, double beta = 2.0);
 /// Dispatch on `kind`; `best` is ignored by UCB, `beta` by EI/PI.
 double acquisition_value(AcquisitionKind kind, double mean, double variance,
                          double best, double xi = 0.0, double beta = 2.0);
+
+/// Batch accumulators: acc[i] += f(means[i], variances[i]) over contiguous
+/// mean/variance arrays, element for element the scalar functions above (so
+/// batch scores are bitwise identical to per-candidate scoring). These exist
+/// so surrogate scoring dispatches on the acquisition kind once per batch
+/// instead of once per candidate per GP sample. All spans must have equal
+/// length.
+void expected_improvement_accumulate(std::span<const double> means,
+                                     std::span<const double> variances,
+                                     double best, double xi,
+                                     std::span<double> acc);
+
+void probability_of_improvement_accumulate(std::span<const double> means,
+                                           std::span<const double> variances,
+                                           double best, double xi,
+                                           std::span<double> acc);
+
+void upper_confidence_bound_accumulate(std::span<const double> means,
+                                       std::span<const double> variances,
+                                       double beta, std::span<double> acc);
+
+/// Dispatch on `kind` once, then accumulate the whole batch.
+void acquisition_accumulate(AcquisitionKind kind, std::span<const double> means,
+                            std::span<const double> variances, double best,
+                            double xi, double beta, std::span<double> acc);
 
 }  // namespace stormtune::bo

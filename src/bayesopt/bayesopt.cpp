@@ -118,19 +118,34 @@ struct BayesOpt::Surrogate {
     return !gps.empty() && !gps.front().kernel().ard();
   }
 
+  /// Reusable scoring workspace. Each scoring shard owns one and carries it
+  /// across calls (in particular across local-search iterations), so the
+  /// distance block, the solve workspace and the mean/variance arrays are
+  /// allocated once per shard per suggest() instead of once per batch.
+  struct ScoreScratch {
+    Matrix d2;                        // candidates × n squared distances
+    Matrix v;                         // n × candidates fused-solve workspace
+    std::vector<double> means, vars;  // contiguous per-candidate moments
+    std::vector<gp::Prediction> preds;  // ARD fallback path only
+  };
+
   /// Average the acquisition over the GPs given the candidates' shared
-  /// unscaled squared-distance block (one row per candidate).
+  /// unscaled squared-distance block (one row per candidate). Each GP scores
+  /// the whole batch fused: one batched correlation transform and one
+  /// multi-RHS solve over all candidates (predict_mv_from_sq_dist_rows),
+  /// then one batch acquisition accumulation — the per-candidate kind
+  /// dispatch and the per-chunk solve staging are gone, the arithmetic (and
+  /// therefore the scores) are unchanged bit for bit.
   void score_from_sq_dists(const BayesOptOptions& opts, const Matrix& d2,
-                           std::span<double> out) const {
+                           ScoreScratch& ws, std::span<double> out) const {
     std::fill(out.begin(), out.end(), 0.0);
-    std::vector<gp::Prediction> preds;
+    const std::size_t m = d2.rows();
+    ws.means.resize(m);
+    ws.vars.resize(m);
     for (const auto& g : gps) {
-      g.predict_from_sq_dist_rows(d2, preds);
-      for (std::size_t i = 0; i < preds.size(); ++i) {
-        out[i] += acquisition_value(opts.acquisition, preds[i].mean,
-                                    preds[i].variance, best_standardized,
-                                    opts.xi, opts.ucb_beta);
-      }
+      g.predict_mv_from_sq_dist_rows(d2, ws.v, ws.means, ws.vars);
+      acquisition_accumulate(opts.acquisition, ws.means, ws.vars,
+                             best_standardized, opts.xi, opts.ucb_beta, out);
     }
     const double inv = 1.0 / static_cast<double>(gps.size());
     for (auto& v : out) v *= inv;
@@ -141,25 +156,30 @@ struct BayesOpt::Surrogate {
   /// the whole row range in one pass, so the Cholesky factor and training
   /// inputs of one GP stay hot instead of being evicted candidate-by-
   /// candidate. Read-only on the GPs: shards may run this concurrently on
-  /// disjoint row ranges.
+  /// disjoint row ranges with their own scratch.
   void acquisition_rows(const BayesOptOptions& opts, const Matrix& cands,
-                        std::size_t lo, std::size_t hi,
+                        std::size_t lo, std::size_t hi, ScoreScratch& ws,
                         std::span<double> out) const {
     if (shares_distances()) {
-      Matrix d2;
-      gps.front().unscaled_sq_dist_rows(cands, lo, hi, d2);
-      score_from_sq_dists(opts, d2, out);
+      gps.front().unscaled_sq_dist_rows(cands, lo, hi, ws.d2);
+      score_from_sq_dists(opts, ws.d2, ws, out);
       return;
     }
+    // ARD: no shared distance block exists, so keep the per-GP chunked
+    // prediction; the batch acquisition accumulation still hoists the kind
+    // dispatch out of the candidate loop.
     std::fill(out.begin(), out.end(), 0.0);
-    std::vector<gp::Prediction> preds;
     for (const auto& g : gps) {
-      g.predict_rows(cands, lo, hi, preds);
-      for (std::size_t i = 0; i < preds.size(); ++i) {
-        out[i] += acquisition_value(opts.acquisition, preds[i].mean,
-                                    preds[i].variance, best_standardized,
-                                    opts.xi, opts.ucb_beta);
+      g.predict_rows(cands, lo, hi, ws.preds);
+      const std::size_t m = ws.preds.size();
+      ws.means.resize(m);
+      ws.vars.resize(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        ws.means[i] = ws.preds[i].mean;
+        ws.vars[i] = ws.preds[i].variance;
       }
+      acquisition_accumulate(opts.acquisition, ws.means, ws.vars,
+                             best_standardized, opts.xi, opts.ucb_beta, out);
     }
     const double inv = 1.0 / static_cast<double>(gps.size());
     for (auto& v : out) v *= inv;
@@ -173,20 +193,22 @@ struct BayesOpt::Surrogate {
                                  std::span<const double> cur,
                                  const Matrix& base_d2, const Matrix& nb,
                                  std::size_t lo, std::size_t hi,
-                                 std::span<double> out) const {
+                                 ScoreScratch& ws, std::span<double> out) const {
     if (!shares_distances()) {
-      acquisition_rows(opts, nb, lo, hi, out);
+      acquisition_rows(opts, nb, lo, hi, ws, out);
       return;
     }
     const Matrix& x = gps.front().inputs();
     const std::size_t n = x.rows();
     const auto base = base_d2.row(0);
-    Matrix d2(hi - lo, n);
+    if (ws.d2.rows() != hi - lo || ws.d2.cols() != n) {
+      ws.d2 = Matrix(hi - lo, n);
+    }
     for (std::size_t r = lo; r < hi; ++r) {
       const std::size_t j = r / 2;
       const double cj = cur[j];
       const double vj = nb(r, j);
-      const auto drow = d2.row(r - lo);
+      const auto drow = ws.d2.row(r - lo);
       for (std::size_t i = 0; i < n; ++i) {
         const double old_diff = cj - x(i, j);
         const double new_diff = vj - x(i, j);
@@ -194,7 +216,7 @@ struct BayesOpt::Surrogate {
         drow[i] = s < 0.0 ? 0.0 : s;  // guard rounding from the subtraction
       }
     }
-    score_from_sq_dists(opts, d2, out);
+    score_from_sq_dists(opts, ws.d2, ws, out);
   }
 
   /// Single-point convenience used by tests; identical math to the batch.
@@ -204,7 +226,8 @@ struct BayesOpt::Surrogate {
     const auto row = q.row(0);
     for (std::size_t j = 0; j < u.size(); ++j) row[j] = u[j];
     double out = 0.0;
-    acquisition_rows(opts, q, 0, 1, std::span<double>(&out, 1));
+    ScoreScratch ws;
+    acquisition_rows(opts, q, 0, 1, ws, std::span<double>(&out, 1));
     return out;
   }
 };
@@ -307,21 +330,29 @@ std::vector<double> BayesOpt::maximize_acquisition(Surrogate& surrogate) {
   //    perturbations barely move and uniform draws never land near the
   //    incumbent, so sparse moves are what make local progress possible.
   //
-  // Generation and scoring are sharded over the pool. Everything a shard
-  // does is a pure function of (base_seed, shard index): the shard count is
-  // fixed, each shard draws from its own Rng stream and writes disjoint
-  // rows of `cands`/`scores`, and the merge below is serial — so suggest()
-  // is bitwise-identical for any thread count.
+  // Generation is sharded a FIXED number of ways: everything a generation
+  // shard does is a pure function of (base_seed, shard index), each shard
+  // draws from its own Rng stream and writes disjoint rows of `cands` — so
+  // the candidate set is bitwise-identical for any thread count.
+  //
+  // Scoring is sharded by pool width instead. A candidate's score does not
+  // depend on which batch scored it — the correlation transform is
+  // element-wise and a multi-RHS solve column is independent of the other
+  // columns in its block (see solve_lower_multi_in_place) — so the batch
+  // split is free to track the thread count while the candidate set stays
+  // pinned to the fixed generation streams. Fewer, wider batches matter:
+  // the multi-RHS solve's row length IS the batch size, and 16-way sharding
+  // fed the rank-update kernels rows too short to vectorize.
   const BestResult incumbent = best();
   const std::vector<double> inc_u = space_.to_unit(incumbent.x);
   const std::uint64_t base_seed = rng_();
-  constexpr std::size_t kShards = 16;
-  const std::size_t shards = std::min(kShards, num_cands);
+  constexpr std::size_t kGenShards = 16;
+  const std::size_t gen_shards = std::min(kGenShards, num_cands);
   Matrix cands(num_cands, d);
   std::vector<double> scores(num_cands);
-  pool_->parallel_for(shards, [&](std::size_t s) {
-    const std::size_t lo = s * num_cands / shards;
-    const std::size_t hi = (s + 1) * num_cands / shards;
+  pool_->parallel_for(gen_shards, [&](std::size_t s) {
+    const std::size_t lo = s * num_cands / gen_shards;
+    const std::size_t hi = (s + 1) * num_cands / gen_shards;
     Rng rng = Rng::stream(base_seed, s);
     for (std::size_t c = lo; c < hi; ++c) {
       const auto u = cands.row(c);
@@ -349,7 +380,17 @@ std::vector<double> BayesOpt::maximize_acquisition(Surrogate& surrogate) {
         }
       }
     }
-    surrogate.acquisition_rows(options_, cands, lo, hi,
+  });
+  // One scoring workspace per scoring shard, shared by the multistart pass
+  // and every local-search iteration below — scratch buffers warm up once
+  // per suggest() and stay warm.
+  const std::size_t score_shards =
+      std::min(pool_->num_threads(), num_cands);
+  std::vector<Surrogate::ScoreScratch> scratch(pool_->num_threads());
+  pool_->parallel_for(score_shards, [&](std::size_t s) {
+    const std::size_t lo = s * num_cands / score_shards;
+    const std::size_t hi = (s + 1) * num_cands / score_shards;
+    surrogate.acquisition_rows(options_, cands, lo, hi, scratch[s],
                                std::span<double>(scores).subspan(lo, hi - lo));
   });
   std::size_t best_idx = argmax_index(scores);
@@ -384,12 +425,12 @@ std::vector<double> BayesOpt::maximize_acquisition(Surrogate& surrogate) {
       for (std::size_t k = 0; k < d; ++k) row[k] = cur[k];
       surrogate.gps.front().unscaled_sq_dist_rows(cur_q, 0, 1, base_d2);
     }
-    const std::size_t nb_shards = std::min(kShards, nb.rows());
+    const std::size_t nb_shards = std::min(pool_->num_threads(), nb.rows());
     pool_->parallel_for(nb_shards, [&](std::size_t s) {
       const std::size_t lo = s * nb.rows() / nb_shards;
       const std::size_t hi = (s + 1) * nb.rows() / nb_shards;
       surrogate.acquisition_neighbor_rows(
-          options_, cur, base_d2, nb, lo, hi,
+          options_, cur, base_d2, nb, lo, hi, scratch[s],
           std::span<double>(nb_scores).subspan(lo, hi - lo));
     });
     const std::size_t idx = argmax_index(nb_scores);

@@ -466,6 +466,57 @@ void GpRegressor::predict_from_sq_dist_rows(const Matrix& d2,
   }
 }
 
+void GpRegressor::predict_mv_from_sq_dist_rows(const Matrix& d2, Matrix& vws,
+                                               std::span<double> means,
+                                               std::span<double> vars) const {
+  STORMTUNE_REQUIRE(
+      fitted(), "GpRegressor::predict_mv_from_sq_dist_rows: call fit() first");
+  STORMTUNE_REQUIRE(!kernel_.ard(),
+                    "GpRegressor::predict_mv_from_sq_dist_rows: non-ARD only");
+  STORMTUNE_REQUIRE(
+      d2.cols() == x_.rows(),
+      "GpRegressor::predict_mv_from_sq_dist_rows: block/X mismatch");
+  const std::size_t n = x_.rows();
+  const std::size_t m = d2.rows();
+  STORMTUNE_REQUIRE(
+      means.size() == m && vars.size() == m,
+      "GpRegressor::predict_mv_from_sq_dist_rows: output size mismatch");
+  const double a2 = kernel_.variance();
+  const double inv0 = inverse_squared_lengthscales()[0];
+  // Build V = K*ᵀ directly (row i = candidate values of training point i):
+  // no kstar materialization, no transpose — the transform is an element-wise
+  // map, so layout is free to choose, and this is the layout the solve wants.
+  if (vws.rows() != n || vws.cols() != m) vws = Matrix(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto vi = vws.row(i);
+    for (std::size_t r = 0; r < m; ++r) vi[r] = d2(r, i) * inv0;
+  }
+  correlation_from_scaled_sq_batch(kernel_.family(), a2, vws.data(), n * m);
+  // Means before the solve overwrites V. Per candidate the additions run in
+  // ascending training-point order — the chunked path's dot-product order.
+  for (std::size_t r = 0; r < m; ++r) means[r] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto vi = vws.row(i);
+    const double ai = alpha_[i];
+    for (std::size_t r = 0; r < m; ++r) means[r] += vi[r] * ai;
+  }
+  for (std::size_t r = 0; r < m; ++r) means[r] = mean_value_ + means[r];
+  // One forward substitution over all m candidates; a column's result is
+  // independent of which other columns share the block (see
+  // solve_lower_multi_in_place), so this matches the chunked solves bit for
+  // bit.
+  chol_->solve_lower_multi_in_place(vws);
+  for (std::size_t r = 0; r < m; ++r) vars[r] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto vi = vws.row(i);
+    for (std::size_t r = 0; r < m; ++r) vars[r] += vi[r] * vi[r];
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    const double var = a2 - vars[r];
+    vars[r] = var < 0.0 ? 0.0 : var;  // numerical floor
+  }
+}
+
 double GpRegressor::log_marginal_likelihood() const {
   STORMTUNE_REQUIRE(fitted(), "GpRegressor: call fit() first");
   const double n = static_cast<double>(x_.rows());

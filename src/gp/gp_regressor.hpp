@@ -87,6 +87,21 @@ class GpRegressor {
   void predict_from_sq_dist_rows(const Matrix& d2,
                                  std::vector<Prediction>& out) const;
 
+  /// Fused batch variant of predict_from_sq_dist_rows writing straight into
+  /// contiguous mean/variance arrays (one entry per d2 row): builds the
+  /// cross-covariance block transposed in the caller-owned workspace `vws`
+  /// (resized to n×m as needed), runs one batched correlation transform over
+  /// the whole n·m buffer and one multi-RHS forward substitution carrying
+  /// every candidate, instead of kPredictChunk-sized pieces. Per candidate
+  /// each reduction runs in the same ascending order and each element-wise
+  /// transform is the same single-value map as the chunked path, so results
+  /// are bitwise identical to predict_from_sq_dist_rows — only the batching
+  /// (and therefore the memory traffic) changes. Non-ARD kernels only.
+  /// `means`/`vars` must have d2.rows() entries.
+  void predict_mv_from_sq_dist_rows(const Matrix& d2, Matrix& vws,
+                                    std::span<double> means,
+                                    std::span<double> vars) const;
+
   /// log p(y | X, theta); requires fit() to have been called.
   double log_marginal_likelihood() const;
 

@@ -1,8 +1,17 @@
+// Dispatching front end of the batched correlation transform, plus the
+// portable path (the pre-dispatch behavior every golden test pins).
+//
+// Wide paths live in kernel_batch_<isa>.cpp, each its own translation unit
+// compiled with the matching -m<isa> flag and reached only through the
+// dispatch table after a runtime CPU check. The checked-build agreement
+// sampling below wraps the dispatch, so every path — portable and wide —
+// is continuously compared against the scalar reference expressions.
 #include "gp/kernel_batch.hpp"
 
 #include <cmath>
 
 #include "common/check.hpp"
+#include "gp/kernel_batch_paths.hpp"
 
 #if defined(__x86_64__) && defined(__GLIBC__)
 #define STORMTUNE_HAVE_VECTOR_EXP 1
@@ -11,7 +20,7 @@
 // libmvec's 2-lane SSE vector exp (glibc ≥ 2.22 links it through the libm
 // linker script). The symbol dispatches internally on CPU features, so the
 // baseline x86-64 build stays portable; lanes are evaluated independently,
-// within 2 ulp of a correctly rounded exp, and bit-identical run-to-run.
+// within a few ulp of a correctly rounded exp, and bit-identical run-to-run.
 extern "C" __m128d _ZGVbN2v_exp(__m128d);
 #endif
 
@@ -41,10 +50,12 @@ double checked_scalar_reference(KernelFamily family, double scale, double r2) {
 /// Agreement sampling: a handful of inputs per batch call are re-evaluated
 /// through the scalar reference and compared against the batch output. On
 /// the scalar fallback the two are the same expressions (exact match); on
-/// the libmvec path the lanes are specified within 2 ulp of correctly
-/// rounded exp, so 1e-12 relative (plus an absolute floor for results that
-/// underflow toward denormals) leaves three orders of magnitude of margin
-/// while still catching any use of a reassociated or approximate transform.
+/// the libmvec paths — any lane width — the lanes are specified within a
+/// few ulp of correctly rounded exp, so 1e-12 relative (plus an absolute
+/// floor for results that underflow toward denormals) leaves three orders
+/// of magnitude of margin while still catching any use of a reassociated
+/// or approximate transform. Because the sampling wraps the dispatch, the
+/// checked build exercises whichever ISA path is selected.
 void checked_sample_agreement(KernelFamily family, double scale,
                               const double* out, const double* in,
                               const std::size_t* idx, std::size_t count) {
@@ -61,6 +72,8 @@ void checked_sample_agreement(KernelFamily family, double scale,
 
 }  // namespace
 #endif
+
+namespace detail {
 
 #ifdef STORMTUNE_HAVE_VECTOR_EXP
 
@@ -101,14 +114,16 @@ void run(double scale, double* buf, std::size_t len) {
   }
   if (i < len) {
     // Odd tail: both lanes carry the same value so the result matches the
-    // in-pair evaluation bit for bit.
+    // in-pair evaluation bit for bit (libmvec lanes are independent).
     const __m128d g = Pair(_mm_set1_pd(buf[i]), vscale);
     _mm_store_sd(buf + i, g);
   }
 }
 
-void batch_transform(KernelFamily family, double scale, double* buf,
-                     std::size_t len) {
+}  // namespace
+
+void transform_portable(KernelFamily family, double scale, double* buf,
+                        std::size_t len) {
   switch (family) {
     case KernelFamily::kSquaredExponential:
       run<pair_sqexp>(scale, buf, len);
@@ -122,14 +137,10 @@ void batch_transform(KernelFamily family, double scale, double* buf,
   }
 }
 
-}  // namespace
-
 #else  // scalar fallback
 
-namespace {
-
-void batch_transform(KernelFamily family, double scale, double* buf,
-                     std::size_t len) {
+void transform_portable(KernelFamily family, double scale, double* buf,
+                        std::size_t len) {
   switch (family) {
     case KernelFamily::kSquaredExponential:
       for (std::size_t i = 0; i < len; ++i) {
@@ -151,9 +162,35 @@ void batch_transform(KernelFamily family, double scale, double* buf,
   }
 }
 
-}  // namespace
-
 #endif
+
+TransformFn transform_for(isa::Path path) {
+  switch (path) {
+    case isa::Path::kPortable:
+      return transform_portable;
+    case isa::Path::kAvx2:
+#ifdef STORMTUNE_HAVE_ISA_AVX2
+      return transform_avx2;
+#else
+      return nullptr;
+#endif
+    case isa::Path::kAvx512:
+#ifdef STORMTUNE_HAVE_ISA_AVX512
+      return transform_avx512;
+#else
+      return nullptr;
+#endif
+    case isa::Path::kNeon:
+#ifdef STORMTUNE_HAVE_ISA_NEON
+      return transform_neon;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+}  // namespace detail
 
 void correlation_from_scaled_sq_batch(KernelFamily family, double scale,
                                       double* buf, std::size_t len) {
@@ -173,7 +210,8 @@ void correlation_from_scaled_sq_batch(KernelFamily family, double scale,
     }
   }
 #endif
-  batch_transform(family, scale, buf, len);
+  const detail::TransformFn fn = detail::transform_for(isa::selected());
+  (fn != nullptr ? fn : detail::transform_portable)(family, scale, buf, len);
 #ifdef STORMTUNE_CHECKED
   checked_sample_agreement(family, scale, buf, sample_in, sample_idx, samples);
 #endif

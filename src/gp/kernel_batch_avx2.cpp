@@ -1,0 +1,110 @@
+// AVX2 (4-lane) batched correlation transform, built around libmvec's
+// 4-lane vector exp. Compiled with -mavx2 as its own translation unit;
+// reached only through the dispatch table in kernel_batch.cpp after a
+// runtime CPU check (common/isa.hpp).
+//
+// The operation sequence per element is the scalar reference's (sqrt,
+// negate, exp, left-associated polynomial); only the exp implementation
+// differs, and libmvec specifies it within a few ulp of correctly rounded.
+// The transform is an element-wise map — lanes never interact — so lane
+// width cannot reorder any reduction; the tail (len mod 4) runs through a
+// padded full vector whose surplus lanes are discarded, which libmvec's
+// lane independence makes bit-identical to any other grouping.
+//
+// Wide vector exp needs glibc's libmvec; on other x86-64 C libraries this
+// path degrades to the portable transform (still a correct, deterministic
+// AVX2-selected binary — the selection names a dispatch path, not an
+// instruction guarantee for this TU).
+#ifdef STORMTUNE_HAVE_ISA_AVX2
+
+#include "gp/kernel_batch_paths.hpp"
+
+#if defined(__x86_64__) && defined(__GLIBC__)
+
+#include <immintrin.h>
+
+// libmvec's 4-lane AVX2 vector exp ('d' ABI mangling), linked AS_NEEDED
+// through the libm linker script like the 2-lane symbol.
+extern "C" __m256d _ZGVdN4v_exp(__m256d);
+
+namespace stormtune::gp::detail {
+
+namespace {
+
+inline __m256d quad_sqexp(__m256d r2, __m256d scale) {
+  const __m256d e = _ZGVdN4v_exp(_mm256_mul_pd(_mm256_set1_pd(-0.5), r2));
+  return _mm256_mul_pd(scale, e);
+}
+
+inline __m256d quad_matern32(__m256d r2, __m256d scale) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d sr = _mm256_sqrt_pd(_mm256_mul_pd(_mm256_set1_pd(3.0), r2));
+  const __m256d e = _ZGVdN4v_exp(_mm256_sub_pd(_mm256_setzero_pd(), sr));
+  return _mm256_mul_pd(scale, _mm256_mul_pd(_mm256_add_pd(one, sr), e));
+}
+
+inline __m256d quad_matern52(__m256d r2, __m256d scale) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d sr = _mm256_sqrt_pd(_mm256_mul_pd(_mm256_set1_pd(5.0), r2));
+  const __m256d e = _ZGVdN4v_exp(_mm256_sub_pd(_mm256_setzero_pd(), sr));
+  const __m256d poly = _mm256_add_pd(
+      _mm256_add_pd(one, sr),
+      _mm256_div_pd(_mm256_mul_pd(sr, sr), _mm256_set1_pd(3.0)));
+  return _mm256_mul_pd(scale, _mm256_mul_pd(poly, e));
+}
+
+template <__m256d (*Quad)(__m256d, __m256d)>
+void run(double scale, double* buf, std::size_t len) {
+  const __m256d vscale = _mm256_set1_pd(scale);
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    _mm256_storeu_pd(buf + i, Quad(_mm256_loadu_pd(buf + i), vscale));
+  }
+  if (i < len) {
+    // Tail: pad a full vector with copies of the last element (any
+    // in-domain value works — the surplus lanes are discarded, and lane
+    // independence keeps the kept lanes' bits grouping-invariant).
+    const std::size_t rem = len - i;
+    double tmp[4];
+    for (std::size_t k = 0; k < 4; ++k) {
+      tmp[k] = buf[i + (k < rem ? k : rem - 1)];
+    }
+    const __m256d g = Quad(_mm256_loadu_pd(tmp), vscale);
+    _mm256_storeu_pd(tmp, g);
+    for (std::size_t k = 0; k < rem; ++k) buf[i + k] = tmp[k];
+  }
+}
+
+}  // namespace
+
+void transform_avx2(KernelFamily family, double scale, double* buf,
+                    std::size_t len) {
+  switch (family) {
+    case KernelFamily::kSquaredExponential:
+      run<quad_sqexp>(scale, buf, len);
+      return;
+    case KernelFamily::kMatern32:
+      run<quad_matern32>(scale, buf, len);
+      return;
+    case KernelFamily::kMatern52:
+      run<quad_matern52>(scale, buf, len);
+      return;
+  }
+}
+
+}  // namespace stormtune::gp::detail
+
+#else  // no glibc libmvec: degrade to the portable transform
+
+namespace stormtune::gp::detail {
+
+void transform_avx2(KernelFamily family, double scale, double* buf,
+                    std::size_t len) {
+  transform_portable(family, scale, buf, len);
+}
+
+}  // namespace stormtune::gp::detail
+
+#endif
+
+#endif  // STORMTUNE_HAVE_ISA_AVX2

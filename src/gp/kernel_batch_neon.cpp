@@ -1,0 +1,94 @@
+// AArch64 NEON (2-lane) batched correlation transform, compile-guarded:
+// the translation unit is empty except on AArch64 builds.
+//
+// glibc ships a 2-lane Advanced-SIMD vector exp (_ZGVnN2v_exp) from 2.38;
+// older glibc and non-glibc AArch64 systems degrade to the portable
+// transform, which is the scalar expressions there. Same determinism and
+// tail rationale as kernel_batch_avx2.cpp.
+#ifdef STORMTUNE_HAVE_ISA_NEON
+
+#include "gp/kernel_batch_paths.hpp"
+
+#if defined(__aarch64__) && defined(__GLIBC__) && defined(__GLIBC_PREREQ)
+#if __GLIBC_PREREQ(2, 38)
+#define STORMTUNE_NEON_VECTOR_EXP 1
+#endif
+#endif
+
+#ifdef STORMTUNE_NEON_VECTOR_EXP
+
+#include <arm_neon.h>
+
+extern "C" float64x2_t _ZGVnN2v_exp(float64x2_t);
+
+namespace stormtune::gp::detail {
+
+namespace {
+
+inline float64x2_t pair_sqexp(float64x2_t r2, float64x2_t scale) {
+  const float64x2_t e = _ZGVnN2v_exp(vmulq_f64(vdupq_n_f64(-0.5), r2));
+  return vmulq_f64(scale, e);
+}
+
+inline float64x2_t pair_matern32(float64x2_t r2, float64x2_t scale) {
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t sr = vsqrtq_f64(vmulq_f64(vdupq_n_f64(3.0), r2));
+  const float64x2_t e = _ZGVnN2v_exp(vnegq_f64(sr));
+  return vmulq_f64(scale, vmulq_f64(vaddq_f64(one, sr), e));
+}
+
+inline float64x2_t pair_matern52(float64x2_t r2, float64x2_t scale) {
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t sr = vsqrtq_f64(vmulq_f64(vdupq_n_f64(5.0), r2));
+  const float64x2_t e = _ZGVnN2v_exp(vnegq_f64(sr));
+  const float64x2_t poly = vaddq_f64(
+      vaddq_f64(one, sr), vdivq_f64(vmulq_f64(sr, sr), vdupq_n_f64(3.0)));
+  return vmulq_f64(scale, vmulq_f64(poly, e));
+}
+
+template <float64x2_t (*Pair)(float64x2_t, float64x2_t)>
+void run(double scale, double* buf, std::size_t len) {
+  const float64x2_t vscale = vdupq_n_f64(scale);
+  std::size_t i = 0;
+  for (; i + 2 <= len; i += 2) {
+    vst1q_f64(buf + i, Pair(vld1q_f64(buf + i), vscale));
+  }
+  if (i < len) {
+    const float64x2_t g = Pair(vdupq_n_f64(buf[i]), vscale);
+    buf[i] = vgetq_lane_f64(g, 0);
+  }
+}
+
+}  // namespace
+
+void transform_neon(KernelFamily family, double scale, double* buf,
+                    std::size_t len) {
+  switch (family) {
+    case KernelFamily::kSquaredExponential:
+      run<pair_sqexp>(scale, buf, len);
+      return;
+    case KernelFamily::kMatern32:
+      run<pair_matern32>(scale, buf, len);
+      return;
+    case KernelFamily::kMatern52:
+      run<pair_matern52>(scale, buf, len);
+      return;
+  }
+}
+
+}  // namespace stormtune::gp::detail
+
+#else  // no NEON vector exp: degrade to the portable transform
+
+namespace stormtune::gp::detail {
+
+void transform_neon(KernelFamily family, double scale, double* buf,
+                    std::size_t len) {
+  transform_portable(family, scale, buf, len);
+}
+
+}  // namespace stormtune::gp::detail
+
+#endif
+
+#endif  // STORMTUNE_HAVE_ISA_NEON

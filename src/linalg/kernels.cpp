@@ -1,0 +1,183 @@
+// Portable micro-kernels and the ISA dispatch table.
+//
+// The portable implementations are the pre-dispatch scalar loops (the
+// compiler auto-vectorizes them at the baseline target width); the wide
+// implementations live in kernels_<isa>.cpp, each compiled as its own
+// translation unit with the matching -m<isa> flag so the rest of the
+// library never emits instructions the baseline target lacks.
+#include "linalg/kernels.hpp"
+
+#include "linalg/kernels_blocks.hpp"
+
+namespace stormtune::linalg_kernels {
+
+namespace portable {
+
+// Anonymous-namespace lane kernels inline into both the exported row-update
+// symbols (test hooks) and the block loops below; see kernels_avx512.cpp.
+namespace {
+
+inline void rank4_impl(double* __restrict__ c, const double* __restrict__ p0,
+                       const double* __restrict__ p1,
+                       const double* __restrict__ p2,
+                       const double* __restrict__ p3, double a0, double a1,
+                       double a2, double a3, std::size_t len) {
+  for (std::size_t j = 0; j < len; ++j) {
+    c[j] = c[j] - a0 * p0[j] - a1 * p1[j] - a2 * p2[j] - a3 * p3[j];
+  }
+}
+
+inline void rank1_impl(double* __restrict__ c, const double* __restrict__ p,
+                       double a, std::size_t len) {
+  for (std::size_t j = 0; j < len; ++j) c[j] -= a * p[j];
+}
+
+struct LaneOps {
+  static void rank4(double* c, const double* p0, const double* p1,
+                    const double* p2, const double* p3, double a0, double a1,
+                    double a2, double a3, std::size_t len) {
+    rank4_impl(c, p0, p1, p2, p3, a0, a1, a2, a3, len);
+  }
+  static void rank1(double* c, const double* p, double a, std::size_t len) {
+    rank1_impl(c, p, a, len);
+  }
+};
+
+}  // namespace
+
+void rank4_row_update(double* __restrict__ c, const double* __restrict__ p0,
+                      const double* __restrict__ p1,
+                      const double* __restrict__ p2,
+                      const double* __restrict__ p3, double a0, double a1,
+                      double a2, double a3, std::size_t len) {
+  rank4_impl(c, p0, p1, p2, p3, a0, a1, a2, a3, len);
+}
+
+void rank1_row_update(double* __restrict__ c, const double* __restrict__ p,
+                      double a, std::size_t len) {
+  rank1_impl(c, p, a, len);
+}
+
+void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
+                              std::size_t k0, std::size_t k1, std::size_t n) {
+  detail::cholesky_trailing_update<LaneOps>(lf, ltf, ld, k0, k1, n);
+}
+
+void solve_lower_multi(const double* lf, std::size_t ld, double* v,
+                       std::size_t m, std::size_t n) {
+  detail::solve_lower_multi<LaneOps>(lf, ld, v, m, n, kPanelWidth);
+}
+
+void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
+                                 std::size_t m, std::size_t n) {
+  detail::solve_lower_transpose_multi<LaneOps>(ltf, ld, v, m, n);
+}
+
+}  // namespace portable
+
+#ifdef STORMTUNE_HAVE_ISA_AVX2
+namespace avx2 {
+void rank4_row_update(double* c, const double* p0, const double* p1,
+                      const double* p2, const double* p3, double a0, double a1,
+                      double a2, double a3, std::size_t len);
+void rank1_row_update(double* c, const double* p, double a, std::size_t len);
+void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
+                              std::size_t k0, std::size_t k1, std::size_t n);
+void solve_lower_multi(const double* lf, std::size_t ld, double* v,
+                       std::size_t m, std::size_t n);
+void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
+                                 std::size_t m, std::size_t n);
+}  // namespace avx2
+#endif
+
+#ifdef STORMTUNE_HAVE_ISA_AVX512
+namespace avx512 {
+void rank4_row_update(double* c, const double* p0, const double* p1,
+                      const double* p2, const double* p3, double a0, double a1,
+                      double a2, double a3, std::size_t len);
+void rank1_row_update(double* c, const double* p, double a, std::size_t len);
+void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
+                              std::size_t k0, std::size_t k1, std::size_t n);
+void solve_lower_multi(const double* lf, std::size_t ld, double* v,
+                       std::size_t m, std::size_t n);
+void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
+                                 std::size_t m, std::size_t n);
+}  // namespace avx512
+#endif
+
+#ifdef STORMTUNE_HAVE_ISA_NEON
+namespace neon {
+void rank4_row_update(double* c, const double* p0, const double* p1,
+                      const double* p2, const double* p3, double a0, double a1,
+                      double a2, double a3, std::size_t len);
+void rank1_row_update(double* c, const double* p, double a, std::size_t len);
+void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
+                              std::size_t k0, std::size_t k1, std::size_t n);
+void solve_lower_multi(const double* lf, std::size_t ld, double* v,
+                       std::size_t m, std::size_t n);
+void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
+                                 std::size_t m, std::size_t n);
+}  // namespace neon
+#endif
+
+namespace {
+
+constexpr KernelOps kPortableOps{portable::rank4_row_update,
+                                 portable::rank1_row_update,
+                                 portable::cholesky_trailing_update,
+                                 portable::solve_lower_multi,
+                                 portable::solve_lower_transpose_multi};
+#ifdef STORMTUNE_HAVE_ISA_AVX2
+constexpr KernelOps kAvx2Ops{avx2::rank4_row_update, avx2::rank1_row_update,
+                             avx2::cholesky_trailing_update,
+                             avx2::solve_lower_multi,
+                             avx2::solve_lower_transpose_multi};
+#endif
+#ifdef STORMTUNE_HAVE_ISA_AVX512
+constexpr KernelOps kAvx512Ops{avx512::rank4_row_update,
+                               avx512::rank1_row_update,
+                               avx512::cholesky_trailing_update,
+                               avx512::solve_lower_multi,
+                               avx512::solve_lower_transpose_multi};
+#endif
+#ifdef STORMTUNE_HAVE_ISA_NEON
+constexpr KernelOps kNeonOps{neon::rank4_row_update, neon::rank1_row_update,
+                             neon::cholesky_trailing_update,
+                             neon::solve_lower_multi,
+                             neon::solve_lower_transpose_multi};
+#endif
+
+}  // namespace
+
+const KernelOps* ops_for(isa::Path path) {
+  switch (path) {
+    case isa::Path::kPortable:
+      return &kPortableOps;
+    case isa::Path::kAvx2:
+#ifdef STORMTUNE_HAVE_ISA_AVX2
+      return &kAvx2Ops;
+#else
+      return nullptr;
+#endif
+    case isa::Path::kAvx512:
+#ifdef STORMTUNE_HAVE_ISA_AVX512
+      return &kAvx512Ops;
+#else
+      return nullptr;
+#endif
+    case isa::Path::kNeon:
+#ifdef STORMTUNE_HAVE_ISA_NEON
+      return &kNeonOps;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const KernelOps& ops() {
+  const KernelOps* t = ops_for(isa::selected());
+  return t != nullptr ? *t : kPortableOps;
+}
+
+}  // namespace stormtune::linalg_kernels

@@ -1,0 +1,100 @@
+// AVX-512F (8-lane) rank-update micro-kernels. Compiled with -mavx512f as
+// its own translation unit; reached only through the dispatch table in
+// kernels.cpp after a runtime CPU check (common/isa.hpp).
+//
+// Same bit-identity argument as the AVX2 file: separate multiply/subtract
+// (no FMA), left-associated per element, lanes touch disjoint elements.
+// The scalar remainder loop (len mod 8) matches the portable loop exactly.
+#ifdef STORMTUNE_HAVE_ISA_AVX512
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "linalg/kernels.hpp"
+#include "linalg/kernels_blocks.hpp"
+
+namespace stormtune::linalg_kernels::avx512 {
+
+// The lane kernels live in the anonymous namespace so they inline into both
+// the exported row-update symbols (the test hooks) and the block loops
+// below — an external symbol in the dispatch table would stay a real call
+// per row, which is exactly the overhead the block entry points remove.
+namespace {
+
+inline void rank4_impl(double* c, const double* p0, const double* p1,
+                       const double* p2, const double* p3, double a0,
+                       double a1, double a2, double a3, std::size_t len) {
+  const __m512d va0 = _mm512_set1_pd(a0);
+  const __m512d va1 = _mm512_set1_pd(a1);
+  const __m512d va2 = _mm512_set1_pd(a2);
+  const __m512d va3 = _mm512_set1_pd(a3);
+  std::size_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    __m512d x = _mm512_loadu_pd(c + j);
+    x = _mm512_sub_pd(x, _mm512_mul_pd(va0, _mm512_loadu_pd(p0 + j)));
+    x = _mm512_sub_pd(x, _mm512_mul_pd(va1, _mm512_loadu_pd(p1 + j)));
+    x = _mm512_sub_pd(x, _mm512_mul_pd(va2, _mm512_loadu_pd(p2 + j)));
+    x = _mm512_sub_pd(x, _mm512_mul_pd(va3, _mm512_loadu_pd(p3 + j)));
+    _mm512_storeu_pd(c + j, x);
+  }
+  for (; j < len; ++j) {
+    c[j] = c[j] - a0 * p0[j] - a1 * p1[j] - a2 * p2[j] - a3 * p3[j];
+  }
+}
+
+inline void rank1_impl(double* c, const double* p, double a,
+                       std::size_t len) {
+  const __m512d va = _mm512_set1_pd(a);
+  std::size_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    const __m512d x = _mm512_sub_pd(
+        _mm512_loadu_pd(c + j), _mm512_mul_pd(va, _mm512_loadu_pd(p + j)));
+    _mm512_storeu_pd(c + j, x);
+  }
+  for (; j < len; ++j) c[j] -= a * p[j];
+}
+
+struct LaneOps {
+  static void rank4(double* c, const double* p0, const double* p1,
+                    const double* p2, const double* p3, double a0, double a1,
+                    double a2, double a3, std::size_t len) {
+    rank4_impl(c, p0, p1, p2, p3, a0, a1, a2, a3, len);
+  }
+  static void rank1(double* c, const double* p, double a, std::size_t len) {
+    rank1_impl(c, p, a, len);
+  }
+};
+
+}  // namespace
+
+void rank4_row_update(double* c, const double* p0, const double* p1,
+                      const double* p2, const double* p3, double a0, double a1,
+                      double a2, double a3, std::size_t len) {
+  rank4_impl(c, p0, p1, p2, p3, a0, a1, a2, a3, len);
+}
+
+void rank1_row_update(double* c, const double* p, double a, std::size_t len) {
+  rank1_impl(c, p, a, len);
+}
+
+// Block-level entry points: one indirect call per panel / solve sweep, the
+// lane kernels inlined into the loops (see kernels_blocks.hpp).
+void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
+                              std::size_t k0, std::size_t k1, std::size_t n) {
+  detail::cholesky_trailing_update<LaneOps>(lf, ltf, ld, k0, k1, n);
+}
+
+void solve_lower_multi(const double* lf, std::size_t ld, double* v,
+                       std::size_t m, std::size_t n) {
+  detail::solve_lower_multi<LaneOps>(lf, ld, v, m, n, kPanelWidth);
+}
+
+void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
+                                 std::size_t m, std::size_t n) {
+  detail::solve_lower_transpose_multi<LaneOps>(ltf, ld, v, m, n);
+}
+
+}  // namespace stormtune::linalg_kernels::avx512
+
+#endif  // STORMTUNE_HAVE_ISA_AVX512

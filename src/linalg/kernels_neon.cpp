@@ -1,0 +1,99 @@
+// AArch64 NEON (2-lane) rank-update micro-kernels, compile-guarded: the
+// translation unit is empty except on AArch64 builds, where NEON is
+// architecturally guaranteed (no runtime CPU check needed beyond the
+// dispatch default).
+//
+// Same bit-identity argument as the x86 wide files: vmulq + vsubq (never
+// vfmaq, whose single rounding would diverge from the scalar sequence),
+// left-associated per element, lanes touch disjoint elements.
+#ifdef STORMTUNE_HAVE_ISA_NEON
+
+#include <arm_neon.h>
+
+#include <cstddef>
+
+#include "linalg/kernels.hpp"
+#include "linalg/kernels_blocks.hpp"
+
+namespace stormtune::linalg_kernels::neon {
+
+// Anonymous-namespace lane kernels inline into both the exported row-update
+// symbols (test hooks) and the block loops below; see kernels_avx512.cpp.
+namespace {
+
+inline void rank4_impl(double* c, const double* p0, const double* p1,
+                       const double* p2, const double* p3, double a0,
+                       double a1, double a2, double a3, std::size_t len) {
+  const float64x2_t va0 = vdupq_n_f64(a0);
+  const float64x2_t va1 = vdupq_n_f64(a1);
+  const float64x2_t va2 = vdupq_n_f64(a2);
+  const float64x2_t va3 = vdupq_n_f64(a3);
+  std::size_t j = 0;
+  for (; j + 2 <= len; j += 2) {
+    float64x2_t x = vld1q_f64(c + j);
+    x = vsubq_f64(x, vmulq_f64(va0, vld1q_f64(p0 + j)));
+    x = vsubq_f64(x, vmulq_f64(va1, vld1q_f64(p1 + j)));
+    x = vsubq_f64(x, vmulq_f64(va2, vld1q_f64(p2 + j)));
+    x = vsubq_f64(x, vmulq_f64(va3, vld1q_f64(p3 + j)));
+    vst1q_f64(c + j, x);
+  }
+  for (; j < len; ++j) {
+    c[j] = c[j] - a0 * p0[j] - a1 * p1[j] - a2 * p2[j] - a3 * p3[j];
+  }
+}
+
+inline void rank1_impl(double* c, const double* p, double a,
+                       std::size_t len) {
+  const float64x2_t va = vdupq_n_f64(a);
+  std::size_t j = 0;
+  for (; j + 2 <= len; j += 2) {
+    const float64x2_t x =
+        vsubq_f64(vld1q_f64(c + j), vmulq_f64(va, vld1q_f64(p + j)));
+    vst1q_f64(c + j, x);
+  }
+  for (; j < len; ++j) c[j] -= a * p[j];
+}
+
+struct LaneOps {
+  static void rank4(double* c, const double* p0, const double* p1,
+                    const double* p2, const double* p3, double a0, double a1,
+                    double a2, double a3, std::size_t len) {
+    rank4_impl(c, p0, p1, p2, p3, a0, a1, a2, a3, len);
+  }
+  static void rank1(double* c, const double* p, double a, std::size_t len) {
+    rank1_impl(c, p, a, len);
+  }
+};
+
+}  // namespace
+
+void rank4_row_update(double* c, const double* p0, const double* p1,
+                      const double* p2, const double* p3, double a0, double a1,
+                      double a2, double a3, std::size_t len) {
+  rank4_impl(c, p0, p1, p2, p3, a0, a1, a2, a3, len);
+}
+
+void rank1_row_update(double* c, const double* p, double a, std::size_t len) {
+  rank1_impl(c, p, a, len);
+}
+
+// Block-level entry points: one indirect call per panel / solve sweep, the
+// lane kernels inlined into the loops (see kernels_blocks.hpp).
+void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
+                              std::size_t k0, std::size_t k1, std::size_t n) {
+  detail::cholesky_trailing_update<LaneOps>(lf, ltf, ld, k0, k1, n);
+}
+
+void solve_lower_multi(const double* lf, std::size_t ld, double* v,
+                       std::size_t m, std::size_t n) {
+  detail::solve_lower_multi<LaneOps>(lf, ld, v, m, n, kPanelWidth);
+}
+
+void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
+                                 std::size_t m, std::size_t n) {
+  detail::solve_lower_transpose_multi<LaneOps>(ltf, ld, v, m, n);
+}
+
+}  // namespace stormtune::linalg_kernels::neon
+
+#endif  // STORMTUNE_HAVE_ISA_NEON

@@ -147,6 +147,9 @@ void Cholesky::factor_in_place() {
   const std::size_t ld = cap_;
   double* lf = lf_.data();
   double* ltf = ltf_.data();
+  // Resolve the micro-kernel table once per factorization, not per call —
+  // the selected ISA path cannot change mid-routine.
+  const lk::KernelOps& kops = lk::ops();
   for (std::size_t k0 = 0; k0 < n; k0 += lk::kPanelWidth) {
     const std::size_t k1 = std::min(n, k0 + lk::kPanelWidth);
     for (std::size_t j = k0; j < k1; ++j) {
@@ -175,20 +178,9 @@ void Cholesky::factor_in_place() {
     }
     // Trailing update: each row of the trailing submatrix loses the rank-kb
     // contribution of the panel, four k's at a time through the micro-kernel.
-    for (std::size_t i = k1; i < n; ++i) {
-      double* ci = lf + i * ld;
-      const std::size_t len = i - k1 + 1;
-      std::size_t k = k0;
-      for (; k + 4 <= k1; k += 4) {
-        lk::rank4_row_update(ci + k1, ltf + k * ld + k1,
-                             ltf + (k + 1) * ld + k1, ltf + (k + 2) * ld + k1,
-                             ltf + (k + 3) * ld + k1, ci[k], ci[k + 1],
-                             ci[k + 2], ci[k + 3], len);
-      }
-      for (; k < k1; ++k) {
-        lk::rank1_row_update(ci + k1, ltf + k * ld + k1, ci[k], len);
-      }
-    }
+    // The whole panel's loop is one dispatched call (kernels_blocks.hpp) —
+    // per-row calls through the table cost more than the wide lanes save.
+    kops.cholesky_trailing_update(lf, ltf, ld, k0, k1, n);
   }
 }
 
@@ -275,65 +267,24 @@ Vector Cholesky::solve(const Vector& b) const {
 void Cholesky::solve_lower_multi_in_place(Matrix& v) const {
   STORMTUNE_REQUIRE(v.rows() == n_,
                     "Cholesky::solve_lower_multi_in_place: size mismatch");
-  const std::size_t n = n_;
-  const std::size_t m = v.cols();
-  const double* lf = lf_.data();
   // Blocked forward substitution: finalize the rows of one diagonal block,
   // then push that block's contribution into every row below while its V
   // rows are hot. Per column of V the subtraction order is k ascending —
-  // identical to the scalar solve.
-  for (std::size_t k0 = 0; k0 < n; k0 += lk::kPanelWidth) {
-    const std::size_t k1 = std::min(n, k0 + lk::kPanelWidth);
-    for (std::size_t i = k0; i < k1; ++i) {
-      double* vi = v.row(i).data();
-      const double* li = lf + i * cap_;
-      std::size_t k = k0;
-      for (; k + 4 <= i; k += 4) {
-        lk::rank4_row_update(vi, v.row(k).data(), v.row(k + 1).data(),
-                             v.row(k + 2).data(), v.row(k + 3).data(), li[k],
-                             li[k + 1], li[k + 2], li[k + 3], m);
-      }
-      for (; k < i; ++k) lk::rank1_row_update(vi, v.row(k).data(), li[k], m);
-      const double inv_lii = 1.0 / li[i];
-      for (std::size_t r = 0; r < m; ++r) vi[r] *= inv_lii;
-    }
-    for (std::size_t i = k1; i < n; ++i) {
-      double* vi = v.row(i).data();
-      const double* li = lf + i * cap_;
-      std::size_t k = k0;
-      for (; k + 4 <= k1; k += 4) {
-        lk::rank4_row_update(vi, v.row(k).data(), v.row(k + 1).data(),
-                             v.row(k + 2).data(), v.row(k + 3).data(), li[k],
-                             li[k + 1], li[k + 2], li[k + 3], m);
-      }
-      for (; k < k1; ++k) lk::rank1_row_update(vi, v.row(k).data(), li[k], m);
-    }
-  }
+  // identical to the scalar solve. The whole sweep is one dispatched call
+  // (kernels_blocks.hpp).
+  lk::ops().solve_lower_multi(lf_.data(), cap_, v.data(), v.cols(), n_);
 }
 
 void Cholesky::solve_lower_transpose_multi_in_place(Matrix& v) const {
   STORMTUNE_REQUIRE(
       v.rows() == n_,
       "Cholesky::solve_lower_transpose_multi_in_place: size mismatch");
-  const std::size_t n = n_;
-  const std::size_t m = v.cols();
   // Bottom-up sweep; the multipliers Lᵀ(i, k) = L(k, i) come from row i of
   // the mirror, stride-1 in k. The whole block fits in L2 for this library's
-  // sizes, so no further tiling is needed.
-  for (std::size_t ii = n; ii > 0; --ii) {
-    const std::size_t i = ii - 1;
-    double* vi = v.row(i).data();
-    const double* lti = ltf_.data() + i * cap_;
-    std::size_t k = i + 1;
-    for (; k + 4 <= n; k += 4) {
-      lk::rank4_row_update(vi, v.row(k).data(), v.row(k + 1).data(),
-                           v.row(k + 2).data(), v.row(k + 3).data(), lti[k],
-                           lti[k + 1], lti[k + 2], lti[k + 3], m);
-    }
-    for (; k < n; ++k) lk::rank1_row_update(vi, v.row(k).data(), lti[k], m);
-    const double inv_lii = 1.0 / lti[i];
-    for (std::size_t r = 0; r < m; ++r) vi[r] *= inv_lii;
-  }
+  // sizes, so no further tiling is needed. One dispatched call for the
+  // whole sweep (kernels_blocks.hpp).
+  lk::ops().solve_lower_transpose_multi(ltf_.data(), cap_, v.data(), v.cols(),
+                                        n_);
 }
 
 void Cholesky::append_row(std::span<const double> b, double c) {

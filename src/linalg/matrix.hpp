@@ -48,6 +48,11 @@ class Matrix {
     return {data_.data() + r * cols_, cols_};
   }
 
+  /// Contiguous row-major storage (rows() * cols() doubles). For whole-buffer
+  /// element-wise passes such as the batched correlation transform.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
   /// Transpose; uses a cache-blocked sweep once both dimensions exceed the
   /// blocking threshold, so neither the read nor the write side strides
   /// through memory a full row apart.

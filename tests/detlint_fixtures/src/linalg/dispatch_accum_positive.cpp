@@ -1,0 +1,32 @@
+// DET005 fixture (dispatch half): routing the hot loop body through a
+// runtime-selected kernel table (the isa-dispatch idiom of
+// linalg/kernels.hpp) must not hide a cross-shard accumulation — the
+// compound assignment to the captured accumulator has to fire exactly as it
+// would with a direct call, whichever path the table resolves to.
+struct KernelOps {
+  double (*row_dot)(const double* a, const double* b, int n);
+};
+const KernelOps& ops();
+template <typename F>
+void parallel_for(int shards, F&& f);
+
+double score_all(const double* a, const double* b, int n, int shards) {
+  double total = 0.0;
+  parallel_for(shards, [&](int s) {
+    const KernelOps& k = ops();
+    total += k.row_dot(a + s * n, b + s * n, n);  // expect: DET005
+  });
+  return total;
+}
+
+// Shard-local accumulation through the same table is safe and must stay
+// silent: the accumulator is declared inside the lambda body.
+double score_local(const double* a, const double* b, int n, int shards) {
+  double out = 0.0;
+  parallel_for(shards, [&](int s) {
+    double local = 0.0;
+    local += ops().row_dot(a + s * n, b + s * n, n);
+    (void)local;
+  });
+  return out;
+}

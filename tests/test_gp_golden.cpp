@@ -19,12 +19,30 @@
 
 #include <vector>
 
+#include "common/isa.hpp"
 #include "common/rng.hpp"
 #include "gp/gp_regressor.hpp"
 #include "gp/kernel.hpp"
 
 namespace stormtune::gp {
 namespace {
+
+/// Pin the runtime ISA selection for the duration of a test and restore it
+/// afterwards. Goldens pin the portable path; on machines whose auto
+/// selection picks a wide path, the last-ulp exp differences would
+/// (correctly) flip the pinned bits otherwise.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(isa::Path path) : prev_(isa::selected()) {
+    isa::select(path);
+  }
+  ~ScopedIsa() { isa::select(prev_); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+
+ private:
+  isa::Path prev_;
+};
 
 struct GoldenPrediction {
   double mean;
@@ -65,6 +83,7 @@ TEST(GpGolden, FitAndPredictAreBitwiseStable) {
 #if !(defined(__x86_64__) && defined(__GLIBC__))
   GTEST_SKIP() << "golden values pin the glibc/x86-64 vector-exp path";
 #endif
+  const ScopedIsa pin(isa::Path::kPortable);
   const std::size_t n = 12, d = 2;
   for (const GoldenCase& c : kGolden) {
     SCOPED_TRACE(c.name);

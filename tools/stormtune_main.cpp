@@ -20,6 +20,9 @@
 //                   steady-state throughput estimate converges (relative
 //                   95% CI half-width < EPS, default 0.05) instead of
 //                   always simulating the full window
+// both:             --isa=portable|avx2|avx512|neon|auto  pin the runtime
+//                   kernel dispatch path (default: auto-detect; the
+//                   STORMTUNE_ISA environment variable is the same knob)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +30,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/isa.hpp"
 #include "stormsim/dot.hpp"
 #include "stormsim/engine.hpp"
 #include "stormsim/fluid.hpp"
@@ -74,6 +78,7 @@ struct Options {
       "      --seed=N --json=FILE --csv=FILE --threads=N\n"
       "      --adaptive-window[=EPS]  stop each simulation once throughput\n"
       "      converges (relative CI half-width < EPS, default 0.05)\n"
+      "both: --isa=portable|avx2|avx512|neon|auto  pin the kernel dispatch\n"
       "see the header of tools/stormtune_main.cpp for all options\n");
   std::exit(2);
 }
@@ -107,6 +112,19 @@ Options parse(int argc, char** argv, int first) {
     else if (const char* v = value_of(a, "--json")) o.json_path = v;
     else if (const char* v = value_of(a, "--csv")) o.csv_path = v;
     else if (const char* v = value_of(a, "--threads")) o.threads = std::stoul(v);
+    else if (const char* v = value_of(a, "--isa")) {
+      isa::Path path;
+      if (std::strcmp(v, "auto") == 0) {
+        path = isa::detect_best();
+      } else if (!isa::parse(v, path)) {
+        std::fprintf(stderr,
+                     "--isa=%s: expected portable, avx2, avx512, neon, or "
+                     "auto\n",
+                     v);
+        usage();
+      }
+      isa::select(path);
+    }
     else if (std::strcmp(a, "--adaptive-window") == 0) o.adaptive_window = true;
     else if (const char* v = value_of(a, "--adaptive-window")) {
       o.adaptive_window = true;
@@ -218,6 +236,7 @@ int cmd_dot(const Options& o) {
 }
 
 int cmd_simulate(const Options& o) {
+  std::printf("isa path:     %s\n", isa::to_string(isa::selected()));
   const Workload w = load_workload(o);
   const sim::TopologyConfig config = config_from_options(o, w);
   const auto r = sim::simulate(w.topology, config, w.cluster, w.params,
@@ -250,6 +269,7 @@ int cmd_simulate(const Options& o) {
 }
 
 int cmd_tune(const Options& o) {
+  std::printf("isa path:     %s\n", isa::to_string(isa::selected()));
   const Workload w = load_workload(o);
   sim::TopologyConfig defaults = config_from_options(o, w);
 
