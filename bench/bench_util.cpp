@@ -2,12 +2,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/error.hpp"
 #include "common/isa.hpp"
+#include "common/json.hpp"
 #include "topology/sundog.hpp"
 #include "tuning/objective.hpp"
+#include "tuning/report.hpp"
 
 namespace stormtune::bench {
 
@@ -49,6 +52,8 @@ Args Args::parse(int argc, char** argv) {
       args.seed = std::stoull(v);
     } else if (const char* v = value_of(a, "--threads")) {
       args.threads = std::stoul(v);
+    } else if (const char* v = value_of(a, "--campaigns-json")) {
+      args.campaigns_json = v;
     } else if (const char* v = value_of(a, "--isa")) {
       isa::Path path;
       if (std::strcmp(v, "auto") == 0) {
@@ -65,7 +70,9 @@ Args Args::parse(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument '%s' (expected --full, --steps=N, "
                    "--bo-steps=N, --bo180=N, --reps=N, --passes=N, "
-                   "--duration=S, --seed=N, --threads=N, --isa=PATH)\n",
+                   "--duration=S, --seed=N, --threads=N campaign pool "
+                   "width incl. the caller, 0 = auto, "
+                   "--campaigns-json=FILE, --isa=PATH)\n",
                    a);
       std::exit(2);
     }
@@ -231,6 +238,7 @@ CampaignCell run_synthetic_cell(const Args& args, const CellSpec& cell,
       },
       experiment_options(args, strategy, step_override), args.passes, pool,
       &out.passes);
+  record_campaign_result(args, cell.label() + "/" + strategy, out.best);
   return out;
 }
 
@@ -292,7 +300,26 @@ SundogResult run_sundog_campaign(const Args& args,
       },
       experiment_options(args, strategy, step_override), args.passes, pool,
       &out.passes);
+  record_campaign_result(args, "sundog/" + strategy + "/" + param_set,
+                         out.best);
   return out;
+}
+
+void record_campaign_result(const Args& args, const std::string& name,
+                            const tuning::ExperimentResult& best) {
+  if (args.campaigns_json.empty()) return;
+  // Bench binaries run campaigns serially, so an append-per-campaign with a
+  // process-local ticket keeps the file in execution order — the same
+  // record shape the tune-many result sink writes.
+  static std::size_t ticket = 0;
+  std::ofstream out(args.campaigns_json, std::ios::app);
+  STORMTUNE_REQUIRE(out.good(), "cannot append to --campaigns-json file '" +
+                                    args.campaigns_json + "'");
+  JsonObject o;
+  o["ticket"] = ticket++;
+  o["name"] = name;
+  o["result"] = tuning::experiment_to_json(best);
+  out << Json(std::move(o)).dump() << '\n';
 }
 
 std::string format_rate(double tuples_per_s) {

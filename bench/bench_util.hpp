@@ -31,10 +31,19 @@ struct Args {
   std::size_t passes = 2;       ///< independent optimization passes
   double duration_s = 15.0;     ///< simulated measurement window
   std::uint64_t seed = 2015;    ///< campaign base seed (the paper's year)
-  std::size_t threads = 0;      ///< campaign pool size; 0 = auto
+  /// Campaign pool width, the calling thread included (so --threads=2 adds
+  /// ONE worker next to the caller); 0 = auto (min(hardware, 8)). Results
+  /// are bit-identical for any value.
+  std::size_t threads = 0;
+  /// When non-empty, every campaign a bench binary runs through
+  /// run_synthetic_cell / run_sundog_campaign is also appended here as one
+  /// JSON line (same record shape as the tune-many result sink), in
+  /// execution order.
+  std::string campaigns_json;
 
   /// Parse --full, --steps=N, --bo-steps=N, --bo180=N, --reps=N,
-  /// --passes=N, --duration=S, --seed=N, --threads=N, --isa=PATH. --full
+  /// --passes=N, --duration=S, --seed=N, --threads=N (pool width, caller
+  /// included; 0 = auto), --campaigns-json=FILE, --isa=PATH. --full
   /// switches every default to the paper-scale protocol first; explicit
   /// flags then override. --isa pins the runtime kernel dispatch (portable,
   /// avx2, avx512, neon, or auto) process-wide via isa::select.
@@ -88,6 +97,13 @@ struct CampaignCell {
 CampaignCell run_synthetic_cell(const Args& args, const CellSpec& cell,
                                 const std::string& strategy,
                                 std::size_t step_override = 0);
+
+/// Append one campaign result to args.campaigns_json (no-op when unset):
+/// {"ticket":N,"name":...,"result":{...}}, ticket counting appends within
+/// this process. Called by the campaign runners above; standalone benches
+/// with their own drivers can call it directly.
+void record_campaign_result(const Args& args, const std::string& name,
+                            const tuning::ExperimentResult& best);
 
 /// Format tuples/s compactly (e.g. "611k", "1.68M").
 std::string format_rate(double tuples_per_s);

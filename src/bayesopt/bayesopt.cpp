@@ -90,14 +90,20 @@ BayesOptOptions BayesOptOptions::from_json(const Json& j) {
 BayesOpt::BayesOpt(ParamSpace space, BayesOptOptions options)
     : space_(std::move(space)),
       options_(options),
-      rng_(options.seed),
-      pool_(std::make_shared<ThreadPool>(
-          options.num_threads > 0 ? options.num_threads
-                                  : ThreadPool::default_thread_count())) {
+      rng_(options.seed) {
   STORMTUNE_REQUIRE(options_.hyper_samples > 0,
                     "BayesOpt: hyper_samples must be > 0");
   STORMTUNE_REQUIRE(options_.num_candidates > 0,
                     "BayesOpt: num_candidates must be > 0");
+}
+
+ThreadPool& BayesOpt::pool() {
+  if (!pool_) {
+    pool_ = std::make_shared<ThreadPool>(
+        options_.num_threads > 0 ? options_.num_threads
+                                 : ThreadPool::default_thread_count());
+  }
+  return *pool_;
 }
 
 /// GP surrogate over standardized targets with a set of hyperparameter
@@ -295,7 +301,7 @@ BayesOpt::Surrogate BayesOpt::fit_surrogate() {
       // the O(n²·d) pairwise loop; the pool runs one shard per sample (no
       // RNG involved, hence deterministic for any thread count).
       s.gps.assign(samples.size(), gp);
-      pool_->parallel_for(samples.size(), [&](std::size_t i) {
+      pool().parallel_for(samples.size(), [&](std::size_t i) {
         gp::apply_hyperparams(s.gps[i], samples[i].theta, x, y);
       });
       break;
@@ -350,7 +356,7 @@ std::vector<double> BayesOpt::maximize_acquisition(Surrogate& surrogate) {
   const std::size_t gen_shards = std::min(kGenShards, num_cands);
   Matrix cands(num_cands, d);
   std::vector<double> scores(num_cands);
-  pool_->parallel_for(gen_shards, [&](std::size_t s) {
+  pool().parallel_for(gen_shards, [&](std::size_t s) {
     const std::size_t lo = s * num_cands / gen_shards;
     const std::size_t hi = (s + 1) * num_cands / gen_shards;
     Rng rng = Rng::stream(base_seed, s);
@@ -385,9 +391,9 @@ std::vector<double> BayesOpt::maximize_acquisition(Surrogate& surrogate) {
   // and every local-search iteration below — scratch buffers warm up once
   // per suggest() and stay warm.
   const std::size_t score_shards =
-      std::min(pool_->num_threads(), num_cands);
-  std::vector<Surrogate::ScoreScratch> scratch(pool_->num_threads());
-  pool_->parallel_for(score_shards, [&](std::size_t s) {
+      std::min(pool().num_threads(), num_cands);
+  std::vector<Surrogate::ScoreScratch> scratch(pool().num_threads());
+  pool().parallel_for(score_shards, [&](std::size_t s) {
     const std::size_t lo = s * num_cands / score_shards;
     const std::size_t hi = (s + 1) * num_cands / score_shards;
     surrogate.acquisition_rows(options_, cands, lo, hi, scratch[s],
@@ -425,8 +431,8 @@ std::vector<double> BayesOpt::maximize_acquisition(Surrogate& surrogate) {
       for (std::size_t k = 0; k < d; ++k) row[k] = cur[k];
       surrogate.gps.front().unscaled_sq_dist_rows(cur_q, 0, 1, base_d2);
     }
-    const std::size_t nb_shards = std::min(pool_->num_threads(), nb.rows());
-    pool_->parallel_for(nb_shards, [&](std::size_t s) {
+    const std::size_t nb_shards = std::min(pool().num_threads(), nb.rows());
+    pool().parallel_for(nb_shards, [&](std::size_t s) {
       const std::size_t lo = s * nb.rows() / nb_shards;
       const std::size_t hi = (s + 1) * nb.rows() / nb_shards;
       surrogate.acquisition_neighbor_rows(
@@ -458,6 +464,7 @@ ParamValues BayesOpt::suggest() {
 
 std::vector<ParamValues> BayesOpt::suggest_batch(std::size_t q) {
   STORMTUNE_REQUIRE(q > 0, "BayesOpt::suggest_batch: q must be > 0");
+  pool();  // materialize before copying so the scratch shares the workers
   BayesOpt scratch = *this;
   std::vector<ParamValues> batch;
   batch.reserve(q);

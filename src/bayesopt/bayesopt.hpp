@@ -115,8 +115,15 @@ class BayesOpt {
   std::vector<Observation> observations_;
   std::vector<std::vector<double>> unit_x_;  // cached unit-space inputs
   std::size_t best_index_ = 0;               // incumbent, kept by observe()
-  // Shared so that the constant-liar scratch copies in suggest_batch reuse
-  // the same workers instead of spawning their own.
+  /// Lazily constructed on the first suggest() that needs it, so that the
+  /// multi-campaign scheduler can hold thousands of idle optimizers (each
+  /// pinned to num_threads = 1, whose pool owns no threads at all) without
+  /// spawning a worker set per instance. Shared so that the constant-liar
+  /// scratch copies in suggest_batch reuse the same workers instead of
+  /// spawning their own. Instances never share a pool with each other —
+  /// suggest() state is per-instance, so distinct optimizers are safe to
+  /// drive concurrently from different scheduler workers.
+  ThreadPool& pool();
   std::shared_ptr<ThreadPool> pool_;
   // kFixed-mode surrogate, kept across suggest() calls so a single new
   // observation is an O(n²) Cholesky rank-grow instead of an O(n³) refit —

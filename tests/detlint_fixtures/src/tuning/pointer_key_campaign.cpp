@@ -1,0 +1,18 @@
+// DET002 fixture (multi-campaign scheduler audit): campaign bookkeeping
+// keyed by object address must fire — iteration order would follow the
+// allocator, so any loop over such a map could make results depend on
+// where campaigns happen to live in memory.
+#include <cstddef>
+#include <map>
+#include <set>
+
+struct Campaign {
+  std::size_t ticket;
+};
+
+std::map<const Campaign*, double> campaign_score;  // expect: DET002
+std::set<Campaign*> active_campaigns;              // expect: DET002
+
+// Ticket-keyed ordered maps — what the result sink's reorder buffer and
+// the scheduler's gather actually use — are fine:
+std::map<std::size_t, double> score_by_ticket;

@@ -1,0 +1,325 @@
+// Golden tests for the multi-tenant campaign scheduler.
+//
+// The acceptance contract: N campaigns interleaved over a work-stealing
+// pool produce, per campaign, results bit-identical (compared via %a
+// hexfloat fingerprints) to a solo run_campaign() of the same spec — for
+// every thread count, and for a shuffled submission order. Wall-clock
+// suggest timing (trace suggest_seconds, mean/max_suggest_seconds) is the
+// sole excluded quantity.
+//
+// The thread-count list defaults to {1, 2, 8}; CI's TSan job widens it via
+// STORMTUNE_SCHED_TEST_THREADS (comma-separated, e.g. "1,4,16").
+#include "tuning/campaign_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tuning/config_space.hpp"
+#include "tuning/report.hpp"
+#include "tuning/tuner.hpp"
+
+namespace stormtune::tuning {
+namespace {
+
+std::vector<std::size_t> scheduler_test_threads() {
+  std::vector<std::size_t> threads = {1, 2, 8};
+  if (const char* env = std::getenv("STORMTUNE_SCHED_TEST_THREADS")) {
+    threads.clear();
+    std::stringstream ss(env);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      threads.push_back(static_cast<std::size_t>(std::stoul(tok)));
+    }
+  }
+  return threads;
+}
+
+std::string hexfloat(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Every result field that participates in the bit-identity guarantee,
+/// doubles rendered as hexfloat. suggest_seconds fields are wall-clock and
+/// deliberately absent.
+std::string fingerprint(const ExperimentResult& r) {
+  std::ostringstream out;
+  out << r.strategy << '\n';
+  for (const StepRecord& s : r.trace) {
+    out << s.step << ' ' << hexfloat(s.throughput) << '\n';
+  }
+  out << config_to_json(r.best_config).dump() << '\n';
+  out << hexfloat(r.best_throughput) << " @" << r.best_step << '\n';
+  out << r.best_rep_stats.n << ' ' << hexfloat(r.best_rep_stats.mean) << ' '
+      << hexfloat(r.best_rep_stats.variance) << ' '
+      << hexfloat(r.best_rep_stats.stddev) << ' '
+      << hexfloat(r.best_rep_stats.min) << ' '
+      << hexfloat(r.best_rep_stats.max) << '\n';
+  for (const double v : r.best_rep_values) out << hexfloat(v) << ' ';
+  out << '\n';
+  return out.str();
+}
+
+sim::Topology demo_topology() {
+  sim::Topology t;
+  const auto s = t.add_spout("S", 10.0);
+  const auto b = t.add_bolt("B", 20.0);
+  t.connect(s, b);
+  return t;
+}
+
+sim::ClusterSpec demo_cluster() {
+  sim::ClusterSpec cluster;
+  cluster.num_machines = 4;
+  return cluster;
+}
+
+sim::SimParams demo_params() {
+  sim::SimParams params;
+  params.duration_s = 5.0;
+  params.throughput_noise_sd = 0.05;
+  return params;
+}
+
+/// A tiny random-search campaign whose every seed derives from `i`, so the
+/// population is diverse but fully reproducible. Options vary with i to
+/// cover both the 1-rep and multi-rep gather paths.
+CampaignSpec make_random_spec(std::size_t i) {
+  const sim::Topology t = demo_topology();
+  const sim::ClusterSpec cluster = demo_cluster();
+  const sim::SimParams params = demo_params();
+  sim::TopologyConfig defaults = sim::uniform_hint_config(t, 2);
+  defaults.batch_size = 50;
+  SpaceOptions sopts;
+  sopts.hint_max = 6;
+  const auto base = static_cast<std::uint64_t>(1000 + 17 * i);
+
+  CampaignSpec spec;
+  spec.name = "c" + std::to_string(i);
+  spec.make_tuner = [t, sopts, defaults,
+                     base](std::size_t pass) -> std::unique_ptr<Tuner> {
+    return std::make_unique<RandomTuner>(ConfigSpace(t, sopts, defaults),
+                                         base * 7919 + pass);
+  };
+  spec.make_objective = [t, cluster, params,
+                         base](std::size_t pass) -> std::unique_ptr<Objective> {
+    return std::make_unique<SimObjective>(
+        t, cluster, params, base + 0x632be59bd9b4e019ULL * pass);
+  };
+  spec.options.max_steps = 2 + i % 2;
+  spec.options.best_config_reps = 1 + i % 2;
+  spec.passes = 2;
+  return spec;
+}
+
+/// Solo reference: the deterministic parallel run_campaign() on a 1-thread
+/// pool (its results are thread-count-invariant by its own contract).
+std::string solo_fingerprint(const CampaignSpec& spec) {
+  ThreadPool pool(1);
+  return fingerprint(run_campaign(spec.make_tuner, spec.make_objective,
+                                  spec.options, spec.passes, pool));
+}
+
+TEST(CampaignScheduler, ThousandInterleavedCampaignsMatchSoloRuns) {
+  constexpr std::size_t kCampaigns = 1000;
+  std::vector<CampaignSpec> specs;
+  specs.reserve(kCampaigns);
+  for (std::size_t i = 0; i < kCampaigns; ++i) {
+    specs.push_back(make_random_spec(i));
+  }
+
+  std::vector<std::string> solo;
+  solo.reserve(kCampaigns);
+  for (const CampaignSpec& spec : specs) {
+    solo.push_back(solo_fingerprint(spec));
+  }
+
+  std::size_t max_threads = 1;
+  for (const std::size_t threads : scheduler_test_threads()) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    max_threads = std::max(max_threads, threads);
+    const MultiCampaignResult multi =
+        run_campaigns(specs, {.num_threads = threads});
+    ASSERT_EQ(multi.results.size(), kCampaigns);
+    if (threads == 1) {
+      EXPECT_EQ(multi.steal_count, 0u);
+    }
+    for (std::size_t i = 0; i < kCampaigns; ++i) {
+      ASSERT_EQ(fingerprint(multi.results[i]), solo[i]) << "campaign " << i;
+    }
+  }
+
+  // Shuffled submission: a fixed permutation (617 is coprime to 1000, so
+  // j -> 617 j mod 1000 is a bijection). Each campaign's result must not
+  // care who its neighbors are.
+  std::vector<CampaignSpec> shuffled;
+  std::vector<std::size_t> origin;
+  for (std::size_t j = 0; j < kCampaigns; ++j) {
+    origin.push_back((j * 617) % kCampaigns);
+    shuffled.push_back(specs[origin.back()]);
+  }
+  const MultiCampaignResult multi =
+      run_campaigns(shuffled, {.num_threads = max_threads});
+  ASSERT_EQ(multi.results.size(), kCampaigns);
+  for (std::size_t j = 0; j < kCampaigns; ++j) {
+    ASSERT_EQ(fingerprint(multi.results[j]), solo[origin[j]])
+        << "slot " << j << " (campaign " << origin[j] << ")";
+  }
+}
+
+TEST(CampaignScheduler, BayesOptCampaignsMatchSoloRuns) {
+  // The suggest phase goes through BayesOpt, whose worker pool is now
+  // lazily constructed — three BO campaigns interleaving across scheduler
+  // workers pin the reentrancy of that path (each optimizer instance is
+  // owned by exactly one strand).
+  const sim::Topology t = demo_topology();
+  const sim::ClusterSpec cluster = demo_cluster();
+  const sim::SimParams params = demo_params();
+  sim::TopologyConfig defaults = sim::uniform_hint_config(t, 2);
+  defaults.batch_size = 50;
+  SpaceOptions sopts;
+  sopts.hint_max = 5;
+
+  std::vector<CampaignSpec> specs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    CampaignSpec spec;
+    spec.name = "bo" + std::to_string(i);
+    const auto base = static_cast<std::uint64_t>(50 + 31 * i);
+    spec.make_tuner = [t, sopts, defaults,
+                       base](std::size_t pass) -> std::unique_ptr<Tuner> {
+      bo::BayesOptOptions bopts;
+      bopts.seed = base * 7919 + pass;
+      bopts.num_threads = 1;  // campaigns are the parallelism here
+      return std::make_unique<BayesTuner>(ConfigSpace(t, sopts, defaults),
+                                          bopts);
+    };
+    spec.make_objective =
+        [t, cluster, params,
+         base](std::size_t pass) -> std::unique_ptr<Objective> {
+      return std::make_unique<SimObjective>(
+          t, cluster, params, base + 0x632be59bd9b4e019ULL * pass);
+    };
+    spec.options.max_steps = 4;
+    spec.options.best_config_reps = 2;
+    spec.passes = 2;
+    specs.push_back(std::move(spec));
+  }
+
+  std::vector<std::string> solo;
+  for (const CampaignSpec& spec : specs) {
+    solo.push_back(solo_fingerprint(spec));
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const MultiCampaignResult multi =
+        run_campaigns(specs, {.num_threads = threads});
+    ASSERT_EQ(multi.results.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_EQ(fingerprint(multi.results[i]), solo[i]) << "campaign " << i;
+    }
+  }
+}
+
+/// Deterministic, stateless, and clone_stream-free: the scheduler must take
+/// the serial-repetition fallback for it.
+class HintScoreObjective final : public Objective {
+ public:
+  double evaluate(const sim::TopologyConfig& c) override {
+    const double h = static_cast<double>(c.parallelism_hints.at(0));
+    return 100.0 - (h - 4.0) * (h - 4.0);
+  }
+};
+
+TEST(CampaignScheduler, ObjectivesWithoutCloneStreamFallBackToSerialReps) {
+  // With a stateless objective the serial run_campaign() overload (one
+  // shared objective across passes) computes the same numbers as the
+  // scheduler's per-pass fallback, so it doubles as the reference.
+  const sim::Topology t = demo_topology();
+  sim::TopologyConfig defaults = sim::uniform_hint_config(t, 2);
+  defaults.batch_size = 50;
+  SpaceOptions sopts;
+  sopts.hint_max = 6;
+
+  CampaignSpec spec;
+  spec.name = "no-clone";
+  spec.make_tuner = [t, sopts,
+                     defaults](std::size_t pass) -> std::unique_ptr<Tuner> {
+    return std::make_unique<RandomTuner>(ConfigSpace(t, sopts, defaults),
+                                         900 + pass);
+  };
+  spec.make_objective = [](std::size_t) -> std::unique_ptr<Objective> {
+    return std::make_unique<HintScoreObjective>();
+  };
+  spec.options.max_steps = 3;
+  spec.options.best_config_reps = 4;
+  spec.passes = 2;
+
+  HintScoreObjective shared;
+  const std::string reference = fingerprint(run_campaign(
+      spec.make_tuner, shared, spec.options, spec.passes));
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const MultiCampaignResult multi =
+        run_campaigns({spec}, {.num_threads = threads});
+    ASSERT_EQ(multi.results.size(), 1u);
+    EXPECT_EQ(fingerprint(multi.results[0]), reference);
+  }
+}
+
+TEST(CampaignScheduler, SinkReceivesEveryCampaignInTicketOrder) {
+  constexpr std::size_t kCampaigns = 12;
+  std::vector<CampaignSpec> specs;
+  for (std::size_t i = 0; i < kCampaigns; ++i) {
+    specs.push_back(make_random_spec(i));
+  }
+
+  std::ostringstream out;
+  ResultSinkOptions sink_opts;
+  sink_opts.queue_capacity = 4;  // force some backpressure
+  sink_opts.batch_max = 3;
+  sink_opts.expected_records = kCampaigns;
+  ResultSink sink(std::make_unique<JsonlResultBackend>(out), sink_opts);
+  const MultiCampaignResult multi =
+      run_campaigns(specs, {.num_threads = 4}, &sink);
+  sink.close();
+  EXPECT_EQ(sink.written(), kCampaigns);
+
+  // One line per campaign, in ticket (= submission) order regardless of
+  // completion order, each carrying exactly the scheduler's result.
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t ticket = 0;
+  while (std::getline(lines, line)) {
+    const Json record = Json::parse(line);
+    ASSERT_EQ(static_cast<std::size_t>(record.at("ticket").as_int()), ticket);
+    EXPECT_EQ(record.at("name").as_string(), specs[ticket].name);
+    const ExperimentResult round_trip =
+        experiment_from_json(record.at("result"));
+    EXPECT_EQ(fingerprint(round_trip), fingerprint(multi.results[ticket]));
+    ++ticket;
+  }
+  EXPECT_EQ(ticket, kCampaigns);
+}
+
+TEST(CampaignScheduler, ValidatesSpecs) {
+  CampaignSpec spec = make_random_spec(0);
+  spec.passes = 0;
+  EXPECT_THROW(run_campaigns({spec}, {.num_threads = 1}), Error);
+  CampaignSpec no_tuner = make_random_spec(1);
+  no_tuner.make_tuner = nullptr;
+  EXPECT_THROW(run_campaigns({no_tuner}, {.num_threads = 1}), Error);
+  EXPECT_TRUE(run_campaigns({}, {.num_threads = 2}).results.empty());
+}
+
+}  // namespace
+}  // namespace stormtune::tuning

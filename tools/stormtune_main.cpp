@@ -5,6 +5,7 @@
 //   stormtune dot <topology>
 //   stormtune simulate <topology> [options]
 //   stormtune tune <topology> [options]
+//   stormtune tune-many --campaigns=FILE [options]
 //
 // Topologies: small | medium | large (the paper's synthetic benchmarks,
 // with --tiim / --contention modifiers), sundog, linear_road,
@@ -20,14 +21,34 @@
 //                   steady-state throughput estimate converges (relative
 //                   95% CI half-width < EPS, default 0.05) instead of
 //                   always simulating the full window
+// tune-many options: --campaigns=FILE  JSON array (or {"campaigns":[...]})
+//                   of campaign entries; each entry names a topology and
+//                   may override name/strategy/steps/reps/passes/what/
+//                   seed/duration/adaptive_window/adaptive_epsilon, with
+//                   the command-line flags supplying the defaults.
+//                   --threads=N sizes the work-stealing scheduler (the
+//                   per-campaign optimizers run single-threaded);
+//                   --jsonl=FILE streams finished campaigns through the
+//                   async result sink, one JSON line per campaign in
+//                   submission order. Per-campaign results are
+//                   bit-identical to a solo `stormtune tune`-style run
+//                   for any thread count and submission order (the
+//                   wall-clock suggest-seconds fields aside).
+//                   --adaptive-window composes: each campaign's
+//                   evaluations end early on convergence, and because the
+//                   stop rule is seeded and campaign-local, determinism
+//                   across thread counts still holds.
 // both:             --isa=portable|avx2|avx512|neon|auto  pin the runtime
 //                   kernel dispatch path (default: auto-detect; the
 //                   STORMTUNE_ISA environment variable is the same knob)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/isa.hpp"
@@ -37,8 +58,11 @@
 #include "topology/literature.hpp"
 #include "topology/sundog.hpp"
 #include "topology/synthetic.hpp"
+#include "common/json.hpp"
+#include "tuning/campaign_scheduler.hpp"
 #include "tuning/experiment.hpp"
 #include "tuning/report.hpp"
+#include "tuning/result_sink.hpp"
 
 namespace {
 
@@ -66,18 +90,26 @@ struct Options {
   std::size_t threads = 0;  // 0 = hardware concurrency; 1 = serial path
   bool adaptive_window = false;
   double adaptive_epsilon = 0.0;  // 0 = keep SimParams default
+  std::size_t passes = 2;         // tune-many: passes per campaign
+  std::string campaigns_path;     // tune-many: campaign list (JSON)
+  std::string jsonl_path;         // tune-many: result-sink output
 };
 
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: stormtune <list|info|dot|simulate|tune> [topology] [options]\n"
+      "usage: stormtune <list|info|dot|simulate|tune|tune-many> [topology] "
+      "[options]\n"
       "topologies: small medium large sundog linear_road dissemination\n"
       "            linear_road_compact debs13\n"
       "tune: --strategy=pla|ipla|bo|ibo|random --steps=N --reps=N --what=...\n"
       "      --seed=N --json=FILE --csv=FILE --threads=N\n"
       "      --adaptive-window[=EPS]  stop each simulation once throughput\n"
       "      converges (relative CI half-width < EPS, default 0.05)\n"
+      "tune-many: --campaigns=FILE --threads=N --passes=N --jsonl=FILE\n"
+      "      run every campaign in FILE over one work-stealing scheduler;\n"
+      "      per-campaign results are bit-identical to solo runs for any\n"
+      "      thread count (tune options above supply the defaults)\n"
       "both: --isa=portable|avx2|avx512|neon|auto  pin the kernel dispatch\n"
       "see the header of tools/stormtune_main.cpp for all options\n");
   std::exit(2);
@@ -112,6 +144,9 @@ Options parse(int argc, char** argv, int first) {
     else if (const char* v = value_of(a, "--json")) o.json_path = v;
     else if (const char* v = value_of(a, "--csv")) o.csv_path = v;
     else if (const char* v = value_of(a, "--threads")) o.threads = std::stoul(v);
+    else if (const char* v = value_of(a, "--passes")) o.passes = std::stoul(v);
+    else if (const char* v = value_of(a, "--campaigns")) o.campaigns_path = v;
+    else if (const char* v = value_of(a, "--jsonl")) o.jsonl_path = v;
     else if (const char* v = value_of(a, "--isa")) {
       isa::Path path;
       if (std::strcmp(v, "auto") == 0) {
@@ -268,33 +303,44 @@ int cmd_simulate(const Options& o) {
   return 0;
 }
 
-int cmd_tune(const Options& o) {
-  std::printf("isa path:     %s\n", isa::to_string(isa::selected()));
-  const Workload w = load_workload(o);
-  sim::TopologyConfig defaults = config_from_options(o, w);
-
+/// Tuner construction shared by `tune` and `tune-many`. `bo_threads` sizes
+/// the optimizer's internal pool (tune-many pins it to 1 — campaigns are
+/// the parallelism there, and a 1-thread pool owns no threads at all).
+std::unique_ptr<tuning::Tuner> build_tuner(const Options& o, const Workload& w,
+                                           const sim::TopologyConfig& defaults,
+                                           std::uint64_t seed,
+                                           std::size_t bo_threads) {
   tuning::SpaceOptions sopts;
   sopts.tune_hints = o.what.find('h') != std::string::npos;
   sopts.tune_batch = o.what.find("batch") != std::string::npos;
   sopts.tune_concurrency = o.what.find("cc") != std::string::npos;
   sopts.informed = o.strategy == "ibo";
 
-  std::unique_ptr<tuning::Tuner> tuner;
   if (o.strategy == "pla" || o.strategy == "ipla") {
-    tuner = std::make_unique<tuning::PlaTuner>(w.topology, defaults,
-                                               o.strategy == "ipla");
-  } else if (o.strategy == "random") {
-    tuner = std::make_unique<tuning::RandomTuner>(
-        tuning::ConfigSpace(w.topology, sopts, defaults), o.seed);
-  } else if (o.strategy == "bo" || o.strategy == "ibo") {
-    bo::BayesOptOptions bopts;
-    bopts.seed = o.seed;
-    tuner = std::make_unique<tuning::BayesTuner>(
-        tuning::ConfigSpace(w.topology, sopts, defaults), bopts, o.strategy);
-  } else {
-    std::fprintf(stderr, "unknown strategy '%s'\n", o.strategy.c_str());
-    usage();
+    return std::make_unique<tuning::PlaTuner>(w.topology, defaults,
+                                              o.strategy == "ipla");
   }
+  if (o.strategy == "random") {
+    return std::make_unique<tuning::RandomTuner>(
+        tuning::ConfigSpace(w.topology, sopts, defaults), seed);
+  }
+  if (o.strategy == "bo" || o.strategy == "ibo") {
+    bo::BayesOptOptions bopts;
+    bopts.seed = seed;
+    bopts.num_threads = bo_threads;
+    return std::make_unique<tuning::BayesTuner>(
+        tuning::ConfigSpace(w.topology, sopts, defaults), bopts, o.strategy);
+  }
+  std::fprintf(stderr, "unknown strategy '%s'\n", o.strategy.c_str());
+  usage();
+}
+
+int cmd_tune(const Options& o) {
+  std::printf("isa path:     %s\n", isa::to_string(isa::selected()));
+  const Workload w = load_workload(o);
+  sim::TopologyConfig defaults = config_from_options(o, w);
+  std::unique_ptr<tuning::Tuner> tuner =
+      build_tuner(o, w, defaults, o.seed, /*bo_threads=*/0);
 
   tuning::SimObjective objective(w.topology, w.cluster, w.params, o.seed);
   tuning::ExperimentOptions protocol;
@@ -339,6 +385,135 @@ int cmd_tune(const Options& o) {
   return 0;
 }
 
+/// One campaign's resolved options: the command-line Options as defaults,
+/// overridden by the entry's JSON fields.
+Options campaign_options(const Options& base, const Json& entry) {
+  Options o = base;
+  o.topology = entry.at("topology").as_string();
+  if (entry.contains("strategy")) o.strategy = entry.at("strategy").as_string();
+  if (entry.contains("what")) o.what = entry.at("what").as_string();
+  if (entry.contains("steps")) {
+    o.steps = static_cast<std::size_t>(entry.at("steps").as_int());
+  }
+  if (entry.contains("reps")) {
+    o.reps = static_cast<std::size_t>(entry.at("reps").as_int());
+  }
+  if (entry.contains("passes")) {
+    o.passes = static_cast<std::size_t>(entry.at("passes").as_int());
+  }
+  if (entry.contains("seed")) {
+    o.seed = static_cast<std::uint64_t>(entry.at("seed").as_number());
+  }
+  if (entry.contains("duration")) o.duration_s = entry.at("duration").as_number();
+  if (entry.contains("tiim")) o.tiim = entry.at("tiim").as_bool();
+  if (entry.contains("contention")) {
+    o.contention = entry.at("contention").as_number();
+  }
+  if (entry.contains("adaptive_window")) {
+    o.adaptive_window = entry.at("adaptive_window").as_bool();
+  }
+  if (entry.contains("adaptive_epsilon")) {
+    o.adaptive_window = true;
+    o.adaptive_epsilon = entry.at("adaptive_epsilon").as_number();
+  }
+  return o;
+}
+
+int cmd_tune_many(const Options& cli) {
+  std::printf("isa path:     %s\n", isa::to_string(isa::selected()));
+  if (cli.campaigns_path.empty()) {
+    std::fprintf(stderr, "tune-many needs --campaigns=FILE\n");
+    usage();
+  }
+  std::ifstream in(cli.campaigns_path);
+  STORMTUNE_REQUIRE(in.good(), "tune-many: cannot open '" +
+                                   cli.campaigns_path + "'");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Json doc = Json::parse(text);
+  const JsonArray& entries =
+      doc.is_object() ? doc.at("campaigns").as_array() : doc.as_array();
+  STORMTUNE_REQUIRE(!entries.empty(), "tune-many: no campaigns in file");
+
+  // The per-campaign context outlives the factories that capture it; each
+  // campaign owns its workload copy, so factories of different campaigns
+  // never share mutable state.
+  struct Context {
+    Options opts;
+    Workload workload;
+    sim::TopologyConfig defaults;
+  };
+  std::vector<tuning::CampaignSpec> specs;
+  specs.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    auto ctx = std::make_shared<Context>();
+    ctx->opts = campaign_options(cli, entries[i]);
+    ctx->workload = load_workload(ctx->opts);
+    ctx->defaults = config_from_options(ctx->opts, ctx->workload);
+
+    tuning::CampaignSpec spec;
+    spec.name = entries[i].contains("name")
+                    ? entries[i].at("name").as_string()
+                    : ctx->opts.topology + "#" + std::to_string(i);
+    spec.passes = ctx->opts.passes;
+    spec.options.max_steps = ctx->opts.steps;
+    spec.options.best_config_reps = ctx->opts.reps;
+    // Per-pass seeds follow the bench harness convention: distinct tuner
+    // streams per pass, objective streams derived with the golden-ratio
+    // multiplier so passes are independent.
+    spec.make_tuner = [ctx](std::size_t pass) {
+      return build_tuner(ctx->opts, ctx->workload, ctx->defaults,
+                         ctx->opts.seed * 7919 + pass, /*bo_threads=*/1);
+    };
+    spec.make_objective =
+        [ctx](std::size_t pass) -> std::unique_ptr<tuning::Objective> {
+      return std::make_unique<tuning::SimObjective>(
+          ctx->workload.topology, ctx->workload.cluster, ctx->workload.params,
+          ctx->opts.seed + 0x632be59bd9b4e019ULL * pass);
+    };
+    specs.push_back(std::move(spec));
+  }
+
+  tuning::CampaignSchedulerOptions sched;
+  sched.num_threads = cli.threads;
+  const std::size_t threads = sched.num_threads > 0
+                                  ? sched.num_threads
+                                  : ThreadPool::default_thread_count();
+  std::printf("scheduling %zu campaigns over %zu thread%s...\n", specs.size(),
+              threads, threads == 1 ? "" : "s");
+
+  std::ofstream jsonl_out;
+  std::unique_ptr<tuning::ResultSink> sink;
+  if (!cli.jsonl_path.empty()) {
+    jsonl_out.open(cli.jsonl_path);
+    STORMTUNE_REQUIRE(jsonl_out.good(), "tune-many: cannot write '" +
+                                            cli.jsonl_path + "'");
+    tuning::ResultSinkOptions sopts;
+    sopts.expected_records = specs.size();
+    sink = std::make_unique<tuning::ResultSink>(
+        std::make_unique<tuning::JsonlResultBackend>(jsonl_out), sopts);
+  }
+
+  const tuning::MultiCampaignResult out =
+      tuning::run_campaigns(specs, sched, sink.get());
+  if (sink) sink->close();
+
+  std::printf("%-24s %10s %9s %s\n", "campaign", "best", "found", "config");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const tuning::ExperimentResult& r = out.results[i];
+    std::printf("%-24s %10.1f %4zu/%-4zu %s\n", specs[i].name.c_str(),
+                r.best_rep_stats.n > 0 ? r.best_rep_stats.mean
+                                       : r.best_throughput,
+                r.best_step, r.trace.size(), r.best_config.describe().c_str());
+  }
+  std::printf("steals:       %llu\n",
+              static_cast<unsigned long long>(out.steal_count));
+  if (!cli.jsonl_path.empty()) {
+    std::printf("wrote %s\n", cli.jsonl_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -347,6 +522,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "list") return cmd_list();
     const Options o = parse(argc, argv, 2);
+    if (cmd == "tune-many") return cmd_tune_many(o);
     if (o.topology.empty()) usage();
     if (cmd == "info") return cmd_info(o);
     if (cmd == "dot") return cmd_dot(o);
