@@ -18,11 +18,14 @@
 #include "common/thread_pool.hpp"
 #include "gp/gp_regressor.hpp"
 #include "stormsim/engine.hpp"
+#include "stormsim/fluid.hpp"
 #include "topology/sundog.hpp"
 #include "topology/synthetic.hpp"
 #include "tuning/campaign_scheduler.hpp"
 #include "tuning/experiment.hpp"
+#include "tuning/fidelity.hpp"
 #include "tuning/objective.hpp"
+#include "tuning/tuner.hpp"
 
 namespace {
 
@@ -419,6 +422,78 @@ void BM_MultiCampaign(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiCampaign)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
+void BM_FluidEstimate(benchmark::State& state) {
+  // The rung-0 screen of the fidelity ladder: one closed-form fluid bound
+  // through a persistent workspace (allocation-free after warm-up), over
+  // the three synthetic topology sizes.
+  topo::SyntheticSpec spec;
+  spec.size = size_for_vertices(state.range(0));
+  const sim::Topology topology = topo::build_synthetic(spec);
+  const sim::SimParams params = topo::synthetic_sim_params();
+  const sim::ClusterSpec cluster = topo::paper_cluster();
+  sim::TopologyConfig config = sim::uniform_hint_config(topology, 4);
+  config.batch_size = 50;
+  sim::FluidWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::fluid_estimate(topology, config, cluster, params, ws)
+            .throughput_tuples_per_s);
+  }
+}
+BENCHMARK(BM_FluidEstimate)->Arg(10)->Arg(50)->Arg(100);
+
+/// The fidelity-comparison workload: `steps` Bayesian-optimization
+/// iterations on the medium paper topology with the paper's full 120 s
+/// measurement windows, fixed GP hyperparameters, and a single best-config
+/// repetition — the regime where evaluation cost dominates (as on a real
+/// cluster, where one measurement takes minutes) and the ladder's
+/// shortened rung-1 windows pay off. Campaign length matters: the first
+/// escalations (building an incumbent) are paid up front, so the ladder's
+/// advantage grows with step count — 64 steps matches the paper's
+/// 60-100-iteration Spearmint protocol.
+/// `ladder` switches the evaluation side between a plain full-fidelity
+/// objective and the multi-fidelity ladder.
+double run_fidelity_workload(const sim::Topology& topology, bool ladder,
+                             std::size_t steps) {
+  const sim::SimParams params = topo::synthetic_sim_params();
+  sim::TopologyConfig defaults = sim::uniform_hint_config(topology, 4);
+  defaults.batch_size = 50;
+  tuning::SpaceOptions sopts;
+  sopts.hint_max = 8;
+  bo::BayesOptOptions bopts;
+  bopts.seed = 5;
+  bopts.num_threads = 1;
+  bopts.hyper_mode = bo::HyperMode::kFixed;
+  tuning::ExperimentOptions eopts;
+  eopts.max_steps = steps;
+  eopts.best_config_reps = 1;
+  if (ladder) {
+    auto l = std::make_shared<tuning::FidelityLadder>(
+        topology, topo::paper_cluster(), params, 7);
+    tuning::LadderTuner tuner(tuning::ConfigSpace(topology, sopts, defaults),
+                              bopts, l);
+    return tuning::run_experiment(tuner, *l, eopts).best_throughput;
+  }
+  tuning::BayesTuner tuner(tuning::ConfigSpace(topology, sopts, defaults),
+                           bopts, "bo");
+  tuning::SimObjective objective(topology, topo::paper_cluster(), params, 7);
+  return tuning::run_experiment(tuner, objective, eopts).best_throughput;
+}
+
+void BM_FidelityLadder(benchmark::State& state) {
+  // range(0): 0 = full-fidelity baseline, 1 = multi-fidelity ladder. The
+  // evals/s acceptance target (ladder >= 5x full) compares these two rows;
+  // the BENCH_campaign.json fidelity section records the same pair.
+  const bool ladder = state.range(0) == 1;
+  topo::SyntheticSpec spec;
+  spec.size = topo::TopologySize::kMedium;
+  const sim::Topology topology = topo::build_synthetic(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_fidelity_workload(topology, ladder, 64));
+  }
+}
+BENCHMARK(BM_FidelityLadder)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_BayesOptSuggest(benchmark::State& state) {
   // Figure 7's unit of work: one suggestion given `range(0)`-many
   // observations in a 51-dimensional space (the medium topology).
@@ -676,6 +751,31 @@ void write_campaign_record(const std::string& path) {
       });
       Json m = meta(threads, 8);
       m.as_object()["steals"] = steals;
+      workload_meta[key] = std::move(m);
+    }
+    // Multi-fidelity ladder against the full-fidelity baseline: the same
+    // 64-step BO campaign (medium topology, the paper's full 120 s
+    // windows, fixed hyperparameters) evaluated through a plain
+    // SimObjective versus the fluid-screen -> adaptive-rung-1 -> full-DES
+    // ladder. The evals-per-second acceptance target (ladder >= 5x full)
+    // is the ratio of these two rows; the fidelity tag in workload_meta
+    // keeps baseline tooling from comparing them against each other by
+    // accident.
+    topo::SyntheticSpec medium_spec;
+    medium_spec.size = topo::TopologySize::kMedium;
+    const sim::Topology medium = topo::build_synthetic(medium_spec);
+    for (const bool ladder : {false, true}) {
+      const std::string key =
+          ladder ? "bo_campaign/ladder" : "bo_campaign/full";
+      workloads[key] = median3_us_per_op(1, [&](std::size_t iters) {
+        for (std::size_t i = 0; i < iters; ++i) {
+          benchmark::DoNotOptimize(
+              run_fidelity_workload(medium, ladder, 64));
+        }
+      });
+      Json m = meta(1, 1);
+      m.as_object()["fidelity"] = ladder ? "ladder" : "full";
+      m.as_object()["bo_steps"] = 64;
       workload_meta[key] = std::move(m);
     }
   }

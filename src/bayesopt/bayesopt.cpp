@@ -59,6 +59,11 @@ Json BayesOptOptions::to_json() const {
   o["xi"] = xi;
   o["ucb_beta"] = ucb_beta;
   o["fixed_noise_variance"] = fixed_noise_variance;
+  if (!rung_noise_variance.empty()) {
+    JsonArray rn;
+    for (double v : rung_noise_variance) rn.emplace_back(v);
+    o["rung_noise_variance"] = Json(std::move(rn));
+  }
   o["seed"] = static_cast<double>(seed);
   o["num_threads"] = num_threads;
   return Json(std::move(o));
@@ -84,6 +89,12 @@ BayesOptOptions BayesOptOptions::from_json(const Json& j) {
   o.num_threads = j.contains("num_threads")
                       ? static_cast<std::size_t>(j.at("num_threads").as_int())
                       : 0;
+  // Absent in states saved before the multi-fidelity ladder existed.
+  if (j.contains("rung_noise_variance")) {
+    for (const auto& v : j.at("rung_noise_variance").as_array()) {
+      o.rung_noise_variance.push_back(v.as_number());
+    }
+  }
   return o;
 }
 
@@ -113,6 +124,12 @@ struct BayesOpt::Surrogate {
   double y_mean = 0.0;
   double y_scale = 1.0;
   double best_standardized = 0.0;
+  // Cost-aware acquisition (BayesOpt::set_acquisition_costs); cost1 <= 0 =
+  // plain acquisition. threshold_standardized is the rung-2 promotion
+  // threshold in standardized-target units.
+  double cost1_ms = 0.0;
+  double cost2_ms = 0.0;
+  double threshold_standardized = 0.0;
 
   /// All GPs are refits of one regressor on the same X, differing only in
   /// hyperparameters, so for non-ARD kernels a candidate's unscaled squared
@@ -133,7 +150,26 @@ struct BayesOpt::Surrogate {
     Matrix v;                         // n × candidates fused-solve workspace
     std::vector<double> means, vars;  // contiguous per-candidate moments
     std::vector<gp::Prediction> preds;  // ARD fallback path only
+    // Across-GP moment sums for the cost divisor (cost-aware scoring only).
+    std::vector<double> mean_acc, var_acc;
   };
+
+  /// Divide the averaged acquisition values by each candidate's expected
+  /// evaluation cost c1 + Φ((μ−t)/σ)·c2 (expected improvement per simulated
+  /// second). ws.mean_acc / ws.var_acc hold across-GP sums on entry. Pure
+  /// per-candidate arithmetic — no shared state, no RNG.
+  void apply_cost_divisor(ScoreScratch& ws, std::span<double> out) const {
+    const double inv = 1.0 / static_cast<double>(gps.size());
+    for (std::size_t r = 0; r < out.size(); ++r) {
+      const double mu = ws.mean_acc[r] * inv;
+      const double sd = std::sqrt(ws.var_acc[r] * inv);
+      const double promote =
+          sd > 0.0 ? normal_cdf((mu - threshold_standardized) / sd)
+                   : (mu > threshold_standardized ? 1.0 : 0.0);
+      const double cost_s = (cost1_ms + promote * cost2_ms) * 1e-3;
+      out[r] /= cost_s;
+    }
+  }
 
   /// Average the acquisition over the GPs given the candidates' shared
   /// unscaled squared-distance block (one row per candidate). Each GP scores
@@ -148,13 +184,25 @@ struct BayesOpt::Surrogate {
     const std::size_t m = d2.rows();
     ws.means.resize(m);
     ws.vars.resize(m);
+    const bool costed = cost1_ms > 0.0;
+    if (costed) {
+      ws.mean_acc.assign(m, 0.0);
+      ws.var_acc.assign(m, 0.0);
+    }
     for (const auto& g : gps) {
       g.predict_mv_from_sq_dist_rows(d2, ws.v, ws.means, ws.vars);
       acquisition_accumulate(opts.acquisition, ws.means, ws.vars,
                              best_standardized, opts.xi, opts.ucb_beta, out);
+      if (costed) {
+        for (std::size_t r = 0; r < m; ++r) {
+          ws.mean_acc[r] += ws.means[r];
+          ws.var_acc[r] += ws.vars[r];
+        }
+      }
     }
     const double inv = 1.0 / static_cast<double>(gps.size());
     for (auto& v : out) v *= inv;
+    if (costed) apply_cost_divisor(ws, out);
   }
 
   /// Acquisition averaged over the hyperparameter samples for rows
@@ -175,6 +223,11 @@ struct BayesOpt::Surrogate {
     // prediction; the batch acquisition accumulation still hoists the kind
     // dispatch out of the candidate loop.
     std::fill(out.begin(), out.end(), 0.0);
+    const bool costed = cost1_ms > 0.0;
+    if (costed) {
+      ws.mean_acc.assign(hi - lo, 0.0);
+      ws.var_acc.assign(hi - lo, 0.0);
+    }
     for (const auto& g : gps) {
       g.predict_rows(cands, lo, hi, ws.preds);
       const std::size_t m = ws.preds.size();
@@ -186,9 +239,16 @@ struct BayesOpt::Surrogate {
       }
       acquisition_accumulate(opts.acquisition, ws.means, ws.vars,
                              best_standardized, opts.xi, opts.ucb_beta, out);
+      if (costed) {
+        for (std::size_t i = 0; i < m; ++i) {
+          ws.mean_acc[i] += ws.means[i];
+          ws.var_acc[i] += ws.vars[i];
+        }
+      }
     }
     const double inv = 1.0 / static_cast<double>(gps.size());
     for (auto& v : out) v *= inv;
+    if (costed) apply_cost_divisor(ws, out);
   }
 
   /// Variant for the local-search neighborhood, where row r of `nb` equals
@@ -256,6 +316,23 @@ BayesOpt::Surrogate BayesOpt::fit_surrogate() {
     y[i] = (observations_[i].y - s.y_mean) / s.y_scale;
   }
   s.best_standardized = *std::max_element(y.begin(), y.end());
+  s.cost1_ms = acq_cost1_ms_;
+  s.cost2_ms = acq_cost2_ms_;
+  s.threshold_standardized = (acq_threshold_y_ - s.y_mean) / s.y_scale;
+
+  // Per-observation noise variances from the fidelity tags. The diagonal is
+  // only engaged when the effective rung variances actually differ — a
+  // history whose rungs all share one variance takes the homoscedastic
+  // scalar path, bit-identical to pre-ladder fits.
+  std::vector<double> noises(n);
+  bool het = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    noises[i] = rung_noise(observations_[i].rung);
+    het = het || noises[i] != noises[0];
+  }
+  STORMTUNE_REQUIRE(!het || options_.hyper_mode == HyperMode::kFixed,
+                    "BayesOpt: per-rung noise variances require "
+                    "hyper_mode == fixed (slice/MLE infer a scalar noise)");
 
   gp::Kernel kernel(options_.kernel, d, options_.ard);
   // Reasonable starting lengthscale for a unit cube.
@@ -272,9 +349,14 @@ BayesOpt::Surrogate BayesOpt::fit_surrogate() {
       // append path on every iteration.
       if (fixed_gp_ && fixed_gp_->fitted() &&
           fixed_gp_->num_observations() + 1 == n) {
-        fixed_gp_->append_observation(x.row(n - 1), y);
+        if (het || !fixed_gp_->noise_diag().empty()) {
+          fixed_gp_->append_observation(x.row(n - 1), y, noises[n - 1]);
+        } else {
+          fixed_gp_->append_observation(x.row(n - 1), y);
+        }
       } else if (!(fixed_gp_ && fixed_gp_->fitted() &&
                    fixed_gp_->num_observations() == n)) {
+        if (het) gp.set_noise_diag(noises);
         gp.fit(x, y);
         fixed_gp_ = std::move(gp);
       } else {
@@ -480,7 +562,14 @@ std::vector<ParamValues> BayesOpt::suggest_batch(std::size_t q) {
 }
 
 void BayesOpt::observe(ParamValues x, double y) {
+  observe(std::move(x), y, 2);
+}
+
+void BayesOpt::observe(ParamValues x, double y, int rung) {
   STORMTUNE_REQUIRE(std::isfinite(y), "BayesOpt::observe: non-finite target");
+  STORMTUNE_REQUIRE(rung == 1 || rung == 2,
+                    "BayesOpt::observe: rung must be 1 (adaptive DES) or 2 "
+                    "(full DES); rung-0 fluid screens stay out of the GP");
   x = space_.canonicalize(std::move(x));
   unit_x_.push_back(space_.to_unit(x));
   // Strict > keeps the earliest of equal maxima, matching the previous
@@ -488,7 +577,29 @@ void BayesOpt::observe(ParamValues x, double y) {
   if (observations_.empty() || y > observations_[best_index_].y) {
     best_index_ = observations_.size();
   }
-  observations_.push_back(Observation{std::move(x), y});
+  observations_.push_back(Observation{std::move(x), y, rung});
+}
+
+void BayesOpt::set_acquisition_costs(double cost_rung1_ms, double cost_rung2_ms,
+                                     double threshold_y) {
+  STORMTUNE_REQUIRE(
+      cost_rung1_ms <= 0.0 ||
+          (std::isfinite(cost_rung1_ms) && std::isfinite(cost_rung2_ms) &&
+           cost_rung2_ms >= 0.0 && std::isfinite(threshold_y)),
+      "BayesOpt::set_acquisition_costs: non-finite or negative costs");
+  acq_cost1_ms_ = cost_rung1_ms;
+  acq_cost2_ms_ = cost_rung2_ms;
+  acq_threshold_y_ = threshold_y;
+}
+
+double BayesOpt::rung_noise(int rung) const {
+  if (rung >= 0 &&
+      static_cast<std::size_t>(rung) < options_.rung_noise_variance.size()) {
+    const double v =
+        options_.rung_noise_variance[static_cast<std::size_t>(rung)];
+    if (v > 0.0) return v;
+  }
+  return options_.fixed_noise_variance;
 }
 
 BayesOpt::BestResult BayesOpt::best() const {
@@ -508,6 +619,7 @@ Json BayesOpt::save_state() const {
     for (double v : ob.x) xs.emplace_back(v);
     e["x"] = Json(std::move(xs));
     e["y"] = ob.y;
+    if (ob.rung != 2) e["rung"] = ob.rung;
     obs.emplace_back(std::move(e));
   }
   o["observations"] = Json(std::move(obs));
@@ -521,7 +633,11 @@ BayesOpt BayesOpt::load_state(const Json& j) {
   for (const auto& e : j.at("observations").as_array()) {
     ParamValues x;
     for (const auto& v : e.at("x").as_array()) x.push_back(v.as_number());
-    opt.observe(std::move(x), e.at("y").as_number());
+    // Rung tag absent in states saved before the multi-fidelity ladder
+    // existed (and omitted for the default full-fidelity rung 2).
+    const int rung =
+        e.contains("rung") ? static_cast<int>(e.at("rung").as_int()) : 2;
+    opt.observe(std::move(x), e.at("y").as_number(), rung);
   }
   return opt;
 }

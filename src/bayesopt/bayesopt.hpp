@@ -49,6 +49,15 @@ struct BayesOptOptions {
   double xi = 0.0;        ///< EI/PI exploration offset (standardized units)
   double ucb_beta = 2.0;
   double fixed_noise_variance = 1e-3;  ///< in standardized-target units
+  /// Per-fidelity observation-noise variances for mixed-rung histories
+  /// (standardized-target units, indexed by Observation::rung). Entries that
+  /// are 0 (and rungs beyond the array) inherit fixed_noise_variance. When
+  /// every effective value is equal the fit takes the homoscedastic scalar
+  /// path, bit-identical to pre-ladder behaviour; otherwise the GP carries a
+  /// per-observation noise diagonal. Heteroscedastic fits require
+  /// hyper_mode == kFixed — slice/MLE infer a scalar noise as part of theta,
+  /// which would silently fight the diagonal.
+  std::vector<double> rung_noise_variance;
   std::uint64_t seed = 42;
   /// Threads for candidate scoring and per-sample GP refits; 0 = auto
   /// (ThreadPool::default_thread_count()). suggest() output is
@@ -64,6 +73,12 @@ struct BayesOptOptions {
 struct Observation {
   ParamValues x;
   double y = 0.0;
+  /// Fidelity rung of the measurement (multi-fidelity ladder): 1 = adaptive
+  /// -window DES, 2 = full fixed-window DES. Plain single-fidelity campaigns
+  /// leave the default 2. Rung 0 (fluid screen) values never enter the
+  /// optimizer — they are upper bounds on a different scale and would poison
+  /// target standardization.
+  int rung = 2;
 };
 
 class BayesOpt {
@@ -85,6 +100,28 @@ class BayesOpt {
 
   /// Record the outcome of evaluating `x` (higher y is better).
   void observe(ParamValues x, double y);
+
+  /// Record a fidelity-tagged outcome: `rung` selects the observation's
+  /// noise variance through options().rung_noise_variance. The two-argument
+  /// overload records rung 2 (full fidelity).
+  void observe(ParamValues x, double y, int rung);
+
+  /// Cost-aware acquisition (expected improvement per simulated second):
+  /// when enabled, every candidate's averaged acquisition value is divided
+  /// by its expected evaluation cost c1 + Φ((μ−t)/σ)·c2, where c1/c2 are the
+  /// measured mean costs of a rung-1 / rung-2 evaluation in simulated ms, t
+  /// is the rung-2 promotion threshold in raw target units (the ladder's
+  /// challenge_fraction × incumbent) and Φ((μ−t)/σ) is the GP's probability
+  /// that the candidate is promoted to a full run. Pure per-candidate
+  /// arithmetic — determinism and thread-count invariance are unaffected.
+  /// `cost_rung1_ms <= 0` disables the division (the default). Runtime
+  /// state: not serialized by save_state (costs are re-measured on resume).
+  void set_acquisition_costs(double cost_rung1_ms, double cost_rung2_ms,
+                             double threshold_y);
+
+  /// Effective observation-noise variance for a rung (see
+  /// BayesOptOptions::rung_noise_variance).
+  double rung_noise(int rung) const;
 
   std::size_t num_observations() const { return observations_.size(); }
   const std::vector<Observation>& observations() const {
@@ -113,6 +150,10 @@ class BayesOpt {
   BayesOptOptions options_;
   Rng rng_;
   std::vector<Observation> observations_;
+  // Cost-aware acquisition state (set_acquisition_costs); cost1 <= 0 = off.
+  double acq_cost1_ms_ = 0.0;
+  double acq_cost2_ms_ = 0.0;
+  double acq_threshold_y_ = 0.0;
   std::vector<std::vector<double>> unit_x_;  // cached unit-space inputs
   std::size_t best_index_ = 0;               // incumbent, kept by observe()
   /// Lazily constructed on the first suggest() that needs it, so that the

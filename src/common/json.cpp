@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -21,6 +22,9 @@ double Json::as_number() const {
 
 std::int64_t Json::as_int() const {
   const double d = as_number();
+  // Magnitude guard before llround: llround outside long long's range is
+  // undefined behavior.
+  STORMTUNE_REQUIRE(std::abs(d) < 9.2e18, "Json: number is not integral");
   const double r = static_cast<double>(std::llround(d));
   STORMTUNE_REQUIRE(std::abs(d - r) < 1e-9, "Json: number is not integral");
   return static_cast<std::int64_t>(r);
@@ -105,17 +109,26 @@ void escape_to(std::string& out, const std::string& s) {
 }
 
 void number_to(std::string& out, double d) {
-  STORMTUNE_REQUIRE(std::isfinite(d), "Json: cannot serialize non-finite");
-  if (d == static_cast<double>(std::llround(d)) && std::abs(d) < 1e15) {
-    out += std::to_string(std::llround(d));
-    return;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", d);
-  out += buf;
+  out += Json::number_to_string(d);
 }
 
 }  // namespace
+
+std::string Json::number_to_string(double d) {
+  STORMTUNE_REQUIRE(std::isfinite(d), "Json: cannot serialize non-finite");
+  // Negative zero must keep its sign bit through a round trip; the integer
+  // fast path below would collapse it to "0".
+  if (d == 0.0 && std::signbit(d)) return "-0";
+  // Range check BEFORE llround: llround of a value outside long long's
+  // range is undefined behavior, so the magnitude guard must short-circuit
+  // first. 1e15 < 2^53, so every integer that passes is exact in double.
+  if (std::abs(d) < 1e15 && d == static_cast<double>(std::llround(d))) {
+    return std::to_string(std::llround(d));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
 
 std::string Json::dump(int indent) const {
   std::string out;
@@ -348,15 +361,16 @@ class Parser {
     }
     STORMTUNE_REQUIRE(pos_ > start, "Json: invalid number");
     const std::string tok = text_.substr(start, pos_ - start);
-    std::size_t consumed = 0;
-    double d = 0.0;
-    try {
-      d = std::stod(tok, &consumed);
-    } catch (const std::exception&) {
-      STORMTUNE_REQUIRE(false, "Json: invalid number '" + tok + "'");
-    }
-    STORMTUNE_REQUIRE(consumed == tok.size(),
+    // strtod instead of stod: stod throws out_of_range on ERANGE, which
+    // glibc also reports for subnormal results — but denormals are valid
+    // doubles and must round-trip (Json::number_to_string emits them).
+    // Only genuine overflow (a non-finite result) is rejected.
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    STORMTUNE_REQUIRE(end == tok.c_str() + tok.size() && !tok.empty(),
                       "Json: invalid number '" + tok + "'");
+    STORMTUNE_REQUIRE(std::isfinite(d),
+                      "Json: number out of range '" + tok + "'");
     return Json(d);
   }
 

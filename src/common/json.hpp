@@ -67,6 +67,13 @@ class Json {
   /// Serialize. `indent` > 0 pretty-prints with that many spaces per level.
   std::string dump(int indent = 0) const;
 
+  /// The canonical number rendering dump() uses: integers in [-2^53, 2^53)
+  /// print without a decimal point, everything else as %.17g — enough
+  /// digits that parse(number_to_string(d)) round-trips every finite
+  /// double bit-exactly. All benchmark JSON (BENCH_*.json) numeric output
+  /// goes through this one formatter. Throws on non-finite input.
+  static std::string number_to_string(double d);
+
   /// Parse a complete JSON document; throws stormtune::Error on any
   /// syntax error or trailing garbage.
   static Json parse(const std::string& text);

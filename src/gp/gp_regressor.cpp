@@ -171,7 +171,7 @@ void GpRegressor::ensure_cholesky() {
   const auto ls = kernel_.lengthscales();
   if (chol_valid_ && chol_.has_value() &&
       chol_amp_ == kernel_.amplitude() && chol_noise_ == noise_variance_ &&
-      chol_ls_.size() == ls.size() &&
+      chol_noise_diag_ == noise_diag_ && chol_ls_.size() == ls.size() &&
       std::equal(chol_ls_.begin(), chol_ls_.end(), ls.begin())) {
     return;
   }
@@ -180,15 +180,25 @@ void GpRegressor::ensure_cholesky() {
   // The factor is built straight from the cached correlation matrix:
   // Cholesky scales and shifts the diagonal during its own copy, so the
   // refit loop never materializes a²·C + σ_n²·I, and refactor() reuses the
-  // factor's buffers — a warm refit performs no allocation at all.
+  // factor's buffers — a warm refit performs no allocation at all. With a
+  // noise diagonal set, the scalar noise moves into the per-row shift and
+  // diag_add carries only the accumulated jitter.
   constexpr double kMaxJitter = 1e-2;
   double jitter = 1e-10;
   applied_jitter_ = 0.0;
-  double diag_add = noise_variance_;
+  const bool het = !noise_diag_.empty();
+  double diag_add = het ? 0.0 : noise_variance_;
   while (true) {
     try {
       if (chol_.has_value()) {
-        chol_->refactor(corr_, a2, diag_add);
+        if (het) {
+          chol_->refactor(corr_, a2, diag_add, noise_diag_);
+        } else {
+          chol_->refactor(corr_, a2, diag_add);
+        }
+      } else if (het) {
+        chol_.emplace(corr_, a2, diag_add,
+                      std::span<const double>(noise_diag_));
       } else {
         chol_.emplace(corr_, a2, diag_add);
       }
@@ -207,6 +217,7 @@ void GpRegressor::ensure_cholesky() {
   }
   chol_amp_ = kernel_.amplitude();
   chol_noise_ = noise_variance_;
+  chol_noise_diag_ = noise_diag_;
   chol_ls_.assign(ls.begin(), ls.end());
   chol_valid_ = true;
 }
@@ -216,6 +227,8 @@ void GpRegressor::fit(const Matrix& x, const Vector& y) {
   STORMTUNE_REQUIRE(x.rows() > 0, "GpRegressor::fit: no observations");
   STORMTUNE_REQUIRE(x.cols() == kernel_.input_dim(),
                     "GpRegressor::fit: dimension mismatch with kernel");
+  STORMTUNE_REQUIRE(noise_diag_.empty() || noise_diag_.size() == x.rows(),
+                    "GpRegressor::fit: noise diagonal size mismatch");
   fit_current_ = false;
   if (!x_matches(x)) {
     x_ = x;
@@ -234,6 +247,30 @@ void GpRegressor::fit(const Matrix& x, const Vector& y) {
 
 void GpRegressor::append_observation(std::span<const double> x_new,
                                      const Vector& y_all) {
+  STORMTUNE_REQUIRE(noise_diag_.empty(),
+                    "GpRegressor::append_observation: a noise diagonal is "
+                    "set; use the noise_new overload");
+  append_impl(x_new, y_all, noise_variance_);
+}
+
+void GpRegressor::append_observation(std::span<const double> x_new,
+                                     const Vector& y_all, double noise_new) {
+  STORMTUNE_REQUIRE(noise_new >= 0.0,
+                    "GpRegressor::append_observation: noise must be >= 0");
+  // A homoscedastic fit transitions to a per-observation diagonal here:
+  // existing rows keep the scalar variance, the new row carries its own.
+  // The existing factor stays valid — its rows depend only on the old
+  // diagonal entries, which are unchanged.
+  if (noise_diag_.empty()) noise_diag_.assign(x_.rows(), noise_variance_);
+  STORMTUNE_REQUIRE(noise_diag_.size() == x_.rows(),
+                    "GpRegressor::append_observation: noise diagonal out of "
+                    "sync with observations");
+  noise_diag_.push_back(noise_new);
+  append_impl(x_new, y_all, noise_new);
+}
+
+void GpRegressor::append_impl(std::span<const double> x_new,
+                              const Vector& y_all, double noise_new) {
   STORMTUNE_REQUIRE(fitted(),
                     "GpRegressor::append_observation: call fit() first");
   const std::size_t n = x_.rows();
@@ -290,9 +327,12 @@ void GpRegressor::append_observation(std::span<const double> x_new,
   const double a2 = kernel_.variance();
   Vector k_col(n);
   for (std::size_t i = 0; i < n; ++i) k_col[i] = a2 * corr_(i, n);
-  const double diag = a2 + noise_variance_ + applied_jitter_;
+  const double diag = a2 + noise_new + applied_jitter_;
   try {
     chol_->append_row(k_col, diag);
+    // Keep the factor cache key in sync so a later ensure_cholesky with
+    // unchanged hyperparameters does not refactor the appended diagonal.
+    chol_noise_diag_ = noise_diag_;
   } catch (const Error&) {
     // The rank-grow extension is not numerically SPD (e.g. a near-duplicate
     // point with tiny noise); fall back to the jitter-escalating full
@@ -537,6 +577,14 @@ void GpRegressor::set_noise_variance(double nv) {
 
 void GpRegressor::set_mean_value(double m) {
   mean_value_ = m;
+  fit_current_ = false;
+}
+
+void GpRegressor::set_noise_diag(std::span<const double> nv) {
+  for (const double v : nv) {
+    STORMTUNE_REQUIRE(v >= 0.0, "GpRegressor: noise variance must be >= 0");
+  }
+  noise_diag_.assign(nv.begin(), nv.end());
   fit_current_ = false;
 }
 

@@ -53,7 +53,17 @@ class GpRegressor {
   /// refactorization — and extends the distance/correlation caches. Requires
   /// fitted() and unchanged hyperparameters; falls back to a full
   /// refactorization if the rank-grow update is not numerically SPD.
+  /// Requires a homoscedastic fit (no noise diagonal set) — heteroscedastic
+  /// appends must state the new row's noise via the overload below.
   void append_observation(std::span<const double> x_new, const Vector& y_all);
+
+  /// Heteroscedastic append: like append_observation, with `noise_new` the
+  /// new observation's noise variance. A homoscedastic fit transitions to a
+  /// per-observation diagonal here — existing rows keep the scalar variance,
+  /// the new row carries its own — so mixed-fidelity observers can start
+  /// from a single-rung initial design.
+  void append_observation(std::span<const double> x_new, const Vector& y_all,
+                          double noise_new);
 
   bool fitted() const { return chol_.has_value() && fit_current_; }
   std::size_t num_observations() const { return x_.rows(); }
@@ -108,12 +118,23 @@ class GpRegressor {
   const Kernel& kernel() const { return kernel_; }
   double noise_variance() const { return noise_variance_; }
   double mean_value() const { return mean_value_; }
+  /// Per-observation noise variances; empty when homoscedastic.
+  const std::vector<double>& noise_diag() const { return noise_diag_; }
 
   /// Mutators invalidate the current fit; call fit() again afterwards.
   /// Caches survive mutation and are reused where their keys still match.
   void set_kernel_hyperparams(std::span<const double> log_params);
   void set_noise_variance(double nv);
   void set_mean_value(double m);
+
+  /// Per-observation noise variances (heteroscedastic observations — e.g.
+  /// mixed-fidelity measurements where each rung carries its own σ_n²).
+  /// Must have one entry per row of the next fit()'s X; an empty span
+  /// restores the homoscedastic scalar. When every entry equals
+  /// noise_variance(), fits are bit-identical to the scalar path: the
+  /// Cholesky applies the same two-operand diagonal additions in the same
+  /// order (see Cholesky::refactor's heteroscedastic overload).
+  void set_noise_diag(std::span<const double> nv);
 
  private:
   /// Pairwise distance structure over X: for non-ARD kernels the unscaled
@@ -134,12 +155,15 @@ class GpRegressor {
       std::span<const double> x_new) const;
   void ensure_correlation();
   void ensure_cholesky();
+  void append_impl(std::span<const double> x_new, const Vector& y_all,
+                   double noise_new);
   std::vector<double> inverse_squared_lengthscales() const;
   void predict_chunk(const Matrix& kstar, std::span<Prediction> out) const;
 
   Kernel kernel_;
   double noise_variance_;
   double mean_value_;
+  std::vector<double> noise_diag_;  // empty = homoscedastic scalar path
 
   Matrix x_;
   Vector y_centered_;
@@ -155,6 +179,7 @@ class GpRegressor {
   bool corr_valid_ = false;
   double chol_amp_ = 0.0;        // hyperparameters chol_ was built with
   double chol_noise_ = -1.0;
+  std::vector<double> chol_noise_diag_;
   std::vector<double> chol_ls_;
   bool chol_valid_ = false;
   bool fit_current_ = false;     // alpha_ matches the current parameters

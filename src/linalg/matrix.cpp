@@ -87,6 +87,15 @@ Cholesky::Cholesky(const Matrix& a, double scale, double diag_add) {
   factor_from(a, scale, diag_add);
 }
 
+Cholesky::Cholesky(const Matrix& a, double scale, double diag_add,
+                   std::span<const double> diag_extra) {
+  STORMTUNE_REQUIRE(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  STORMTUNE_REQUIRE(diag_extra.size() == a.rows(),
+                    "Cholesky: diag_extra size mismatch");
+  reserve(a.rows());
+  factor_from(a, scale, diag_add, diag_extra.data());
+}
+
 void Cholesky::refactor(const Matrix& a, double scale, double diag_add) {
   STORMTUNE_REQUIRE(a.rows() == a.cols(), "Cholesky::refactor: must be square");
   if (a.rows() > cap_) {
@@ -102,7 +111,23 @@ void Cholesky::refactor(const Matrix& a, double scale, double diag_add) {
   factor_from(a, scale, diag_add);
 }
 
-void Cholesky::factor_from(const Matrix& a, double scale, double diag_add) {
+void Cholesky::refactor(const Matrix& a, double scale, double diag_add,
+                        std::span<const double> diag_extra) {
+  STORMTUNE_REQUIRE(a.rows() == a.cols(), "Cholesky::refactor: must be square");
+  STORMTUNE_REQUIRE(diag_extra.size() == a.rows(),
+                    "Cholesky::refactor: diag_extra size mismatch");
+  if (a.rows() > cap_) {
+    const std::size_t new_cap = std::max(a.rows(), 2 * cap_);
+    lf_.assign(new_cap * new_cap, 0.0);
+    ltf_.assign(new_cap * new_cap, 0.0);
+    cap_ = new_cap;
+    ++allocs_;
+  }
+  factor_from(a, scale, diag_add, diag_extra.data());
+}
+
+void Cholesky::factor_from(const Matrix& a, double scale, double diag_add,
+                           const double* diag_extra) {
   n_ = a.rows();
 #ifdef STORMTUNE_CHECKED
   // Entry conditions for a factorization attempt: every consumed input must
@@ -112,6 +137,12 @@ void Cholesky::factor_from(const Matrix& a, double scale, double diag_add) {
   // reports as stormtune::Error so the GP's jitter escalation can retry.
   STORMTUNE_INVARIANT(std::isfinite(scale) && std::isfinite(diag_add),
                       "Cholesky: non-finite scale or diagonal shift");
+  if (diag_extra != nullptr) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      STORMTUNE_INVARIANT(std::isfinite(diag_extra[i]),
+                          "Cholesky: non-finite per-row diagonal shift");
+    }
+  }
   for (std::size_t i = 0; i < n_; ++i) {
     const auto src = a.row(i);
     for (std::size_t j = 0; j <= i; ++j) {
@@ -124,7 +155,10 @@ void Cholesky::factor_from(const Matrix& a, double scale, double diag_add) {
     const auto src = a.row(i);
     double* dst = lf_.data() + i * cap_;
     for (std::size_t j = 0; j < i; ++j) dst[j] = scale * src[j];
-    dst[i] = scale * src[i] + diag_add;
+    // The per-row shift is summed before the diagonal add, so a constant
+    // diag_extra is bit-identical to folding it into diag_add.
+    dst[i] = diag_extra ? scale * src[i] + (diag_add + diag_extra[i])
+                        : scale * src[i] + diag_add;
   }
   factor_in_place();
 }

@@ -92,12 +92,26 @@ class Cholesky {
   /// the cached correlation matrix C.
   Cholesky(const Matrix& a, double scale, double diag_add);
 
+  /// Heteroscedastic construction: factor scale·A + diag(diag_add +
+  /// diag_extra), as the refactor overload below.
+  Cholesky(const Matrix& a, double scale, double diag_add,
+           std::span<const double> diag_extra);
+
   /// Re-factor scale·A + diag_add·I into this object, reusing the existing
   /// buffers whenever `a.rows() <= capacity()` (the hyperparameter refit
   /// loop calls this hundreds of times per suggestion with the same n).
   /// Throws if not (numerically) SPD; the factor contents are unspecified
   /// after a throw and must be refactored before further use.
   void refactor(const Matrix& a, double scale, double diag_add);
+
+  /// Heteroscedastic variant: factor scale·A + diag(diag_add + diag_extra).
+  /// `diag_extra` must have a.rows() entries; a GP with per-observation
+  /// noise variances factors a²·C + diag(σ_i² + jitter) through this. When
+  /// every diag_extra entry equals some σ², the result is bit-identical to
+  /// refactor(a, scale, diag_add + σ²) — the per-row shift is the same
+  /// two-operand additions in the same order.
+  void refactor(const Matrix& a, double scale, double diag_add,
+                std::span<const double> diag_extra);
 
   /// The factor as a dense matrix (strict upper triangle zeroed).
   /// Materialized on demand — O(n²).
@@ -164,7 +178,10 @@ class Cholesky {
  private:
   /// Copy scale·(lower triangle of a) + diag_add·I into lf_ and run the
   /// blocked factorization + mirror rebuild. Requires cap_ >= a.rows().
-  void factor_from(const Matrix& a, double scale, double diag_add);
+  /// `diag_extra` (optional, one entry per row) adds a per-row shift on top
+  /// of diag_add.
+  void factor_from(const Matrix& a, double scale, double diag_add,
+                   const double* diag_extra = nullptr);
   void factor_in_place();
   void rebuild_mirror();
   /// Reallocate both buffers with leading dimension `new_cap`, preserving

@@ -1,7 +1,6 @@
 #include "stormsim/fluid.hpp"
 
 #include <algorithm>
-#include <vector>
 
 #include "common/error.hpp"
 
@@ -13,51 +12,64 @@ FluidEstimate fluid_estimate(const Topology& topology,
                              const SimParams& params) {
   topology.validate();
   config.validate(topology);
-  const std::vector<int> hints = config.normalized_hints(topology);
+  FluidWorkspace ws;
+  return fluid_estimate(topology, config, cluster, params, ws);
+}
+
+FluidEstimate fluid_estimate(const Topology& topology,
+                             const TopologyConfig& config,
+                             const ClusterSpec& cluster,
+                             const SimParams& params, FluidWorkspace& ws) {
+  config.normalized_hints_into(topology, ws.hints);
   const double bs = static_cast<double>(config.batch_size);
-  const std::vector<double> input = topology.input_tuples_per_batch(bs);
-  const std::vector<double> emitted = topology.emitted_tuples_per_batch(bs);
+  // ws.order holds the topological order afterwards (topological_order_into
+  // is how input_tuples_per_batch_into walks the DAG); the critical-path
+  // pass below reuses it instead of recomputing.
+  topology.input_tuples_per_batch_into(bs, ws.input, ws.order, ws.indegree);
 
   const std::size_t n = topology.num_nodes();
-  std::vector<double> stage_ms(n);
+  ws.stage_ms.assign(n, 0.0);
   double work_per_batch = 0.0;  // core-ms
   for (std::size_t v = 0; v < n; ++v) {
     const Node& node = topology.node(v);
-    const double ntasks = static_cast<double>(hints[v]);
+    const double ntasks = static_cast<double>(ws.hints[v]);
     const double contention = node.contentious ? ntasks : 1.0;
-    const double per_task = input[v] / ntasks * node.time_complexity *
+    const double per_task = ws.input[v] / ntasks * node.time_complexity *
                             contention * params.compute_unit_ms;
     const double recv = node.kind == NodeKind::kBolt
-                            ? input[v] / ntasks *
+                            ? ws.input[v] / ntasks *
                                   params.recv_units_per_tuple *
                                   params.compute_unit_ms
                             : 0.0;
-    stage_ms[v] = per_task + recv;
+    // Emissions are inputs scaled by selectivity — the same single multiply
+    // emitted_tuples_per_batch() performs, inlined to skip its vector.
+    const double emitted = ws.input[v] * node.selectivity;
+    ws.stage_ms[v] = per_task + recv;
     work_per_batch += (per_task + recv) * ntasks +
-                      emitted[v] * params.ack_units_per_tuple *
+                      emitted * params.ack_units_per_tuple *
                           params.compute_unit_ms;
   }
 
   // Critical path: longest chain of stage times plus per-hop latency, in
   // topological order, plus the commit stage.
-  std::vector<double> finish(n, 0.0);
-  for (std::size_t v : topology.topological_order()) {
+  ws.finish.assign(n, 0.0);
+  for (std::size_t v : ws.order) {
     double start = 0.0;
     for (std::size_t eid : topology.in_edge_ids(v)) {
       const Edge& e = topology.edges()[eid];
-      start = std::max(start, finish[e.from] + params.network_latency_ms);
+      start = std::max(start, ws.finish[e.from] + params.network_latency_ms);
     }
-    finish[v] = start + stage_ms[v];
+    ws.finish[v] = start + ws.stage_ms[v];
   }
   const double commit_ms =
       params.commit_units_per_batch * params.compute_unit_ms;
   const double critical_path =
-      *std::max_element(finish.begin(), finish.end()) + commit_ms;
+      *std::max_element(ws.finish.begin(), ws.finish.end()) + commit_ms;
 
   FluidEstimate est;
   est.critical_path_ms = critical_path;
   const double slowest_stage =
-      *std::max_element(stage_ms.begin(), stage_ms.end());
+      *std::max_element(ws.stage_ms.begin(), ws.stage_ms.end());
   est.stage_limited = slowest_stage > 0.0 ? 1000.0 / slowest_stage : 1e300;
   const double capacity_core_ms_per_s =
       static_cast<double>(cluster.total_cores()) * 1000.0;

@@ -5,8 +5,13 @@
 // for validating the discrete-event engine and as an ablation baseline:
 // a tuner driven by this fluid model instead of measurements shows what
 // cost-model-based configuration (the related work of Section II-A) can and
-// cannot capture.
+// cannot capture. The multi-fidelity evaluation ladder (tuning/fidelity.hpp)
+// uses it as rung 0: a ~µs screen over every candidate batch before any
+// discrete-event run is paid for.
 #pragma once
+
+#include <cstddef>
+#include <vector>
 
 #include "stormsim/cluster.hpp"
 #include "stormsim/config.hpp"
@@ -26,6 +31,20 @@ struct FluidEstimate {
   double critical_path_ms = 0.0;
 };
 
+/// Caller-owned scratch for fluid_estimate(): every per-call vector lives
+/// here so repeated estimates reuse their capacity instead of touching the
+/// heap (mirrors sim::SimWorkspace for the DES engine). The rung-0 screen
+/// of the fidelity ladder evaluates thousands of candidates per suggest
+/// batch through one of these.
+struct FluidWorkspace {
+  std::vector<int> hints;
+  std::vector<double> input;
+  std::vector<double> stage_ms;
+  std::vector<double> finish;
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> indegree;
+};
+
 /// Estimate steady-state throughput as the minimum of four fluid bounds:
 /// slowest stage, aggregate CPU, serial commit, and pipeline depth
 /// (batch_parallelism over the batch critical-path latency).
@@ -33,5 +52,14 @@ FluidEstimate fluid_estimate(const Topology& topology,
                              const TopologyConfig& config,
                              const ClusterSpec& cluster,
                              const SimParams& params);
+
+/// Allocation-free variant: computes through caller-owned scratch, bitwise
+/// identical to the by-value overload (which is implemented on top of it).
+/// Skips the topology/config revalidation the plain overload performs, so
+/// callers in a screening loop must have validated the pair once up front.
+FluidEstimate fluid_estimate(const Topology& topology,
+                             const TopologyConfig& config,
+                             const ClusterSpec& cluster,
+                             const SimParams& params, FluidWorkspace& ws);
 
 }  // namespace stormtune::sim

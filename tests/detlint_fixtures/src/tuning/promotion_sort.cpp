@@ -1,0 +1,33 @@
+// DET003 fixture mirroring the fidelity ladder's promotion ranking
+// (LadderTuner::refill_queue): sorting screened candidates without an
+// explicit comparator must fire — operator< over (score, index) structs is
+// easy to get partial — while the ladder's actual comparator (score
+// descending, index ascending on ties: a total order over the candidate
+// set) must pass clean.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace {
+
+struct Scored {
+  double score;
+  std::size_t index;
+  bool operator<(const Scored& other) const {
+    return score > other.score;  // partial: ties left to sort internals
+  }
+};
+
+}  // namespace
+
+void rank_promotions_bare(std::vector<Scored>& scored) {
+  std::sort(scored.begin(), scored.end());  // expect: DET003
+}
+
+void rank_promotions_total_order(std::vector<Scored>& scored) {
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.index < b.index;
+            });
+}

@@ -21,6 +21,7 @@
 
 #include "common/check.hpp"
 #include "stormsim/engine.hpp"
+#include "stormsim/fluid.hpp"
 #include "topology/sundog.hpp"
 #include "topology/synthetic.hpp"
 
@@ -583,6 +584,36 @@ TEST(EngineGolden, ReusedWorkspaceReachesZeroSteadyStateAllocations) {
   EXPECT_EQ(after - before, 0u)
       << "steady-state simulator runs allocated " << (after - before)
       << " times";
+}
+
+TEST(EngineGolden, FluidWorkspaceReachesZeroSteadyStateAllocations) {
+  // The rung-0 fluid screen of the fidelity ladder runs thousands of
+  // estimates per suggest batch through one FluidWorkspace; after warm-up
+  // it must not touch the heap at all.
+  if constexpr (kCheckedBuild) {
+    GTEST_SKIP() << "zero-allocation guarantee applies to release builds";
+  }
+  topo::SyntheticSpec spec;
+  spec.size = topo::TopologySize::kMedium;
+  const sim::Topology t = topo::build_synthetic(spec);
+  const sim::TopologyConfig c = sim::uniform_hint_config(t, 6);
+  const sim::ClusterSpec cluster = topo::paper_cluster();
+  const sim::SimParams params = topo::synthetic_sim_params();
+  sim::FluidWorkspace ws;
+  for (int warm = 0; warm < 2; ++warm) {
+    sim::fluid_estimate(t, c, cluster, params, ws);
+  }
+  const std::size_t before = g_new_calls.load(std::memory_order_relaxed);
+  double sink = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    sink += sim::fluid_estimate(t, c, cluster, params, ws)
+                .throughput_tuples_per_s;
+  }
+  const std::size_t after = g_new_calls.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state fluid estimates allocated " << (after - before)
+      << " times";
+  EXPECT_GT(sink, 0.0);
 }
 
 TEST(EngineGolden, RepeatedRunsAreIdentical) {

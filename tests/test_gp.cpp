@@ -410,6 +410,117 @@ TEST_F(GpFit, SharedDistanceBlockMatchesDirectPrediction) {
   }
 }
 
+TEST_F(GpFit, UniformNoiseDiagBitIdenticalToScalarPath) {
+  // A per-observation noise diagonal whose entries all equal the scalar
+  // noise variance must reproduce the homoscedastic path BITWISE: the
+  // heteroscedastic Cholesky computes scale*k + (0.0 + sigma2), and
+  // 0.0 + sigma2 == sigma2 exactly in IEEE arithmetic. The fidelity
+  // ladder relies on this — rung tagging with equal variances cannot
+  // perturb single-fidelity goldens.
+  Rng rng(31);
+  Kernel k(KernelFamily::kMatern52, 2, false);
+  constexpr double kNoise = 1e-3;
+  Matrix x(10, 2);
+  Vector y(10);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+    y[i] = rng.normal();
+  }
+  GpRegressor scalar(k, kNoise);
+  scalar.fit(x, y);
+  GpRegressor het(k, kNoise);
+  het.set_noise_diag(std::vector<double>(x.rows(), kNoise));
+  het.fit(x, y);
+  EXPECT_EQ(het.log_marginal_likelihood(), scalar.log_marginal_likelihood());
+  for (int t = 0; t < 20; ++t) {
+    const std::vector<double> q = {rng.uniform(-0.5, 1.5),
+                                   rng.uniform(-0.5, 1.5)};
+    const Prediction ph = het.predict(q);
+    const Prediction ps = scalar.predict(q);
+    EXPECT_EQ(ph.mean, ps.mean);
+    EXPECT_EQ(ph.variance, ps.variance);
+  }
+}
+
+TEST_F(GpFit, DistinctNoiseDiagTrustsPreciseObservations) {
+  // Two observations at the same input with conflicting targets: the
+  // posterior mean must side with the low-noise one.
+  Kernel k(KernelFamily::kSquaredExponential, 1, false);
+  GpRegressor gp(k, 1e-2);
+  Matrix x(2, 1);
+  x(0, 0) = 0.5;
+  x(1, 0) = 0.5;
+  gp.set_noise_diag(std::vector<double>{1e-6, 1.0});
+  gp.fit(x, Vector{1.0, -1.0});
+  const std::vector<double> q{0.5};
+  const Prediction p = gp.predict(q);
+  EXPECT_GT(p.mean, 0.9);
+}
+
+TEST_F(GpFit, HeteroscedasticAppendMatchesFreshFit) {
+  // Scalar-fitted history extended with differently-noised appends (the
+  // ladder's mixed-rung stream) must match a fresh heteroscedastic fit of
+  // the full history.
+  Rng rng(37);
+  constexpr std::size_t kD = 2;
+  Kernel k(KernelFamily::kMatern52, kD, false);
+  constexpr double kBase = 1e-3;
+  Matrix x(8, kD);
+  Vector y(8);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < kD; ++j) x(i, j) = rng.uniform();
+    y[i] = rng.normal();
+  }
+  GpRegressor incremental(k, kBase);
+  incremental.fit(x, y);
+
+  Matrix grown = x;
+  Vector grown_y = y;
+  std::vector<double> noises(x.rows(), kBase);
+  for (int add = 0; add < 3; ++add) {
+    std::vector<double> x_new(kD);
+    for (auto& v : x_new) v = rng.uniform();
+    grown_y.push_back(rng.normal());
+    Matrix next(grown.rows() + 1, kD);
+    for (std::size_t i = 0; i < grown.rows(); ++i) {
+      for (std::size_t j = 0; j < kD; ++j) next(i, j) = grown(i, j);
+    }
+    for (std::size_t j = 0; j < kD; ++j) next(grown.rows(), j) = x_new[j];
+    grown = std::move(next);
+    const double noise_new = add % 2 == 0 ? 4.0 * kBase : kBase;
+    noises.push_back(noise_new);
+    incremental.append_observation(x_new, grown_y, noise_new);
+  }
+  ASSERT_EQ(incremental.num_observations(), 11u);
+  ASSERT_EQ(incremental.noise_diag().size(), 11u);
+
+  GpRegressor fresh(k, kBase);
+  fresh.set_noise_diag(noises);
+  fresh.fit(grown, grown_y);
+  EXPECT_NEAR(incremental.log_marginal_likelihood(),
+              fresh.log_marginal_likelihood(), 1e-9);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> q(kD);
+    for (auto& v : q) v = rng.uniform(-0.5, 1.5);
+    const Prediction pi = incremental.predict(q);
+    const Prediction pf = fresh.predict(q);
+    EXPECT_NEAR(pi.mean, pf.mean, 1e-9);
+    EXPECT_NEAR(pi.variance, pf.variance, 1e-9);
+  }
+}
+
+TEST_F(GpFit, NoiseDiagValidation) {
+  Kernel k(KernelFamily::kSquaredExponential, 1, false);
+  GpRegressor gp(k, 1e-3);
+  EXPECT_THROW(gp.set_noise_diag(std::vector<double>{1e-3, -1.0}), Error);
+  gp.set_noise_diag(std::vector<double>{1e-3});
+  Matrix x(2, 1);
+  x(1, 0) = 1.0;
+  // Diagonal size must match the observation count at fit time.
+  EXPECT_THROW(gp.fit(x, Vector{0.0, 1.0}), Error);
+}
+
 TEST_F(GpFit, SharedDistanceBlockRejectsArd) {
   Kernel k(KernelFamily::kSquaredExponential, 2, /*ard=*/true);
   GpRegressor gp(k, 1e-3);

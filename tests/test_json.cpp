@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace stormtune {
@@ -153,6 +156,55 @@ TEST(Json, PrettyPrintParsesBack) {
   const std::string pretty = j.dump(4);
   EXPECT_NE(pretty.find('\n'), std::string::npos);
   EXPECT_EQ(Json::parse(pretty), j);
+}
+
+TEST(Json, CanonicalNumberFormatterRoundTripsBitExactly) {
+  // Every finite double must survive number_to_string -> parse with its
+  // bits intact — benchmark records (BENCH_*.json) rely on this to keep
+  // baseline comparisons exact.
+  const double cases[] = {
+      0.0,         -0.0,
+      1.0,         -1.0,
+      0.1,         1.0 / 3.0,
+      5522.688666666666,
+      1e-300,      -1e300,
+      1e15,        -1e15,  // just past the integer fast path
+      9.007199254740992e15,  // 2^53
+      2.2250738585072014e-308,  // DBL_MIN
+      1.7976931348623157e308,   // DBL_MAX
+      4.9406564584124654e-324,  // smallest denormal
+      0x1.fffffffffffffp-1,     // just under 1
+  };
+  for (const double d : cases) {
+    const std::string s = Json::number_to_string(d);
+    const double back = Json::parse(s).as_number();
+    EXPECT_EQ(back, d) << s;
+    EXPECT_EQ(std::signbit(back), std::signbit(d)) << s;
+  }
+}
+
+TEST(Json, CanonicalNumberFormatterMatchesDump) {
+  const double values[] = {3.25, 42.0, -17.5, 1.0 / 7.0, 2.5e-12};
+  for (const double d : values) {
+    EXPECT_EQ(Json(d).dump(), Json::number_to_string(d));
+  }
+}
+
+TEST(Json, CanonicalNumberFormatterRejectsNonFinite) {
+  EXPECT_THROW(Json::number_to_string(
+                   std::numeric_limits<double>::infinity()),
+               Error);
+  EXPECT_THROW(Json::number_to_string(
+                   std::numeric_limits<double>::quiet_NaN()),
+               Error);
+}
+
+TEST(Json, HugeNumbersSkipIntegerFastPathSafely) {
+  // Magnitudes past long long's range must take the %.17g path (llround
+  // on them would be undefined behavior) and as_int must reject them.
+  const double huge = 1e300;
+  EXPECT_EQ(Json::parse(Json::number_to_string(huge)).as_number(), huge);
+  EXPECT_THROW(Json(huge).as_int(), Error);
 }
 
 }  // namespace

@@ -215,6 +215,57 @@ TEST(Cholesky, AppendRowSizeMismatchThrows) {
   EXPECT_THROW(chol.append_row(Vector{1.0, 2.0}, 10.0), Error);
 }
 
+TEST(Cholesky, ConstantDiagExtraBitIdenticalToFoldedScalar) {
+  // A constant per-row diagonal extension sigma2 with diag_add = 0 must
+  // reproduce the scalar diag_add = sigma2 factorization BITWISE:
+  // scale*a + (0.0 + sigma2) == scale*a + sigma2 in IEEE arithmetic. The
+  // heteroscedastic GP path depends on this to leave homoscedastic goldens
+  // untouched.
+  Rng rng(11);
+  const std::size_t n = 9;
+  const Matrix a = random_spd(n, rng);
+  constexpr double kSigma2 = 1e-3;
+  const Cholesky scalar(a, /*scale=*/1.0, /*diag_add=*/kSigma2);
+  const std::vector<double> extra(n, kSigma2);
+  const Cholesky het(a, /*scale=*/1.0, /*diag_add=*/0.0, extra);
+  const Matrix ls = scalar.lower();
+  const Matrix lh = het.lower();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_EQ(lh(i, j), ls(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Cholesky, DiagExtraFactorReconstructsShiftedMatrix) {
+  Rng rng(13);
+  const std::size_t n = 7;
+  const Matrix a = random_spd(n, rng);
+  std::vector<double> extra(n);
+  for (std::size_t i = 0; i < n; ++i) extra[i] = 0.1 * (i + 1);
+  const double scale = 0.5;
+  const double diag_add = 0.25;
+  Cholesky chol(Matrix::identity(2));
+  chol.refactor(a, scale, diag_add, extra);
+  const Matrix l = chol.lower();
+  const Matrix reconstructed = l.multiply(l.transposed());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double expected =
+          scale * a(i, j) + (i == j ? diag_add + extra[i] : 0.0);
+      EXPECT_NEAR(reconstructed(i, j), expected, 1e-10)
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Cholesky, DiagExtraSizeMismatchThrows) {
+  Rng rng(17);
+  const Matrix a = random_spd(4, rng);
+  const std::vector<double> extra(3, 0.1);
+  EXPECT_THROW(Cholesky(a, 1.0, 0.0, extra), Error);
+}
+
 TEST(VectorOps, DotAndNorm) {
   const Vector a{1.0, 2.0, 3.0};
   const Vector b{4.0, -5.0, 6.0};

@@ -7,7 +7,7 @@
 // violation can ship. It is a project-specific static checker, built with
 // the repo and run over src/ and tools/ as a ctest (and in CI).
 //
-// Rules (see DESIGN.md §11 for the rationale table):
+// Rules (see DESIGN.md §12 for the rationale table):
 //
 //   DET001 unseeded-rng        rand()/srand()/std::random_device anywhere
 //                              outside src/common/rng.* — all randomness

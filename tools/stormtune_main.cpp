@@ -21,11 +21,19 @@
 //                   steady-state throughput estimate converges (relative
 //                   95% CI half-width < EPS, default 0.05) instead of
 //                   always simulating the full window
+//                   --fidelity=full|ladder  full (default) pays a complete
+//                   simulation per BO evaluation; ladder screens candidate
+//                   batches with the ~µs fluid model, promotes the best to
+//                   a short adaptive-window run, and spends a full-window
+//                   run only on configs that challenge the incumbent
+//                   (strategies bo/ibo only; uses the fixed-hyper GP with
+//                   per-rung observation noise)
 // tune-many options: --campaigns=FILE  JSON array (or {"campaigns":[...]})
 //                   of campaign entries; each entry names a topology and
 //                   may override name/strategy/steps/reps/passes/what/
-//                   seed/duration/adaptive_window/adaptive_epsilon, with
-//                   the command-line flags supplying the defaults.
+//                   seed/duration/adaptive_window/adaptive_epsilon/
+//                   fidelity, with the command-line flags supplying the
+//                   defaults.
 //                   --threads=N sizes the work-stealing scheduler (the
 //                   per-campaign optimizers run single-threaded);
 //                   --jsonl=FILE streams finished campaigns through the
@@ -61,6 +69,7 @@
 #include "common/json.hpp"
 #include "tuning/campaign_scheduler.hpp"
 #include "tuning/experiment.hpp"
+#include "tuning/fidelity.hpp"
 #include "tuning/report.hpp"
 #include "tuning/result_sink.hpp"
 
@@ -88,6 +97,7 @@ struct Options {
   std::string json_path;
   std::string csv_path;
   std::size_t threads = 0;  // 0 = hardware concurrency; 1 = serial path
+  std::string fidelity = "full";  // full | ladder (bo/ibo only)
   bool adaptive_window = false;
   double adaptive_epsilon = 0.0;  // 0 = keep SimParams default
   std::size_t passes = 2;         // tune-many: passes per campaign
@@ -106,6 +116,8 @@ struct Options {
       "      --seed=N --json=FILE --csv=FILE --threads=N\n"
       "      --adaptive-window[=EPS]  stop each simulation once throughput\n"
       "      converges (relative CI half-width < EPS, default 0.05)\n"
+      "      --fidelity=full|ladder  ladder = fluid screening, adaptive\n"
+      "      promotion, full runs only for incumbent challenges (bo/ibo)\n"
       "tune-many: --campaigns=FILE --threads=N --passes=N --jsonl=FILE\n"
       "      run every campaign in FILE over one work-stealing scheduler;\n"
       "      per-campaign results are bit-identical to solo runs for any\n"
@@ -144,6 +156,13 @@ Options parse(int argc, char** argv, int first) {
     else if (const char* v = value_of(a, "--json")) o.json_path = v;
     else if (const char* v = value_of(a, "--csv")) o.csv_path = v;
     else if (const char* v = value_of(a, "--threads")) o.threads = std::stoul(v);
+    else if (const char* v = value_of(a, "--fidelity")) {
+      o.fidelity = v;
+      if (o.fidelity != "full" && o.fidelity != "ladder") {
+        std::fprintf(stderr, "--fidelity=%s: expected full or ladder\n", v);
+        usage();
+      }
+    }
     else if (const char* v = value_of(a, "--passes")) o.passes = std::stoul(v);
     else if (const char* v = value_of(a, "--campaigns")) o.campaigns_path = v;
     else if (const char* v = value_of(a, "--jsonl")) o.jsonl_path = v;
@@ -306,15 +325,41 @@ int cmd_simulate(const Options& o) {
 /// Tuner construction shared by `tune` and `tune-many`. `bo_threads` sizes
 /// the optimizer's internal pool (tune-many pins it to 1 — campaigns are
 /// the parallelism there, and a 1-thread pool owns no threads at all).
-std::unique_ptr<tuning::Tuner> build_tuner(const Options& o, const Workload& w,
-                                           const sim::TopologyConfig& defaults,
-                                           std::uint64_t seed,
-                                           std::size_t bo_threads) {
+tuning::SpaceOptions space_options_from(const Options& o) {
   tuning::SpaceOptions sopts;
   sopts.tune_hints = o.what.find('h') != std::string::npos;
   sopts.tune_batch = o.what.find("batch") != std::string::npos;
   sopts.tune_concurrency = o.what.find("cc") != std::string::npos;
   sopts.informed = o.strategy == "ibo";
+  return sopts;
+}
+
+/// BO options for --fidelity=ladder: the fixed-hyper GP (suggests stay
+/// cheap, and it is the mode that supports a per-rung noise diagonal).
+bo::BayesOptOptions ladder_bo_options_from(const Options& /*o*/,
+                                           std::uint64_t seed,
+                                           std::size_t bo_threads) {
+  bo::BayesOptOptions bopts;
+  bopts.seed = seed;
+  bopts.num_threads = bo_threads;
+  bopts.hyper_mode = bo::HyperMode::kFixed;
+  return bopts;
+}
+
+void require_ladder_strategy(const Options& o) {
+  if (o.strategy != "bo" && o.strategy != "ibo") {
+    std::fprintf(stderr,
+                 "--fidelity=ladder requires --strategy=bo or ibo (got '%s')\n",
+                 o.strategy.c_str());
+    usage();
+  }
+}
+
+std::unique_ptr<tuning::Tuner> build_tuner(const Options& o, const Workload& w,
+                                           const sim::TopologyConfig& defaults,
+                                           std::uint64_t seed,
+                                           std::size_t bo_threads) {
+  tuning::SpaceOptions sopts = space_options_from(o);
 
   if (o.strategy == "pla" || o.strategy == "ipla") {
     return std::make_unique<tuning::PlaTuner>(w.topology, defaults,
@@ -339,10 +384,31 @@ int cmd_tune(const Options& o) {
   std::printf("isa path:     %s\n", isa::to_string(isa::selected()));
   const Workload w = load_workload(o);
   sim::TopologyConfig defaults = config_from_options(o, w);
-  std::unique_ptr<tuning::Tuner> tuner =
-      build_tuner(o, w, defaults, o.seed, /*bo_threads=*/0);
 
-  tuning::SimObjective objective(w.topology, w.cluster, w.params, o.seed);
+  // --fidelity=ladder swaps both halves of the loop: the tuner screens
+  // candidates through the fluid model and the objective escalates
+  // adaptive-window runs to full windows only on incumbent challenges.
+  // The FidelityLadder IS the objective; the tuner shares it.
+  std::unique_ptr<tuning::Tuner> tuner;
+  std::shared_ptr<tuning::FidelityLadder> ladder;
+  std::unique_ptr<tuning::SimObjective> sim_objective;
+  tuning::Objective* objective = nullptr;
+  if (o.fidelity == "ladder") {
+    require_ladder_strategy(o);
+    ladder = std::make_shared<tuning::FidelityLadder>(w.topology, w.cluster,
+                                                      w.params, o.seed);
+    tuner = std::make_unique<tuning::LadderTuner>(
+        tuning::ConfigSpace(w.topology, space_options_from(o), defaults),
+        ladder_bo_options_from(o, o.seed, /*bo_threads=*/0), ladder,
+        o.strategy + "+ladder");
+    objective = ladder.get();
+  } else {
+    tuner = build_tuner(o, w, defaults, o.seed, /*bo_threads=*/0);
+    sim_objective = std::make_unique<tuning::SimObjective>(
+        w.topology, w.cluster, w.params, o.seed);
+    objective = sim_objective.get();
+  }
+
   tuning::ExperimentOptions protocol;
   protocol.max_steps = o.steps;
   protocol.best_config_reps = o.reps;
@@ -350,16 +416,23 @@ int cmd_tune(const Options& o) {
   const std::size_t threads =
       o.threads > 0 ? o.threads : ThreadPool::default_thread_count();
   std::printf("tuning %s with %s over {%s}, %zu steps, %zu thread%s...\n",
-              o.topology.c_str(), o.strategy.c_str(), o.what.c_str(),
+              o.topology.c_str(), tuner->name().c_str(), o.what.c_str(),
               o.steps, threads, threads == 1 ? "" : "s");
   tuning::ExperimentResult r;
   if (threads <= 1) {
     // The pre-parallel serial protocol: repetitions continue the tuning
     // loop's evaluation seed sequence.
-    r = tuning::run_experiment(*tuner, objective, protocol);
+    r = tuning::run_experiment(*tuner, *objective, protocol);
   } else {
     ThreadPool pool(threads);
-    r = tuning::run_experiment(*tuner, objective, protocol, pool);
+    r = tuning::run_experiment(*tuner, *objective, protocol, pool);
+  }
+  if (ladder) {
+    const tuning::LadderStats& ls = ladder->stats();
+    std::printf("ladder:       %zu screened, %zu rung-1 runs, %zu full runs "
+                "(%.0f + %.0f simulated ms)\n",
+                ls.screened, ls.rung1_evals, ls.rung2_evals,
+                ls.rung1_simulated_ms, ls.rung2_simulated_ms);
   }
 
   std::printf("best:         %.1f tuples/s (mean of %zu reps; min %.1f, "
@@ -416,6 +489,11 @@ Options campaign_options(const Options& base, const Json& entry) {
     o.adaptive_window = true;
     o.adaptive_epsilon = entry.at("adaptive_epsilon").as_number();
   }
+  if (entry.contains("fidelity")) {
+    o.fidelity = entry.at("fidelity").as_string();
+    STORMTUNE_REQUIRE(o.fidelity == "full" || o.fidelity == "ladder",
+                      "campaign fidelity must be 'full' or 'ladder'");
+  }
   return o;
 }
 
@@ -461,16 +539,39 @@ int cmd_tune_many(const Options& cli) {
     // Per-pass seeds follow the bench harness convention: distinct tuner
     // streams per pass, objective streams derived with the golden-ratio
     // multiplier so passes are independent.
-    spec.make_tuner = [ctx](std::size_t pass) {
-      return build_tuner(ctx->opts, ctx->workload, ctx->defaults,
-                         ctx->opts.seed * 7919 + pass, /*bo_threads=*/1);
-    };
-    spec.make_objective =
-        [ctx](std::size_t pass) -> std::unique_ptr<tuning::Objective> {
-      return std::make_unique<tuning::SimObjective>(
-          ctx->workload.topology, ctx->workload.cluster, ctx->workload.params,
-          ctx->opts.seed + 0x632be59bd9b4e019ULL * pass);
-    };
+    if (ctx->opts.fidelity == "ladder") {
+      require_ladder_strategy(ctx->opts);
+      // Ladder campaigns route both factories through one registry so pass
+      // p's tuner and objective share the same FidelityLadder; the config
+      // carries the base seeds and the factories apply the per-pass
+      // conventions above internally.
+      tuning::LadderCampaignConfig lc;
+      lc.topology = ctx->workload.topology;
+      lc.cluster = ctx->workload.cluster;
+      lc.params = ctx->workload.params;
+      lc.space = space_options_from(ctx->opts);
+      lc.defaults = ctx->defaults;
+      lc.bo = ladder_bo_options_from(ctx->opts, ctx->opts.seed,
+                                     /*bo_threads=*/1);
+      lc.objective_seed = ctx->opts.seed;
+      lc.tuner_name = ctx->opts.strategy + "+ladder";
+      auto factories =
+          tuning::LadderCampaignFactories::create(std::move(lc));
+      spec.make_tuner = factories->tuner_factory();
+      spec.make_objective = factories->objective_factory();
+    } else {
+      spec.make_tuner = [ctx](std::size_t pass) {
+        return build_tuner(ctx->opts, ctx->workload, ctx->defaults,
+                           ctx->opts.seed * 7919 + pass, /*bo_threads=*/1);
+      };
+      spec.make_objective =
+          [ctx](std::size_t pass) -> std::unique_ptr<tuning::Objective> {
+        return std::make_unique<tuning::SimObjective>(
+            ctx->workload.topology, ctx->workload.cluster,
+            ctx->workload.params,
+            ctx->opts.seed + 0x632be59bd9b4e019ULL * pass);
+      };
+    }
     specs.push_back(std::move(spec));
   }
 
