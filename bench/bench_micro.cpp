@@ -59,6 +59,40 @@ void BM_Cholesky(benchmark::State& state) {
 }
 BENCHMARK(BM_Cholesky)->Arg(32)->Arg(64)->Arg(128);
 
+void BM_CholeskyDowndate(benchmark::State& state) {
+  // One sliding-window step at constant size n: rotate the oldest row out
+  // of the factor (remove_row, the O(n^2) Givens downdate) and rank-grow a
+  // fresh row back in (append_row). Window rows are drawn from one large
+  // SPD master matrix, so every window is a principal submatrix and always
+  // factorizable. Compare against BM_Cholesky at the same n: the pair must
+  // stay well under a full refactor, with the downdate itself within ~2x
+  // of the append.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = n + 256;  // master pool; windows wrap around it
+  Rng rng(2);
+  const Matrix master = random_spd(m, rng);
+  std::vector<std::size_t> active(n);
+  for (std::size_t i = 0; i < n; ++i) active[i] = i;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = master(i, j);
+  }
+  Cholesky chol(a);
+  chol.reserve(n + 1);
+  std::vector<double> b(n);
+  for (auto _ : state) {
+    chol.remove_row(0);
+    active.erase(active.begin());
+    const std::size_t next = (active.back() + 1) % m;
+    b.resize(n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i) b[i] = master(active[i], next);
+    chol.append_row(b, master(next, next));
+    active.push_back(next);
+    benchmark::DoNotOptimize(chol.lower_at(n - 1, n - 1));
+  }
+}
+BENCHMARK(BM_CholeskyDowndate)->Arg(32)->Arg(64)->Arg(128);
+
 void BM_TriSolveMultiRhs(benchmark::State& state) {
   // Forward + backward multi-RHS substitution over a 120-point factor with
   // range(0) right-hand sides — GpRegressor's chunked prediction kernel.
@@ -521,6 +555,40 @@ void BM_BayesOptSuggest(benchmark::State& state) {
 BENCHMARK(BM_BayesOptSuggest)->Arg(10)->Arg(30)->Arg(60)
     ->Unit(benchmark::kMillisecond);
 
+void BM_SlidingWindowSuggest(benchmark::State& state) {
+  // BM_BayesOptSuggest with a bounded observation window: range(0) is the
+  // total history length, the surrogate window stays at 60, so per-step
+  // cost must be flat from 60 to 500 (unwindowed suggest grows with n³).
+  // Each iteration observes one new point and then suggests, so the
+  // steady-state eviction + incremental slide + warm hyper-refit path is
+  // what gets measured, not a cached no-op re-suggest.
+  const std::size_t dims = 51;
+  std::vector<bo::ParamSpec> specs;
+  for (std::size_t i = 0; i < dims; ++i) {
+    specs.push_back(bo::ParamSpec::integer("h" + std::to_string(i), 1, 20));
+  }
+  bo::BayesOptOptions opts;
+  opts.hyper_mode = bo::HyperMode::kSliceSample;
+  opts.hyper_samples = 3;
+  opts.hyper_burn_in = 5;
+  opts.num_candidates = 256;
+  opts.seed = 3;
+  opts.max_observations = 60;
+  bo::BayesOpt opt(bo::ParamSpace(specs), opts);
+  Rng rng(4);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    auto x = opt.space().sample(rng);
+    opt.observe(std::move(x), rng.normal());
+  }
+  for (auto _ : state) {
+    auto x = opt.space().sample(rng);
+    opt.observe(std::move(x), rng.normal());
+    benchmark::DoNotOptimize(opt.suggest());
+  }
+}
+BENCHMARK(BM_SlidingWindowSuggest)->Arg(60)->Arg(150)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
 double time_simulate_ms(const sim::Topology& topology,
                         const sim::TopologyConfig& config,
                         const sim::ClusterSpec& cluster,
@@ -608,6 +676,37 @@ void write_gp_record(const std::string& path) {
           benchmark::DoNotOptimize(chol.lower_at(n - 1, n - 1));
         });
   }
+  for (const std::size_t n : {32ul, 64ul, 128ul}) {
+    // One sliding-window step (Givens downdate + rank-grow append) at
+    // constant n — the BM_CholeskyDowndate workload.
+    const std::size_t m = n + 256;
+    Rng drng(2);
+    const Matrix master = random_spd(m, drng);
+    std::vector<std::size_t> active(n);
+    for (std::size_t i = 0; i < n; ++i) active[i] = i;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = master(i, j);
+    }
+    Cholesky chol(a);
+    chol.reserve(n + 1);
+    std::vector<double> b(n);
+    workloads["cholesky_downdate/" + std::to_string(n)] =
+        median3_us_per_op(200000 / (n * n / 64), [&](std::size_t iters) {
+          for (std::size_t i = 0; i < iters; ++i) {
+            chol.remove_row(0);
+            active.erase(active.begin());
+            const std::size_t next = (active.back() + 1) % m;
+            b.resize(n - 1);
+            for (std::size_t k = 0; k + 1 < n; ++k) {
+              b[k] = master(active[k], next);
+            }
+            chol.append_row(b, master(next, next));
+            active.push_back(next);
+          }
+          benchmark::DoNotOptimize(chol.lower_at(n - 1, n - 1));
+        });
+  }
   {
     const std::size_t n = 120, m = 256;
     const Matrix a = random_spd(n, rng);
@@ -674,6 +773,39 @@ void write_gp_record(const std::string& path) {
     workloads["bayesopt_suggest/60"] =
         median3_us_per_op(3, [&](std::size_t iters) {
           for (std::size_t i = 0; i < iters; ++i) {
+            benchmark::DoNotOptimize(opt.suggest());
+          }
+        });
+  }
+  for (const std::size_t history : {150ul, 500ul}) {
+    // Windowed observe+suggest at a fixed 60-point window over a growing
+    // history — the BM_SlidingWindowSuggest workload. The two rows must
+    // stay flat relative to each other (and comparable to the unwindowed
+    // bayesopt_suggest/60 row) regardless of history length.
+    const std::size_t dims = 51;
+    std::vector<bo::ParamSpec> specs;
+    for (std::size_t i = 0; i < dims; ++i) {
+      specs.push_back(bo::ParamSpec::integer("h" + std::to_string(i), 1, 20));
+    }
+    bo::BayesOptOptions opts;
+    opts.hyper_mode = bo::HyperMode::kSliceSample;
+    opts.hyper_samples = 3;
+    opts.hyper_burn_in = 5;
+    opts.num_candidates = 256;
+    opts.seed = 3;
+    opts.max_observations = 60;
+    bo::BayesOpt opt(bo::ParamSpace(specs), opts);
+    Rng orng(4);
+    for (std::size_t i = 0; i < history; ++i) {
+      auto xs = opt.space().sample(orng);
+      opt.observe(std::move(xs), orng.normal());
+    }
+    benchmark::DoNotOptimize(opt.suggest());  // warm-up
+    workloads["windowed_suggest/60@" + std::to_string(history)] =
+        median3_us_per_op(3, [&](std::size_t iters) {
+          for (std::size_t i = 0; i < iters; ++i) {
+            auto xs = opt.space().sample(orng);
+            opt.observe(std::move(xs), orng.normal());
             benchmark::DoNotOptimize(opt.suggest());
           }
         });

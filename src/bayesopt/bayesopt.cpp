@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
@@ -64,6 +65,13 @@ Json BayesOptOptions::to_json() const {
     for (double v : rung_noise_variance) rn.emplace_back(v);
     o["rung_noise_variance"] = Json(std::move(rn));
   }
+  // Emitted only when windowing is on, so unwindowed states stay byte-
+  // identical to those written before the option existed.
+  if (max_observations != 0) {
+    o["max_observations"] = max_observations;
+    o["hyper_refit_interval"] = hyper_refit_interval;
+    o["hyper_burn_in_warm"] = hyper_burn_in_warm;
+  }
   o["seed"] = static_cast<double>(seed);
   o["num_threads"] = num_threads;
   return Json(std::move(o));
@@ -95,6 +103,16 @@ BayesOptOptions BayesOptOptions::from_json(const Json& j) {
       o.rung_noise_variance.push_back(v.as_number());
     }
   }
+  // Absent in states saved before the sliding window existed (and in
+  // unwindowed states since).
+  if (j.contains("max_observations")) {
+    o.max_observations =
+        static_cast<std::size_t>(j.at("max_observations").as_int());
+    o.hyper_refit_interval =
+        static_cast<std::size_t>(j.at("hyper_refit_interval").as_int());
+    o.hyper_burn_in_warm =
+        static_cast<std::size_t>(j.at("hyper_burn_in_warm").as_int());
+  }
   return o;
 }
 
@@ -106,6 +124,12 @@ BayesOpt::BayesOpt(ParamSpace space, BayesOptOptions options)
                     "BayesOpt: hyper_samples must be > 0");
   STORMTUNE_REQUIRE(options_.num_candidates > 0,
                     "BayesOpt: num_candidates must be > 0");
+  STORMTUNE_REQUIRE(
+      options_.max_observations == 0 || options_.max_observations >= 2,
+      "BayesOpt: max_observations must be 0 (unbounded) or >= 2 "
+      "(pinned incumbent plus at least one evictable observation)");
+  STORMTUNE_REQUIRE(options_.hyper_refit_interval > 0,
+                    "BayesOpt: hyper_refit_interval must be > 0");
 }
 
 ThreadPool& BayesOpt::pool() {
@@ -298,13 +322,75 @@ struct BayesOpt::Surrogate {
   }
 };
 
+bool BayesOpt::window_step(const std::vector<std::size_t>& from,
+                           std::vector<std::size_t>& removals,
+                           std::size_t& num_appends) const {
+  // Both id lists are ascending (rows are appended in observation order and
+  // evictions erase without reordering), so the step is incremental exactly
+  // when window_ = (from minus some entries) ++ (ids newer than all of
+  // from). A window id older than a kept row that is NOT in `from` would
+  // need a mid-factor insertion — no such Cholesky path exists; refit.
+  removals.clear();
+  num_appends = 0;
+  std::size_t ti = 0;
+  for (std::size_t fi = 0; fi < from.size(); ++fi) {
+    if (ti < window_.size() && window_[ti] < from[fi]) return false;
+    if (ti < window_.size() && window_[ti] == from[fi]) {
+      ++ti;
+    } else {
+      removals.push_back(fi);
+    }
+  }
+  num_appends = window_.size() - ti;
+  return from.size() > removals.size();  // at least one kept row
+}
+
+void BayesOpt::slide_gp(gp::GpRegressor& g,
+                        const std::vector<std::size_t>& from,
+                        const std::vector<std::size_t>& removals,
+                        std::size_t num_appends, double y_mean, double y_scale,
+                        bool het, bool sampled_noise) const {
+  std::vector<std::size_t> rows = from;
+  Vector ya;
+  const auto restandardize = [&] {
+    ya.resize(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ya[i] = (observations_[rows[i]].y - y_mean) / y_scale;
+    }
+  };
+  // Descending positions so earlier removal indices stay valid.
+  for (auto it = removals.rbegin(); it != removals.rend(); ++it) {
+    rows.erase(rows.begin() + static_cast<std::ptrdiff_t>(*it));
+    restandardize();
+    g.remove_observation(*it, ya);
+  }
+  for (std::size_t k = window_.size() - num_appends; k < window_.size(); ++k) {
+    const std::size_t id = window_[k];
+    rows.push_back(id);
+    restandardize();
+    if (het || !g.noise_diag().empty()) {
+      const double noise_new =
+          sampled_noise
+              ? g.noise_variance() *
+                    (rung_noise(observations_[id].rung) / rung_noise(2))
+              : rung_noise(observations_[id].rung);
+      g.append_observation(unit_x_[id], ya, noise_new);
+    } else {
+      g.append_observation(unit_x_[id], ya);
+    }
+  }
+}
+
 BayesOpt::Surrogate BayesOpt::fit_surrogate() {
-  const std::size_t n = observations_.size();
+  // The surrogate conditions on the windowed observations only. With an
+  // unbounded window window_ is exactly [0, n), so every loop below walks
+  // the same rows in the same order as the pre-window code — bit-identical.
+  const std::size_t n = window_.size();
   const std::size_t d = space_.dim();
 
   Surrogate s;
   std::vector<double> ys(n);
-  for (std::size_t i = 0; i < n; ++i) ys[i] = observations_[i].y;
+  for (std::size_t i = 0; i < n; ++i) ys[i] = observations_[window_[i]].y;
   const Summary sum = summarize(ys);
   s.y_mean = sum.mean;
   s.y_scale = sum.stddev > 1e-12 ? sum.stddev : 1.0;
@@ -312,8 +398,8 @@ BayesOpt::Surrogate BayesOpt::fit_surrogate() {
   Matrix x(n, d);
   Vector y(n);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < d; ++j) x(i, j) = unit_x_[i][j];
-    y[i] = (observations_[i].y - s.y_mean) / s.y_scale;
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = unit_x_[window_[i]][j];
+    y[i] = (observations_[window_[i]].y - s.y_mean) / s.y_scale;
   }
   s.best_standardized = *std::max_element(y.begin(), y.end());
   s.cost1_ms = acq_cost1_ms_;
@@ -323,16 +409,21 @@ BayesOpt::Surrogate BayesOpt::fit_surrogate() {
   // Per-observation noise variances from the fidelity tags. The diagonal is
   // only engaged when the effective rung variances actually differ — a
   // history whose rungs all share one variance takes the homoscedastic
-  // scalar path, bit-identical to pre-ladder fits.
+  // scalar path, bit-identical to pre-ladder fits. Slice/MLE modes infer
+  // the overall noise scale and carry the rung structure as fixed ratios
+  // against the full-fidelity rung (see apply_hyperparams).
   std::vector<double> noises(n);
   bool het = false;
   for (std::size_t i = 0; i < n; ++i) {
-    noises[i] = rung_noise(observations_[i].rung);
+    noises[i] = rung_noise(observations_[window_[i]].rung);
     het = het || noises[i] != noises[0];
   }
-  STORMTUNE_REQUIRE(!het || options_.hyper_mode == HyperMode::kFixed,
-                    "BayesOpt: per-rung noise variances require "
-                    "hyper_mode == fixed (slice/MLE infer a scalar noise)");
+  std::vector<double> noise_ratios;
+  if (het && options_.hyper_mode != HyperMode::kFixed) {
+    const double base = rung_noise(2);
+    noise_ratios.resize(n);
+    for (std::size_t i = 0; i < n; ++i) noise_ratios[i] = noises[i] / base;
+  }
 
   gp::Kernel kernel(options_.kernel, d, options_.ard);
   // Reasonable starting lengthscale for a unit cube.
@@ -343,49 +434,99 @@ BayesOpt::Surrogate BayesOpt::fit_surrogate() {
   switch (options_.hyper_mode) {
     case HyperMode::kFixed: {
       // Hyperparameters never change in this mode, so the surrogate is kept
-      // across calls: an unchanged history is reused outright and a single
-      // new observation is an O(n²) Cholesky rank-grow instead of the O(n³)
-      // refactorization. The constant-liar loop in suggest_batch hits the
-      // append path on every iteration.
-      if (fixed_gp_ && fixed_gp_->fitted() &&
-          fixed_gp_->num_observations() + 1 == n) {
-        if (het || !fixed_gp_->noise_diag().empty()) {
-          fixed_gp_->append_observation(x.row(n - 1), y, noises[n - 1]);
-        } else {
-          fixed_gp_->append_observation(x.row(n - 1), y);
-        }
-      } else if (!(fixed_gp_ && fixed_gp_->fitted() &&
-                   fixed_gp_->num_observations() == n)) {
+      // across calls: an unchanged window is reused outright, a single new
+      // observation is an O(n²) Cholesky rank-grow instead of the O(n³)
+      // refactorization, and a window slide additionally absorbs each
+      // eviction through the O(n²) row downdate. The constant-liar loop in
+      // suggest_batch hits the incremental path on every iteration.
+      std::vector<std::size_t> removals;
+      std::size_t num_appends = 0;
+      if (fixed_gp_ && fixed_gp_->fitted() && fixed_rows_ == window_) {
+        // Same window as the previous call (e.g. repeated suggest() without
+        // observe()): the standardized targets are identical, reuse as-is.
+      } else if (fixed_gp_ && fixed_gp_->fitted() &&
+                 window_step(fixed_rows_, removals, num_appends) &&
+                 (!removals.empty() || num_appends == 1)) {
+        // A multi-append with no eviction refits from scratch instead (the
+        // pre-window behaviour, which windowed-but-not-yet-full histories
+        // must reproduce bit for bit).
+        slide_gp(*fixed_gp_, fixed_rows_, removals, num_appends, s.y_mean,
+                 s.y_scale, het, /*sampled_noise=*/false);
+        fixed_rows_ = window_;
+      } else {
         if (het) gp.set_noise_diag(noises);
         gp.fit(x, y);
         fixed_gp_ = std::move(gp);
-      } else {
-        // Same history as the previous call (e.g. repeated suggest() without
-        // observe()): the standardized targets are identical, reuse as-is.
+        fixed_rows_ = window_;
       }
       s.gps.push_back(*fixed_gp_);
       break;
     }
     case HyperMode::kMle: {
       gp::MleOptions mle;
-      gp::fit_hyperparams_mle(gp, x, y, mle, rng_);
+      gp::fit_hyperparams_mle(gp, x, y, mle, rng_, noise_ratios);
       s.gps.push_back(std::move(gp));
       break;
     }
     case HyperMode::kSliceSample: {
+      const bool windowed = options_.max_observations > 0;
+      std::vector<std::size_t> removals;
+      std::size_t num_appends = 0;
+      // The warm path only engages once an eviction has actually happened:
+      // until then the windowed optimizer must stay bit-identical to the
+      // unwindowed one, which re-samples the chain on every suggest().
+      const bool can_slide = windowed && evictions_ > 0 && warm_.valid &&
+                             !warm_.gps.empty() &&
+                             window_step(warm_.rows, removals, num_appends);
+      if (can_slide && removals.empty() && num_appends == 0) {
+        // Unchanged window (repeated suggest() without observe()): the
+        // standardized targets are identical, reuse the warm GPs as-is.
+        s.gps = warm_.gps;
+        break;
+      }
+      if (can_slide && !removals.empty() &&
+          warm_.slides_since_refresh + 1 < options_.hyper_refit_interval) {
+        // Incremental slide: each per-sample GP evicts and appends through
+        // the O(n²) downdate / rank-grow paths with its hyperparameters
+        // held fixed; no MCMC this call.
+        for (auto& wg : warm_.gps) {
+          slide_gp(wg, warm_.rows, removals, num_appends, s.y_mean,
+                   s.y_scale, het, /*sampled_noise=*/true);
+        }
+        warm_.rows = window_;
+        ++warm_.slides_since_refresh;
+        s.gps = warm_.gps;
+        break;
+      }
       gp::HyperSamplerOptions hs;
       hs.num_samples = options_.hyper_samples;
       hs.burn_in = options_.hyper_burn_in;
       hs.thin = 1;
-      const auto samples = gp::sample_hyperparams(gp, x, y, hs, rng_);
+      if (windowed && evictions_ > 0 && warm_.valid &&
+          !warm_.chain_theta.empty()) {
+        // Warm refresh: resume the chain where the last refresh left it —
+        // the posterior moved only as far as the window slid, so a short
+        // burn-in re-equilibrates it.
+        hs.initial_theta = warm_.chain_theta;
+        hs.burn_in = options_.hyper_burn_in_warm;
+      }
+      const auto samples =
+          gp::sample_hyperparams(gp, x, y, hs, rng_, noise_ratios);
       // One refit per retained sample, each an independent O(n³) Cholesky.
       // The copies share the sampler GP's distance cache, so the refits skip
       // the O(n²·d) pairwise loop; the pool runs one shard per sample (no
       // RNG involved, hence deterministic for any thread count).
       s.gps.assign(samples.size(), gp);
       pool().parallel_for(samples.size(), [&](std::size_t i) {
-        gp::apply_hyperparams(s.gps[i], samples[i].theta, x, y);
+        gp::apply_hyperparams(s.gps[i], samples[i].theta, x, y, noise_ratios);
       });
+      if (windowed) {
+        warm_.valid = true;
+        warm_.rows = window_;
+        warm_.gps = s.gps;
+        warm_.chain_theta = samples.back().theta;
+        warm_.slides_since_refresh = 0;
+      }
       break;
     }
   }
@@ -578,6 +719,18 @@ void BayesOpt::observe(ParamValues x, double y, int rung) {
     best_index_ = observations_.size();
   }
   observations_.push_back(Observation{std::move(x), y, rung});
+  window_.push_back(observations_.size() - 1);
+  if (options_.max_observations > 0 &&
+      window_.size() > options_.max_observations) {
+    // FIFO with incumbent pinning: evict the oldest windowed observation
+    // that is not the incumbent (the incumbent was updated above, so a just-
+    // observed new best is already protected). max_observations >= 2
+    // guarantees an evictable entry exists.
+    std::size_t evict = 0;
+    while (evict < window_.size() && window_[evict] == best_index_) ++evict;
+    window_.erase(window_.begin() + static_cast<std::ptrdiff_t>(evict));
+    ++evictions_;
+  }
 }
 
 void BayesOpt::set_acquisition_costs(double cost_rung1_ms, double cost_rung2_ms,

@@ -58,6 +58,30 @@ struct BayesOptOptions {
   /// hyper_mode == kFixed — slice/MLE infer a scalar noise as part of theta,
   /// which would silently fight the diagonal.
   std::vector<double> rung_noise_variance;
+  /// Sliding observation window: when > 0 the surrogate is fit to at most
+  /// this many observations — once the window overflows, the oldest
+  /// non-incumbent windowed observation is evicted (FIFO with incumbent
+  /// pinning: the best observed point is never evicted, so the acquisition
+  /// baseline cannot regress). Evicted observations stay in the recorded
+  /// history (best()/save_state() still see them); only the GP stops
+  /// conditioning on them, turning the per-suggest fit cost from O(t³) in
+  /// campaign length to O(w³) in the window. 0 (the default) keeps every
+  /// observation and is bit-identical to pre-window behaviour; while the
+  /// history still fits the window (t ≤ max_observations) the windowed
+  /// optimizer is also bit-identical to the unwindowed one. Must be 0 or
+  /// ≥ 2 (incumbent + at least one evictable row).
+  std::size_t max_observations = 0;
+  /// Windowed slice-sampling only: number of window slides between warm
+  /// hyperparameter refreshes. Between refreshes each per-sample GP slides
+  /// incrementally (O(w²) evict + append) with its hyperparameters held;
+  /// every `hyper_refit_interval`-th slide re-runs the slice sampler warm-
+  /// started from the previous chain state. Ignored when the window is
+  /// unbounded or before the first eviction.
+  std::size_t hyper_refit_interval = 8;
+  /// Burn-in sweeps for warm-started refreshes. The chain resumes from the
+  /// previous refresh's final state and the posterior only moved as far as
+  /// the window slid, so this can be much smaller than hyper_burn_in.
+  std::size_t hyper_burn_in_warm = 5;
   std::uint64_t seed = 42;
   /// Threads for candidate scoring and per-sample GP refits; 0 = auto
   /// (ThreadPool::default_thread_count()). suggest() output is
@@ -127,6 +151,13 @@ class BayesOpt {
   const std::vector<Observation>& observations() const {
     return observations_;
   }
+  /// Observations the surrogate currently conditions on (= all of them when
+  /// max_observations is 0 or the history still fits the window).
+  std::size_t window_size() const { return window_.size(); }
+  /// Observations evicted from the window so far (0 when unbounded).
+  std::size_t num_evictions() const { return evictions_; }
+  /// Indices into observations() the surrogate conditions on, ascending.
+  const std::vector<std::size_t>& window_indices() const { return window_; }
 
   struct BestResult {
     ParamValues x;
@@ -145,6 +176,26 @@ class BayesOpt {
   struct Surrogate;
   Surrogate fit_surrogate();
   std::vector<double> maximize_acquisition(Surrogate& surrogate);
+  /// Diff a previous fit's window `from` against the current window_: true
+  /// when the step is incremental (current window = kept prefix of `from`
+  /// plus newer appended ids), filling `removals` with the positions of
+  /// `from` that dropped out (ascending) and `num_appends` with the count of
+  /// new trailing ids. False means the windows diverged (resume, manual
+  /// surgery) and the caller should refit from scratch.
+  bool window_step(const std::vector<std::size_t>& from,
+                   std::vector<std::size_t>& removals,
+                   std::size_t& num_appends) const;
+  /// Slide one fitted GP from the rows of `from` to the current window_ via
+  /// remove_observation / append_observation — O(w²) per changed row instead
+  /// of the O(w³) refit. Targets are re-standardized with the current fit's
+  /// (y_mean, y_scale). `sampled_noise` selects the appended row's noise:
+  /// false = the rung's configured variance (kFixed), true = the GP's own
+  /// sampled scalar scaled by the rung's variance ratio (slice-sampled GPs,
+  /// see apply_hyperparams' noise_ratio_diag).
+  void slide_gp(gp::GpRegressor& g, const std::vector<std::size_t>& from,
+                const std::vector<std::size_t>& removals,
+                std::size_t num_appends, double y_mean, double y_scale,
+                bool het, bool sampled_noise) const;
 
   ParamSpace space_;
   BayesOptOptions options_;
@@ -156,6 +207,14 @@ class BayesOpt {
   double acq_threshold_y_ = 0.0;
   std::vector<std::vector<double>> unit_x_;  // cached unit-space inputs
   std::size_t best_index_ = 0;               // incumbent, kept by observe()
+  /// Observation indices the surrogate conditions on, in GP row order
+  /// (ascending, so older rows come first). Maintained by observe(): every
+  /// observation enters; when max_observations > 0 and the window overflows,
+  /// the oldest non-incumbent entry leaves. Equals [0, n) when unbounded.
+  /// Not serialized — save_state() keeps the full history and load_state()'s
+  /// observe() replay rebuilds the identical window.
+  std::vector<std::size_t> window_;
+  std::size_t evictions_ = 0;
   /// Lazily constructed on the first suggest() that needs it, so that the
   /// multi-campaign scheduler can hold thousands of idle optimizers (each
   /// pinned to num_threads = 1, whose pool owns no threads at all) without
@@ -168,8 +227,28 @@ class BayesOpt {
   std::shared_ptr<ThreadPool> pool_;
   // kFixed-mode surrogate, kept across suggest() calls so a single new
   // observation is an O(n²) Cholesky rank-grow instead of an O(n³) refit —
-  // this is what makes the constant-liar suggest_batch loop cheap.
+  // this is what makes the constant-liar suggest_batch loop cheap. With a
+  // bounded window the same object also absorbs evictions through the O(n²)
+  // Cholesky row downdate; fixed_rows_ records which observation ids its
+  // rows currently hold so fit_surrogate can diff them against window_.
   std::optional<gp::GpRegressor> fixed_gp_;
+  std::vector<std::size_t> fixed_rows_;
+  /// Warm sliding-window state for slice-sampled surrogates: the per-sample
+  /// GPs of the last full/warm hyperparameter refresh plus the chain's final
+  /// theta. Between refreshes, suggest() slides these GPs incrementally
+  /// instead of re-running MCMC; every hyper_refit_interval-th slide (and
+  /// whenever the window diverges) the sampler re-equilibrates from
+  /// chain_theta with hyper_burn_in_warm sweeps. Engaged only after the
+  /// first eviction, so windowed-but-not-yet-full histories stay
+  /// bit-identical to the unwindowed optimizer.
+  struct WarmSlice {
+    bool valid = false;
+    std::vector<std::size_t> rows;     // observation ids, GP row order
+    std::vector<gp::GpRegressor> gps;  // one per retained hyper sample
+    std::vector<double> chain_theta;   // sampler state at the last refresh
+    std::size_t slides_since_refresh = 0;
+  };
+  WarmSlice warm_;
 };
 
 }  // namespace stormtune::bo

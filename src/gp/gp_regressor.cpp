@@ -348,6 +348,87 @@ void GpRegressor::append_impl(std::span<const double> x_new,
   fit_current_ = true;
 }
 
+void GpRegressor::remove_observation(std::size_t idx, const Vector& y_all) {
+  STORMTUNE_REQUIRE(fitted(),
+                    "GpRegressor::remove_observation: call fit() first");
+  const std::size_t n = x_.rows();
+  const std::size_t d = x_.cols();
+  STORMTUNE_REQUIRE(idx < n,
+                    "GpRegressor::remove_observation: index out of range");
+  STORMTUNE_REQUIRE(n >= 2,
+                    "GpRegressor::remove_observation: cannot empty the fit");
+  STORMTUNE_REQUIRE(
+      y_all.size() == n - 1,
+      "GpRegressor::remove_observation: y must have n-1 entries");
+  fit_current_ = false;
+  const std::size_t m = n - 1;
+  // Skip-copy helper: source row r of an n-sized structure for reduced row i.
+  const auto src_of = [idx](std::size_t i) { return i < idx ? i : i + 1; };
+
+  Matrix reduced_x(m, d);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto src = x_.row(src_of(i));
+    const auto dst = reduced_x.row(i);
+    for (std::size_t k = 0; k < d; ++k) dst[k] = src[k];
+  }
+  x_ = std::move(reduced_x);
+
+  // Evict the row from the distance cache in O(n²) copies — the O(n²·d)
+  // distance loop never reruns for a remove.
+  auto cache = std::make_shared<DistanceCache>();
+  cache->n = m;
+  if (!kernel_.ard()) {
+    cache->sq = Matrix(m, m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto src = dist_->sq.row(src_of(i));
+      const auto dst = cache->sq.row(i);
+      for (std::size_t j = 0; j < m; ++j) dst[j] = src[src_of(j)];
+    }
+  } else {
+    // Pairs (i, j), i < j, grouped by ascending j at offset
+    // (j·(j−1)/2 + i)·d: the surviving pairs keep their relative order
+    // under index remapping, so the repack is one forward write.
+    cache->sq_dims.resize(m * (m - 1) / 2 * d);
+    double* out = cache->sq_dims.data();
+    const double* src = dist_->sq_dims.data();
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t sj = src_of(j);
+      for (std::size_t i = 0; i < j; ++i) {
+        const std::size_t si = src_of(i);
+        const double* p = src + (sj * (sj - 1) / 2 + si) * d;
+        for (std::size_t k = 0; k < d; ++k) *out++ = p[k];
+      }
+    }
+  }
+  dist_ = std::move(cache);
+
+  // Correlation cache: same skip-copy (valid because fitted() held on entry
+  // and the hyperparameters are unchanged).
+  Matrix reduced_corr(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto src = corr_.row(src_of(i));
+    const auto dst = reduced_corr.row(i);
+    for (std::size_t j = 0; j < m; ++j) dst[j] = src[src_of(j)];
+  }
+  corr_ = std::move(reduced_corr);
+
+  if (!noise_diag_.empty()) {
+    noise_diag_.erase(noise_diag_.begin() +
+                      static_cast<std::ptrdiff_t>(idx));
+    // Keep the factor cache key in sync, as append_impl does.
+    chol_noise_diag_ = noise_diag_;
+  }
+
+  // O(n²) Givens downdate of the factor; cannot fail on a valid factor, so
+  // there is no refactorization fallback to take.
+  chol_->remove_row(idx);
+
+  y_centered_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) y_centered_[i] = y_all[i] - mean_value_;
+  alpha_ = chol_->solve(y_centered_);
+  fit_current_ = true;
+}
+
 Prediction GpRegressor::predict(std::span<const double> x) const {
   Matrix q(1, x.size());
   const auto dst = q.row(0);

@@ -65,6 +65,20 @@ class GpRegressor {
   void append_observation(std::span<const double> x_new, const Vector& y_all,
                           double noise_new);
 
+  /// Incremental evict: remove observation row `idx` together with the full
+  /// (possibly re-standardized) remaining target vector `y_all` of length
+  /// n−1. The dual of append_observation — every fit cache evicts the row
+  /// instead of invalidating wholesale: the distance and correlation caches
+  /// are copy-reduced in O(n²) (never the O(n²·d) distance recompute), a
+  /// heteroscedastic noise diagonal drops its entry, and the Cholesky factor
+  /// is downdated in place via Cholesky::remove_row — O(n²) Givens
+  /// rotations, never the O(n³) refactorization, and unlike append it
+  /// cannot fail on a valid factor. Requires fitted(), unchanged
+  /// hyperparameters, and at least two observations. This is the
+  /// sliding-window surrogate's eviction path: a window slide costs one
+  /// remove + one append, both O(n²).
+  void remove_observation(std::size_t idx, const Vector& y_all);
+
   bool fitted() const { return chol_.has_value() && fit_current_; }
   std::size_t num_observations() const { return x_.rows(); }
   /// Training inputs of the current fit, one row per observation.

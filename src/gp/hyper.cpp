@@ -40,20 +40,34 @@ double HyperPrior::log_density(std::span<const double> theta,
 }
 
 void apply_hyperparams(GpRegressor& gp, std::span<const double> theta,
-                       const Matrix& x, const Vector& y) {
+                       const Matrix& x, const Vector& y,
+                       std::span<const double> noise_ratio_diag) {
   const std::size_t nk = gp.kernel().num_hyperparams();
   STORMTUNE_REQUIRE(theta.size() == nk + 2,
                     "apply_hyperparams: theta layout mismatch");
+  STORMTUNE_REQUIRE(
+      noise_ratio_diag.empty() || noise_ratio_diag.size() == x.rows(),
+      "apply_hyperparams: noise_ratio_diag size mismatch");
   gp.set_kernel_hyperparams(theta.subspan(0, nk));
   const double log_noise_std = theta[nk];
-  gp.set_noise_variance(std::exp(2.0 * log_noise_std));
+  const double nv = std::exp(2.0 * log_noise_std);
+  gp.set_noise_variance(nv);
+  if (!noise_ratio_diag.empty()) {
+    // Per-rung structure rides on the sampled scale: sigma_n^2 * ratio_i.
+    std::vector<double> diag(noise_ratio_diag.size());
+    for (std::size_t i = 0; i < diag.size(); ++i) {
+      diag[i] = nv * noise_ratio_diag[i];
+    }
+    gp.set_noise_diag(diag);
+  }
   gp.set_mean_value(theta[nk + 1]);
   gp.fit(x, y);
 }
 
 double hyper_log_posterior(GpRegressor& gp, std::span<const double> theta,
                            const Matrix& x, const Vector& y,
-                           const HyperPrior& prior) {
+                           const HyperPrior& prior,
+                           std::span<const double> noise_ratio_diag) {
   // Reject numerically absurd settings outright; they would only waste a
   // Cholesky attempt and distort the stepping-out brackets.
   for (double t : theta) {
@@ -62,7 +76,7 @@ double hyper_log_posterior(GpRegressor& gp, std::span<const double> theta,
     }
   }
   try {
-    apply_hyperparams(gp, theta, x, y);
+    apply_hyperparams(gp, theta, x, y, noise_ratio_diag);
   } catch (const Error&) {
     return -std::numeric_limits<double>::infinity();
   }
@@ -70,15 +84,20 @@ double hyper_log_posterior(GpRegressor& gp, std::span<const double> theta,
   return gp.log_marginal_likelihood() + prior.log_density(theta, num_ls);
 }
 
-std::vector<HyperSample> sample_hyperparams(GpRegressor& gp, const Matrix& x,
-                                            const Vector& y,
-                                            const HyperSamplerOptions& opts,
-                                            Rng& rng) {
+std::vector<HyperSample> sample_hyperparams(
+    GpRegressor& gp, const Matrix& x, const Vector& y,
+    const HyperSamplerOptions& opts, Rng& rng,
+    std::span<const double> noise_ratio_diag) {
   STORMTUNE_REQUIRE(opts.num_samples > 0,
                     "sample_hyperparams: need num_samples > 0");
-  std::vector<double> theta = initial_theta(gp);
+  STORMTUNE_REQUIRE(
+      opts.initial_theta.empty() ||
+          opts.initial_theta.size() == gp.kernel().num_hyperparams() + 2,
+      "sample_hyperparams: initial_theta layout mismatch");
+  std::vector<double> theta =
+      opts.initial_theta.empty() ? initial_theta(gp) : opts.initial_theta;
   auto log_post = [&](const std::vector<double>& t) {
-    return hyper_log_posterior(gp, t, x, y, opts.prior);
+    return hyper_log_posterior(gp, t, x, y, opts.prior, noise_ratio_diag);
   };
   SliceOptions slice;
   slice.width = 0.7;
@@ -94,15 +113,16 @@ std::vector<HyperSample> sample_hyperparams(GpRegressor& gp, const Matrix& x,
     samples.push_back(HyperSample{theta});
   }
   // Leave gp fitted with the final sample so callers can predict directly.
-  apply_hyperparams(gp, samples.back().theta, x, y);
+  apply_hyperparams(gp, samples.back().theta, x, y, noise_ratio_diag);
   return samples;
 }
 
 HyperSample fit_hyperparams_mle(GpRegressor& gp, const Matrix& x,
                                 const Vector& y, const MleOptions& opts,
-                                Rng& rng) {
+                                Rng& rng,
+                                std::span<const double> noise_ratio_diag) {
   auto objective = [&](const std::vector<double>& t) {
-    return hyper_log_posterior(gp, t, x, y, opts.prior);
+    return hyper_log_posterior(gp, t, x, y, opts.prior, noise_ratio_diag);
   };
 
   std::vector<double> best = initial_theta(gp);
@@ -142,7 +162,7 @@ HyperSample fit_hyperparams_mle(GpRegressor& gp, const Matrix& x,
   }
   STORMTUNE_REQUIRE(std::isfinite(best_val),
                     "fit_hyperparams_mle: no finite posterior value found");
-  apply_hyperparams(gp, best, x, y);
+  apply_hyperparams(gp, best, x, y, noise_ratio_diag);
   return HyperSample{std::move(best)};
 }
 

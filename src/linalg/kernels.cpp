@@ -32,6 +32,15 @@ inline void rank1_impl(double* __restrict__ c, const double* __restrict__ p,
   for (std::size_t j = 0; j < len; ++j) c[j] -= a * p[j];
 }
 
+inline void givens_impl(double* __restrict__ lrow, double* __restrict__ v,
+                        double c, double s, std::size_t len) {
+  for (std::size_t j = 0; j < len; ++j) {
+    const double t = c * lrow[j] + s * v[j];
+    v[j] = c * v[j] - s * lrow[j];
+    lrow[j] = t;
+  }
+}
+
 struct LaneOps {
   static void rank4(double* c, const double* p0, const double* p1,
                     const double* p2, const double* p3, double a0, double a1,
@@ -63,6 +72,11 @@ void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
   detail::cholesky_trailing_update<LaneOps>(lf, ltf, ld, k0, k1, n);
 }
 
+void givens_row_update(double* __restrict__ lrow, double* __restrict__ v,
+                       double c, double s, std::size_t len) {
+  givens_impl(lrow, v, c, s, len);
+}
+
 void solve_lower_multi(const double* lf, std::size_t ld, double* v,
                        std::size_t m, std::size_t n) {
   detail::solve_lower_multi<LaneOps>(lf, ld, v, m, n, kPanelWidth);
@@ -83,6 +97,8 @@ void rank4_row_update(double* c, const double* p0, const double* p1,
 void rank1_row_update(double* c, const double* p, double a, std::size_t len);
 void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
                               std::size_t k0, std::size_t k1, std::size_t n);
+void givens_row_update(double* lrow, double* v, double c, double s,
+                       std::size_t len);
 void solve_lower_multi(const double* lf, std::size_t ld, double* v,
                        std::size_t m, std::size_t n);
 void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
@@ -98,6 +114,8 @@ void rank4_row_update(double* c, const double* p0, const double* p1,
 void rank1_row_update(double* c, const double* p, double a, std::size_t len);
 void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
                               std::size_t k0, std::size_t k1, std::size_t n);
+void givens_row_update(double* lrow, double* v, double c, double s,
+                       std::size_t len);
 void solve_lower_multi(const double* lf, std::size_t ld, double* v,
                        std::size_t m, std::size_t n);
 void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
@@ -113,6 +131,8 @@ void rank4_row_update(double* c, const double* p0, const double* p1,
 void rank1_row_update(double* c, const double* p, double a, std::size_t len);
 void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
                               std::size_t k0, std::size_t k1, std::size_t n);
+void givens_row_update(double* lrow, double* v, double c, double s,
+                       std::size_t len);
 void solve_lower_multi(const double* lf, std::size_t ld, double* v,
                        std::size_t m, std::size_t n);
 void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
@@ -125,11 +145,13 @@ namespace {
 constexpr KernelOps kPortableOps{portable::rank4_row_update,
                                  portable::rank1_row_update,
                                  portable::cholesky_trailing_update,
+                                 portable::givens_row_update,
                                  portable::solve_lower_multi,
                                  portable::solve_lower_transpose_multi};
 #ifdef STORMTUNE_HAVE_ISA_AVX2
 constexpr KernelOps kAvx2Ops{avx2::rank4_row_update, avx2::rank1_row_update,
                              avx2::cholesky_trailing_update,
+                             avx2::givens_row_update,
                              avx2::solve_lower_multi,
                              avx2::solve_lower_transpose_multi};
 #endif
@@ -137,12 +159,14 @@ constexpr KernelOps kAvx2Ops{avx2::rank4_row_update, avx2::rank1_row_update,
 constexpr KernelOps kAvx512Ops{avx512::rank4_row_update,
                                avx512::rank1_row_update,
                                avx512::cholesky_trailing_update,
+                               avx512::givens_row_update,
                                avx512::solve_lower_multi,
                                avx512::solve_lower_transpose_multi};
 #endif
 #ifdef STORMTUNE_HAVE_ISA_NEON
 constexpr KernelOps kNeonOps{neon::rank4_row_update, neon::rank1_row_update,
                              neon::cholesky_trailing_update,
+                             neon::givens_row_update,
                              neon::solve_lower_multi,
                              neon::solve_lower_transpose_multi};
 #endif

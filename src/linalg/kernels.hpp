@@ -60,6 +60,15 @@ struct KernelOps {
   void (*cholesky_trailing_update)(double* lf, const double* ltf,
                                    std::size_t ld, std::size_t k0,
                                    std::size_t k1, std::size_t n);
+  /// One Givens rotation applied across a factor row and the downdate
+  /// carry vector: per element, t = c*lrow[j] + s*v[j];
+  /// v[j] = c*v[j] - s*lrow[j]; lrow[j] = t — separate multiply/add/sub
+  /// (no FMA) and elementwise-independent lanes, so every path produces
+  /// the scalar sequence bit for bit. This is the inner sweep of
+  /// Cholesky::remove_row: rotating the deleted row's column out of the
+  /// trailing factor, one column (= one stride-1 mirror row) at a time.
+  void (*givens_row_update)(double* lrow, double* v, double c, double s,
+                            std::size_t len);
   /// Blocked forward substitution over an n×m row-major RHS block `v`
   /// (stride m), diagonal blocks of kPanelWidth columns.
   void (*solve_lower_multi)(const double* lf, std::size_t ld, double* v,

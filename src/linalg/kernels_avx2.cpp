@@ -79,6 +79,31 @@ void rank1_row_update(double* c, const double* p, double a, std::size_t len) {
   rank1_impl(c, p, a, len);
 }
 
+// Givens rotation across a factor row and the downdate carry vector: both
+// products per output evaluated with separate mul/add/sub (no vfmadd),
+// lanes touch disjoint elements, so the sequence per element is exactly
+// the portable loop's.
+void givens_row_update(double* lrow, double* v, double c, double s,
+                       std::size_t len) {
+  const __m256d vc = _mm256_set1_pd(c);
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    const __m256d l = _mm256_loadu_pd(lrow + j);
+    const __m256d w = _mm256_loadu_pd(v + j);
+    const __m256d t = _mm256_add_pd(_mm256_mul_pd(vc, l), _mm256_mul_pd(vs, w));
+    const __m256d nw =
+        _mm256_sub_pd(_mm256_mul_pd(vc, w), _mm256_mul_pd(vs, l));
+    _mm256_storeu_pd(v + j, nw);
+    _mm256_storeu_pd(lrow + j, t);
+  }
+  for (; j < len; ++j) {
+    const double t = c * lrow[j] + s * v[j];
+    v[j] = c * v[j] - s * lrow[j];
+    lrow[j] = t;
+  }
+}
+
 // Block-level entry points: one indirect call per panel / solve sweep, the
 // lane kernels inlined into the loops (see kernels_blocks.hpp).
 void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,

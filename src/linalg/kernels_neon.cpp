@@ -77,6 +77,30 @@ void rank1_row_update(double* c, const double* p, double a, std::size_t len) {
   rank1_impl(c, p, a, len);
 }
 
+// Givens rotation across a factor row and the downdate carry vector: both
+// products per output evaluated with separate vmulq/vaddq/vsubq (no vfmaq),
+// lanes touch disjoint elements, so the sequence per element is exactly
+// the portable loop's.
+void givens_row_update(double* lrow, double* v, double c, double s,
+                       std::size_t len) {
+  const float64x2_t vc = vdupq_n_f64(c);
+  const float64x2_t vs = vdupq_n_f64(s);
+  std::size_t j = 0;
+  for (; j + 2 <= len; j += 2) {
+    const float64x2_t l = vld1q_f64(lrow + j);
+    const float64x2_t w = vld1q_f64(v + j);
+    const float64x2_t t = vaddq_f64(vmulq_f64(vc, l), vmulq_f64(vs, w));
+    const float64x2_t nw = vsubq_f64(vmulq_f64(vc, w), vmulq_f64(vs, l));
+    vst1q_f64(v + j, nw);
+    vst1q_f64(lrow + j, t);
+  }
+  for (; j < len; ++j) {
+    const double t = c * lrow[j] + s * v[j];
+    v[j] = c * v[j] - s * lrow[j];
+    lrow[j] = t;
+  }
+}
+
 // Block-level entry points: one indirect call per panel / solve sweep, the
 // lane kernels inlined into the loops (see kernels_blocks.hpp).
 void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,

@@ -105,6 +105,7 @@ void Cholesky::refactor(const Matrix& a, double scale, double diag_add) {
     const std::size_t new_cap = std::max(a.rows(), 2 * cap_);
     lf_.assign(new_cap * new_cap, 0.0);
     ltf_.assign(new_cap * new_cap, 0.0);
+    work_.assign(new_cap, 0.0);
     cap_ = new_cap;
     ++allocs_;
   }
@@ -120,6 +121,7 @@ void Cholesky::refactor(const Matrix& a, double scale, double diag_add,
     const std::size_t new_cap = std::max(a.rows(), 2 * cap_);
     lf_.assign(new_cap * new_cap, 0.0);
     ltf_.assign(new_cap * new_cap, 0.0);
+    work_.assign(new_cap, 0.0);
     cap_ = new_cap;
     ++allocs_;
   }
@@ -332,12 +334,26 @@ void Cholesky::append_row(std::span<const double> b, double c) {
   }
 #endif
   // New bottom row of L is [yᵀ, l] with L y = b and l = sqrt(c - yᵀy).
-  Vector y(b.begin(), b.end());
-  solve_lower_in_place(y);
-  const double diag = c - dot(y, y);
+  // The solve runs in the persistent scratch row (work_ is sized with the
+  // buffers, and remove_row — its other user — never runs concurrently), so
+  // steady-state append/remove window slides never touch the heap.
+  if (work_.size() < n_) work_.assign(std::max(n_, cap_), 0.0);
+  double* y = work_.data();
+  std::copy(b.begin(), b.end(), y);
+  solve_lower_in_place({y, n_});
+  double yty = 0.0;
+  for (std::size_t k = 0; k < n_; ++k) yty += y[k] * y[k];
+  const double diag = c - yty;
   STORMTUNE_REQUIRE(diag > 0.0,
                     "Cholesky::append_row: matrix not positive definite");
-  if (n_ + 1 > cap_) grow(std::max(n_ + 1, 2 * cap_));
+  if (n_ + 1 > cap_) {
+    // grow() resets work_, so it cannot carry y across the reallocation;
+    // stage the new row directly into the fresh buffers afterwards.
+    std::vector<double> staged(y, y + n_);
+    grow(std::max(n_ + 1, 2 * cap_));
+    y = work_.data();
+    std::copy(staged.begin(), staged.end(), y);
+  }
   const double l_new = std::sqrt(diag);
   double* last = lf_.data() + n_ * cap_;
   for (std::size_t k = 0; k < n_; ++k) last[k] = y[k];
@@ -346,6 +362,88 @@ void Cholesky::append_row(std::span<const double> b, double c) {
   for (std::size_t k = 0; k < n_; ++k) ltf_[k * cap_ + n_] = y[k];
   ltf_[n_ * cap_ + n_] = l_new;
   ++n_;
+}
+
+// Delete row and column `i` from the factored matrix. Partition L at i:
+//
+//   [ L11        ]            deleting A's row/col i keeps L11 and L31
+//   [ l21  lii   ]            verbatim (shifted up), drops row [l21, lii],
+//   [ L31  l32  L33 ]         and replaces L33 with L33' satisfying
+//                             L33' L33'ᵀ = L33 L33ᵀ + l32 l32ᵀ.
+//
+// That trailing correction is a rank-1 UPDATE (positive sign): zeroing the
+// carry vector v = l32 against the augmented matrix [L33 | v] with one plain
+// Givens rotation per column preserves [L33 | v][L33 | v]ᵀ and leaves the
+// updated factor. Each rotation's new diagonal is r = sqrt(lkk² + vk²) ≥
+// lkk > 0, so a valid factor can never fail — no exception path, unlike
+// append_row. The sweep runs on the transposed mirror (row k of Lᵀ = column
+// k of L, stride-1) through the dispatched givens_row_update kernel, then
+// the trailing block is transpose-copied back into lf_. Everything happens
+// inside the tracked capacity plus the persistent work_ row: steady-state
+// append/remove cycles are allocation-free.
+//
+// Determinism: columns are processed in ascending k, each rotation applied
+// left-associated per element by every ISA path (see kernels.hpp), so the
+// result is bit-identical across portable/AVX2/AVX-512/NEON.
+void Cholesky::remove_row(std::size_t i) {
+  STORMTUNE_REQUIRE(i < n_, "Cholesky::remove_row: index out of range");
+  if (i == n_ - 1) {
+    // Dropping the last row of L is the whole job: the stale row/column
+    // beyond n_ is never read (lower()/log_determinant walk [0, n_)) and is
+    // overwritten by the next append_row or refactor.
+    --n_;
+    return;
+  }
+  const std::size_t ld = cap_;
+  const std::size_t m = n_ - 1 - i;  // trailing block size after deletion
+  if (work_.size() < ld) work_.assign(ld, 0.0);  // pre-grow() factors only
+  double* lf = lf_.data();
+  double* ltf = ltf_.data();
+  double* v = work_.data();
+  // Carry vector: the deleted column below the diagonal, l32 = L(i+1.., i),
+  // stride-1 as mirror row i.
+  std::copy_n(ltf + i * ld + i + 1, m, v);
+  // Shift rows i+1.. of L up by one. Only the column prefix [0, i) survives
+  // as-is; columns ≥ i are rebuilt from the mirror after the sweep.
+  for (std::size_t j = i + 1; j < n_; ++j) {
+    std::copy_n(lf + j * ld, i, lf + (j - 1) * ld);
+  }
+  // Shift the mirror. Columns < i of L lose one entry: positions [i+1, n_)
+  // of mirror row c move forward to [i, n_-1) (std::copy with dest < src).
+  for (std::size_t c = 0; c < i; ++c) {
+    double* row = ltf + c * ld;
+    std::copy(row + i + 1, row + n_, row + i);
+  }
+  // Columns > i of L become columns c-1 with row i deleted: mirror row c's
+  // valid region [c, n_) lands at [c-1, n_-1) of row c-1. Ascending c
+  // overwrites row i first — the carry vector was already saved above.
+  for (std::size_t c = i + 1; c < n_; ++c) {
+    std::copy_n(ltf + c * ld + c, n_ - c, ltf + (c - 1) * ld + c - 1);
+  }
+  --n_;
+  // Rotate the carry vector out of the trailing factor, one column per
+  // rotation, through the dispatched kernel (fetched once per call).
+  const lk::KernelOps& kops = lk::ops();
+  for (std::size_t k = i; k < n_; ++k) {
+    const double vk = v[k - i];
+    // A zero carry entry is an identity rotation; skipping it (instead of
+    // multiplying through c=1, s=0) keeps the column bit-identical.
+    if (vk == 0.0) continue;
+    double* lrow = ltf + k * ld;
+    const double lkk = lrow[k];
+    const double r = std::sqrt(lkk * lkk + vk * vk);
+    const double c0 = lkk / r;
+    const double s0 = vk / r;
+    lrow[k] = r;
+    kops.givens_row_update(lrow + k + 1, v + (k - i) + 1, c0, s0,
+                           n_ - (k + 1));
+  }
+  // The mirror's trailing rows now hold the updated factor's columns;
+  // transpose-copy them back so lf_ and ltf_ agree again.
+  for (std::size_t k = i; k < n_; ++k) {
+    const double* lrow = ltf + k * ld;
+    for (std::size_t j = k; j < n_; ++j) lf[j * ld + k] = lrow[j];
+  }
 }
 
 void Cholesky::reserve(std::size_t cap) {
@@ -362,6 +460,7 @@ void Cholesky::grow(std::size_t new_cap) {
   }
   lf_ = std::move(lf);
   ltf_ = std::move(ltf);
+  work_.assign(new_cap, 0.0);
   cap_ = new_cap;
   ++allocs_;
 }

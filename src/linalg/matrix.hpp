@@ -161,6 +161,18 @@ class Cholesky {
   /// that case.
   void append_row(std::span<const double> b, double c);
 
+  /// Rank-shrink downdate: given this factor L of an n×n SPD matrix A,
+  /// replace it in place with the factor of A with row and column `i`
+  /// deleted, in O(n²) instead of the O(n³) refactorization (O(n−i) when
+  /// i == n−1, where dropping the last row of L is the whole job). The
+  /// trailing factor satisfies L' L'ᵀ = L33 L33ᵀ + l32 l32ᵀ — a rank-1
+  /// *update* with plain Givens rotations (never hyperbolic), so unlike
+  /// append_row this cannot fail on a valid factor: every rotation's new
+  /// diagonal r = sqrt(lkk² + vk²) ≥ lkk > 0. Runs entirely inside the
+  /// tracked capacity (plus a persistent member scratch row), so
+  /// steady-state append/remove cycles are allocation-free.
+  void remove_row(std::size_t i);
+
   /// Ensure capacity for factors up to `cap` rows without reallocation.
   void reserve(std::size_t cap);
 
@@ -193,6 +205,10 @@ class Cholesky {
   std::size_t allocs_ = 0;
   std::vector<double> lf_;   // row-major L, leading dimension cap_
   std::vector<double> ltf_;  // row-major Lᵀ (mirror), leading dimension cap_
+  /// Downdate carry vector for remove_row (the deleted column of L, rotated
+  /// out of the trailing factor). Sized with the buffers above so remove_row
+  /// never allocates while capacity suffices.
+  std::vector<double> work_;
 };
 
 /// Dot product; dimension-checked.

@@ -56,4 +56,20 @@ Vector solve_lower_transpose(const Matrix& l, const Vector& y) {
   return x;
 }
 
+Matrix remove_row_col(const Matrix& a, std::size_t i) {
+  const std::size_t n = a.rows();
+  STORMTUNE_REQUIRE(a.cols() == n,
+                    "reference::remove_row_col: matrix must be square");
+  STORMTUNE_REQUIRE(i < n, "reference::remove_row_col: index out of range");
+  Matrix out(n - 1, n - 1);
+  for (std::size_t r = 0; r < n - 1; ++r) {
+    const std::size_t sr = r < i ? r : r + 1;
+    for (std::size_t c = 0; c < n - 1; ++c) {
+      const std::size_t sc = c < i ? c : c + 1;
+      out(r, c) = a(sr, sc);
+    }
+  }
+  return out;
+}
+
 }  // namespace stormtune::reference

@@ -21,4 +21,10 @@ Vector solve_lower(const Matrix& l, const Vector& b);
 /// pre-mirror implementation did.
 Vector solve_lower_transpose(const Matrix& l, const Vector& y);
 
+/// `a` with row and column `i` deleted — builds the (n−1)×(n−1) matrix a
+/// fresh refactorization sees after a window eviction. Oracle input for
+/// Cholesky::remove_row: the downdated factor must match
+/// cholesky_lower(remove_row_col(a, i)) to tight tolerance.
+Matrix remove_row_col(const Matrix& a, std::size_t i);
+
 }  // namespace stormtune::reference

@@ -34,12 +34,13 @@ sim::SimParams rung1_params(const sim::SimParams& full,
 
 bo::BayesOptOptions ladder_bo_options(bo::BayesOptOptions o,
                                       const LadderOptions& lo) {
-  if (o.rung_noise_variance.empty() &&
-      o.hyper_mode == bo::HyperMode::kFixed) {
+  if (o.rung_noise_variance.empty()) {
     // Rung-1 measurements come from a shorter, loosely-stopped window:
     // give them a wider noise band than full-window rung-2 runs. The zero
     // entries inherit fixed_noise_variance (rung 2 keeps the
-    // single-fidelity default).
+    // single-fidelity default). kFixed mode applies the variances as-is;
+    // the sampled hyper modes keep the rung-1/rung-2 ratio fixed while the
+    // overall noise scale is inferred (apply_hyperparams' noise_ratio_diag).
     o.rung_noise_variance = {0.0, lo.rung1_noise_multiple *
                                       o.fixed_noise_variance,
                              0.0};
@@ -48,6 +49,46 @@ bo::BayesOptOptions ladder_bo_options(bo::BayesOptOptions o,
 }
 
 }  // namespace
+
+Json LadderOptions::to_json() const {
+  JsonObject o;
+  o["screen_batch"] = screen_batch;
+  o["promote_top_k"] = promote_top_k;
+  o["challenge_fraction"] = challenge_fraction;
+  o["rung1_epsilon"] = rung1_epsilon;
+  o["rung1_window_fraction"] = rung1_window_fraction;
+  o["rung1_noise_multiple"] = rung1_noise_multiple;
+  o["cost_aware_acquisition"] = cost_aware_acquisition;
+  return Json(std::move(o));
+}
+
+LadderOptions LadderOptions::from_json(const Json& j) {
+  // Every field falls back to its default when absent, so a campaign entry
+  // can override a single knob without restating the rest.
+  LadderOptions o;
+  if (j.contains("screen_batch")) {
+    o.screen_batch = static_cast<std::size_t>(j.at("screen_batch").as_int());
+  }
+  if (j.contains("promote_top_k")) {
+    o.promote_top_k = static_cast<std::size_t>(j.at("promote_top_k").as_int());
+  }
+  if (j.contains("challenge_fraction")) {
+    o.challenge_fraction = j.at("challenge_fraction").as_number();
+  }
+  if (j.contains("rung1_epsilon")) {
+    o.rung1_epsilon = j.at("rung1_epsilon").as_number();
+  }
+  if (j.contains("rung1_window_fraction")) {
+    o.rung1_window_fraction = j.at("rung1_window_fraction").as_number();
+  }
+  if (j.contains("rung1_noise_multiple")) {
+    o.rung1_noise_multiple = j.at("rung1_noise_multiple").as_number();
+  }
+  if (j.contains("cost_aware_acquisition")) {
+    o.cost_aware_acquisition = j.at("cost_aware_acquisition").as_bool();
+  }
+  return o;
+}
 
 FidelityLadder::FidelityLadder(sim::Topology topology, sim::ClusterSpec cluster,
                                sim::SimParams params, std::uint64_t seed,

@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "stormsim/fluid.hpp"
 #include "tuning/experiment.hpp"
 #include "tuning/objective.hpp"
@@ -68,12 +69,17 @@ struct LadderOptions {
   /// Rung-1 measurement window as a fraction of the full window.
   double rung1_window_fraction = 0.25;
   /// Observation-noise variance multiple applied to rung-1 measurements
-  /// when the caller leaves BayesOptOptions::rung_noise_variance empty
-  /// (kFixed hyper mode only — see LadderTuner).
+  /// when the caller leaves BayesOptOptions::rung_noise_variance empty.
+  /// kFixed mode uses the variances directly; the sampled hyper modes carry
+  /// them as fixed ratios on the inferred noise scale (see
+  /// gp::apply_hyperparams' noise_ratio_diag).
   double rung1_noise_multiple = 4.0;
   /// Divide the acquisition by each candidate's expected evaluation cost
   /// (BayesOpt::set_acquisition_costs) once both rung costs are measured.
   bool cost_aware_acquisition = true;
+
+  Json to_json() const;
+  static LadderOptions from_json(const Json& j);
 };
 
 struct LadderStats {

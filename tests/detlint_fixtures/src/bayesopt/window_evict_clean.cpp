@@ -1,0 +1,35 @@
+// Sliding-window eviction bookkeeping fixture: the window store keeps
+// observation indices in insertion order in plain vectors and value-keyed
+// ordered containers, so DET002 must stay silent on the real idiom (top),
+// and must still fire if someone rewrites the bookkeeping around object
+// addresses (bottom).
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Observation {
+  double y;
+  int rung;
+};
+
+// The real idiom: indices into the observation log, ascending, evicted
+// front-first with the incumbent pinned. Iteration order is the insertion
+// order of value-typed indices — no findings expected here.
+std::vector<std::size_t> window;
+std::set<std::size_t> evicted_ids;
+std::map<std::size_t, int> rung_by_index;
+
+std::size_t evict_oldest(std::size_t best_index) {
+  std::size_t evict = 0;
+  while (evict < window.size() && window[evict] == best_index) ++evict;
+  const std::size_t id = window[evict];
+  window.erase(window.begin() + static_cast<std::ptrdiff_t>(evict));
+  evicted_ids.insert(id);
+  return id;
+}
+
+// The rewrite detlint exists to catch: keying the same bookkeeping on
+// object addresses makes eviction order follow the allocator.
+std::map<const Observation*, std::size_t> index_of;  // expect: DET002
+std::set<Observation*> pending_eviction;             // expect: DET002

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -259,6 +260,145 @@ TEST(BayesOpt, SuggestBatchWorksWithEmptyHistory) {
 TEST(BayesOpt, SuggestBatchRejectsZero) {
   BayesOpt opt(branin_space(), fast_options(32));
   EXPECT_THROW(opt.suggest_batch(0), Error);
+}
+
+// Sliding-window sweep: the bounded-window optimizer must agree bit for bit
+// with the unbounded one while the history still fits the window, and keep
+// producing valid suggestions once evictions start, in every hyper mode.
+class WindowSweep : public ::testing::TestWithParam<HyperMode> {};
+
+TEST_P(WindowSweep, BitIdenticalToUnwindowedWhileHistoryFits) {
+  BayesOptOptions base = fast_options(31);
+  base.hyper_mode = GetParam();
+  base.hyper_samples = 3;
+  base.hyper_burn_in = 4;
+  BayesOptOptions windowed = base;
+  windowed.max_observations = 64;  // never overflows in this test
+  BayesOpt a(branin_space(), base);
+  BayesOpt b(branin_space(), windowed);
+  for (int i = 0; i < 10; ++i) {
+    const ParamValues xa = a.suggest();
+    const ParamValues xb = b.suggest();
+    ASSERT_EQ(xa.size(), xb.size());
+    for (std::size_t j = 0; j < xa.size(); ++j) {
+      ASSERT_EQ(xa[j], xb[j]) << "step " << i << " coordinate " << j;
+    }
+    const double y = neg_branin(xa[0], xa[1]);
+    a.observe(xa, y);
+    b.observe(xb, y);
+  }
+  EXPECT_EQ(b.num_evictions(), 0u);
+  EXPECT_EQ(b.window_size(), b.num_observations());
+}
+
+TEST_P(WindowSweep, SuggestsStayValidAcrossEvictions) {
+  BayesOptOptions o = fast_options(33);
+  o.hyper_mode = GetParam();
+  o.hyper_samples = 3;
+  o.hyper_burn_in = 4;
+  o.max_observations = 8;
+  o.hyper_refit_interval = 4;  // exercise warm refresh mid-run (slice mode)
+  o.hyper_burn_in_warm = 2;
+  BayesOpt opt(branin_space(), o);
+  for (int i = 0; i < 20; ++i) {
+    const ParamValues x = opt.suggest();
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_GE(x[0], -5.0);
+    EXPECT_LE(x[0], 10.0);
+    EXPECT_GE(x[1], 0.0);
+    EXPECT_LE(x[1], 15.0);
+    opt.observe(x, neg_branin(x[0], x[1]));
+    EXPECT_LE(opt.window_size(), o.max_observations);
+  }
+  EXPECT_EQ(opt.window_size(), o.max_observations);
+  EXPECT_EQ(opt.num_evictions(), 20u - o.max_observations);
+  EXPECT_EQ(opt.num_observations(), 20u);  // evicted rows stay in history
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHyperModes, WindowSweep,
+                         ::testing::Values(HyperMode::kFixed, HyperMode::kMle,
+                                           HyperMode::kSliceSample));
+
+TEST(BayesOpt, WindowPinsIncumbentAcrossEvictions) {
+  BayesOptOptions o = fast_options(35);
+  o.hyper_mode = HyperMode::kFixed;
+  o.max_observations = 3;
+  BayesOpt opt(branin_space(), o);
+  opt.observe({0.0, 5.0}, 100.0);  // incumbent, observed first
+  for (int i = 0; i < 10; ++i) {
+    opt.observe({static_cast<double>(i - 4), 5.0}, -1.0 * i);
+  }
+  EXPECT_EQ(opt.best().step, 0u);
+  EXPECT_EQ(opt.window_size(), 3u);
+  EXPECT_EQ(opt.num_evictions(), 8u);
+  // FIFO would have rotated observation 0 out long ago; pinning keeps the
+  // incumbent in the window so the acquisition baseline cannot regress.
+  const auto& w = opt.window_indices();
+  EXPECT_NE(std::find(w.begin(), w.end(), 0u), w.end());
+  EXPECT_EQ(w.back(), 10u);  // newest row always enters
+}
+
+TEST(BayesOpt, WindowedStateRoundTripRebuildsWindow) {
+  BayesOptOptions o = fast_options(37);
+  o.hyper_mode = HyperMode::kFixed;
+  o.max_observations = 6;
+  BayesOpt opt(branin_space(), o);
+  for (int i = 0; i < 14; ++i) {
+    const ParamValues x = opt.suggest();
+    opt.observe(x, neg_branin(x[0], x[1]));
+  }
+  BayesOpt resumed = BayesOpt::load_state(opt.save_state());
+  EXPECT_EQ(resumed.num_observations(), opt.num_observations());
+  EXPECT_EQ(resumed.window_size(), opt.window_size());
+  EXPECT_EQ(resumed.num_evictions(), opt.num_evictions());
+  EXPECT_EQ(resumed.window_indices(), opt.window_indices());
+  EXPECT_EQ(resumed.best().step, opt.best().step);
+  const ParamValues x = resumed.suggest();
+  EXPECT_EQ(x.size(), 2u);
+}
+
+TEST(BayesOpt, WindowOfOneRejected) {
+  BayesOptOptions o = fast_options(39);
+  o.max_observations = 1;
+  EXPECT_THROW(BayesOpt(branin_space(), o), Error);
+}
+
+TEST(BayesOpt, OptionsJsonRoundTripWithWindow) {
+  BayesOptOptions o;
+  o.max_observations = 16;
+  o.hyper_refit_interval = 4;
+  o.hyper_burn_in_warm = 3;
+  const BayesOptOptions back = BayesOptOptions::from_json(o.to_json());
+  EXPECT_EQ(back.max_observations, 16u);
+  EXPECT_EQ(back.hyper_refit_interval, 4u);
+  EXPECT_EQ(back.hyper_burn_in_warm, 3u);
+  // Unwindowed options keep the pre-window serialization (no new keys), so
+  // states saved by older builds parse and vice versa.
+  BayesOptOptions legacy;
+  EXPECT_FALSE(legacy.to_json().contains("max_observations"));
+  const BayesOptOptions parsed = BayesOptOptions::from_json(legacy.to_json());
+  EXPECT_EQ(parsed.max_observations, 0u);
+}
+
+// Mixed-fidelity rung noise now composes with the sampled hyper modes: the
+// rung structure rides on the inferred noise scale as fixed variance ratios
+// (see apply_hyperparams' noise_ratio_diag) instead of requiring kFixed.
+TEST(BayesOpt, MixedRungNoiseComposesWithSampledHyperModes) {
+  for (const HyperMode mode : {HyperMode::kSliceSample, HyperMode::kMle}) {
+    BayesOptOptions o = fast_options(41);
+    o.hyper_mode = mode;
+    o.hyper_samples = 3;
+    o.hyper_burn_in = 4;
+    o.rung_noise_variance = {0.0, 4e-3, 1e-3};
+    BayesOpt opt(branin_space(), o);
+    for (int i = 0; i < 8; ++i) {
+      const ParamValues x = opt.suggest();
+      opt.observe(x, neg_branin(x[0], x[1]), i % 2 == 0 ? 1 : 2);
+    }
+    const ParamValues x = opt.suggest();
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_TRUE(std::isfinite(x[0]) && std::isfinite(x[1]));
+  }
 }
 
 // Acquisition sweep: each acquisition function must drive a working loop.

@@ -40,6 +40,18 @@ void* operator new(std::size_t size) {
 
 void* operator new[](std::size_t size) { return ::operator new(size); }
 
+namespace stormtune::testprobe {
+
+// External-linkage accessor so other test files in this binary can probe the
+// same counter (the replacement operator new above is binary-wide; the
+// counter itself has internal linkage). Used by the sliding-window
+// allocation-free test in test_linalg.cpp.
+std::size_t new_call_count() {
+  return g_new_calls.load(std::memory_order_relaxed);
+}
+
+}  // namespace stormtune::testprobe
+
 namespace stormtune {
 namespace {
 

@@ -338,6 +338,128 @@ TEST_P(GpCacheSweep, AppendObservationMatchesFreshFit) {
   }
 }
 
+TEST_P(GpCacheSweep, RemoveObservationMatchesFreshFit) {
+  // The eviction dual of the append test: removing rows (middle, first,
+  // last) through the O(n²) downdate path must agree with a cold fit on the
+  // reduced data, for every kernel family and ARD setting (the ARD case
+  // exercises the pair-major distance repack).
+  const auto [family, ard] = GetParam();
+  constexpr std::size_t kD = 3;
+  Rng rng(static_cast<std::uint64_t>(ard ? 43 : 41));
+  Matrix x(14, kD);
+  Vector y(14);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < kD; ++j) x(i, j) = rng.uniform();
+    y[i] = rng.normal();
+  }
+  Kernel k(family, kD, ard);
+  GpRegressor incremental(k, 1e-3);
+  incremental.fit(x, y);
+
+  Matrix cur = x;
+  Vector cur_y = y;
+  for (const std::size_t idx : {5u, 0u, 11u}) {
+    const std::size_t n = cur.rows();
+    Matrix next(n - 1, kD);
+    Vector next_y(n - 1);
+    for (std::size_t i = 0; i < n - 1; ++i) {
+      const std::size_t src = i < idx ? i : i + 1;
+      for (std::size_t j = 0; j < kD; ++j) next(i, j) = cur(src, j);
+      next_y[i] = cur_y[src];
+    }
+    incremental.remove_observation(idx, next_y);
+    cur = std::move(next);
+    cur_y = std::move(next_y);
+  }
+  ASSERT_EQ(incremental.num_observations(), 11u);
+
+  GpRegressor fresh(k, 1e-3);
+  fresh.fit(cur, cur_y);
+  EXPECT_NEAR(incremental.log_marginal_likelihood(),
+              fresh.log_marginal_likelihood(), 1e-9);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> q(kD);
+    for (auto& v : q) v = rng.uniform(-0.5, 1.5);
+    const Prediction pi = incremental.predict(q);
+    const Prediction pf = fresh.predict(q);
+    EXPECT_NEAR(pi.mean, pf.mean, 1e-9);
+    EXPECT_NEAR(pi.variance, pf.variance, 1e-9);
+  }
+}
+
+TEST_P(GpCacheSweep, WindowSlidesMatchFreshFitWithNoiseDiag) {
+  // Sliding-window shape with per-observation noise: repeated
+  // remove-oldest + append-newest cycles over a heteroscedastic fit must
+  // track a cold heteroscedastic fit on the surviving window.
+  const auto [family, ard] = GetParam();
+  constexpr std::size_t kD = 2;
+  constexpr std::size_t kWindow = 10;
+  Rng rng(static_cast<std::uint64_t>(ard ? 53 : 47));
+  Matrix x(kWindow, kD);
+  Vector y(kWindow);
+  std::vector<double> noises(kWindow);
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    for (std::size_t j = 0; j < kD; ++j) x(i, j) = rng.uniform();
+    y[i] = rng.normal();
+    noises[i] = 1e-3 * static_cast<double>(i % 3 + 1);
+  }
+  Kernel k(family, kD, ard);
+  GpRegressor incremental(k, 1e-3);
+  incremental.set_noise_diag(noises);
+  incremental.fit(x, y);
+
+  for (int slide = 0; slide < 6; ++slide) {
+    // Evict the oldest row...
+    Vector shrunk_y(kWindow - 1);
+    for (std::size_t i = 0; i + 1 < kWindow; ++i) shrunk_y[i] = y[i + 1];
+    incremental.remove_observation(0, shrunk_y);
+    // ...then append a fresh observation with its own noise.
+    std::vector<double> x_new(kD);
+    for (auto& v : x_new) v = rng.uniform();
+    const double y_new = rng.normal();
+    const double noise_new = 1e-3 * static_cast<double>(slide % 4 + 1);
+    Matrix next(kWindow, kD);
+    for (std::size_t i = 0; i + 1 < kWindow; ++i)
+      for (std::size_t j = 0; j < kD; ++j) next(i, j) = x(i + 1, j);
+    for (std::size_t j = 0; j < kD; ++j) next(kWindow - 1, j) = x_new[j];
+    shrunk_y.push_back(y_new);
+    noises.erase(noises.begin());
+    noises.push_back(noise_new);
+    incremental.append_observation(x_new, shrunk_y, noise_new);
+    x = std::move(next);
+    y = shrunk_y;
+  }
+  ASSERT_EQ(incremental.num_observations(), kWindow);
+
+  GpRegressor fresh(k, 1e-3);
+  fresh.set_noise_diag(noises);
+  fresh.fit(x, y);
+  EXPECT_NEAR(incremental.log_marginal_likelihood(),
+              fresh.log_marginal_likelihood(), 1e-8);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> q(kD);
+    for (auto& v : q) v = rng.uniform(-0.5, 1.5);
+    const Prediction pi = incremental.predict(q);
+    const Prediction pf = fresh.predict(q);
+    EXPECT_NEAR(pi.mean, pf.mean, 1e-8);
+    EXPECT_NEAR(pi.variance, pf.variance, 1e-8);
+  }
+}
+
+TEST_F(GpFit, RemoveObservationRequiresFitAndValidIndex) {
+  Kernel k(KernelFamily::kSquaredExponential, 1, false);
+  GpRegressor gp(k, 1e-2);
+  EXPECT_THROW(gp.remove_observation(0, Vector{}), Error);
+  gp.fit(make_x({0.0, 1.0, 2.0}), Vector{0.0, 1.0, 2.0});
+  EXPECT_THROW(gp.remove_observation(3, Vector(2, 0.0)), Error);
+  EXPECT_THROW(gp.remove_observation(0, Vector(3, 0.0)), Error);  // wrong size
+  gp.remove_observation(1, Vector{0.0, 2.0});
+  EXPECT_EQ(gp.num_observations(), 2u);
+  gp.remove_observation(0, Vector{2.0});
+  // A single observation cannot be evicted away.
+  EXPECT_THROW(gp.remove_observation(0, Vector{}), Error);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllKernels, GpCacheSweep,
     ::testing::Combine(::testing::Values(KernelFamily::kSquaredExponential,

@@ -65,6 +65,27 @@ TEST(ApplyHyperparams, SetsAllComponents) {
   EXPECT_TRUE(gp.fitted());
 }
 
+TEST(ApplyHyperparams, NoiseRatioDiagScalesWithSampledNoise) {
+  // Mixed-fidelity composition: the per-observation diagonal is the sampled
+  // scalar sigma_n^2 times each observation's fixed rung ratio.
+  Kernel k(KernelFamily::kMatern52, 1, false);
+  GpRegressor gp(k, 0.1);
+  const Dataset d = smooth_dataset(6, 0.1, 11);
+  const std::vector<double> theta{std::log(2.0), std::log(0.3),
+                                  std::log(0.05), 0.0};
+  const std::vector<double> ratios{4.0, 1.0, 4.0, 1.0, 1.0, 4.0};
+  apply_hyperparams(gp, theta, d.x, d.y, ratios);
+  ASSERT_EQ(gp.noise_diag().size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(gp.noise_diag()[i], 0.0025 * ratios[i], 1e-15);
+  }
+  EXPECT_TRUE(gp.fitted());
+  EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
+  EXPECT_THROW(
+      apply_hyperparams(gp, theta, d.x, d.y, std::vector<double>{1.0}),
+      Error);  // one ratio per observation
+}
+
 TEST(HyperLogPosterior, FiniteForReasonableTheta) {
   Kernel k(KernelFamily::kMatern52, 1, false);
   GpRegressor gp(k, 0.1);
@@ -101,6 +122,36 @@ TEST(SampleHyperparams, ReturnsRequestedCount) {
     for (double t : s.theta) EXPECT_TRUE(std::isfinite(t));
   }
   EXPECT_TRUE(gp.fitted());  // left fitted with the last sample
+}
+
+TEST(SampleHyperparams, WarmStartResumesFromInitialTheta) {
+  Kernel k(KernelFamily::kMatern52, 1, false);
+  GpRegressor gp(k, 0.1);
+  const Dataset d = smooth_dataset(15, 0.1, 4);
+  // A warm chain with zero burn-in and the same RNG stream must reproduce
+  // the post-burn-in samples of a cold chain resumed at the same state:
+  // the warm start replaces only the initial theta, not the sweep logic.
+  Rng cold_rng(9);
+  HyperSamplerOptions cold;
+  cold.num_samples = 1;
+  cold.burn_in = 6;
+  cold.thin = 1;
+  const auto first = sample_hyperparams(gp, d.x, d.y, cold, cold_rng);
+  HyperSamplerOptions warm;
+  warm.num_samples = 2;
+  warm.burn_in = 0;
+  warm.thin = 1;
+  warm.initial_theta = first.back().theta;
+  const auto resumed = sample_hyperparams(gp, d.x, d.y, warm, cold_rng);
+  ASSERT_EQ(resumed.size(), 2u);
+  for (const auto& s : resumed) {
+    EXPECT_EQ(s.theta.size(), 4u);
+    for (double t : s.theta) EXPECT_TRUE(std::isfinite(t));
+  }
+  HyperSamplerOptions bad = warm;
+  bad.initial_theta = {0.0, 0.0};  // wrong layout
+  Rng rng2(10);
+  EXPECT_THROW(sample_hyperparams(gp, d.x, d.y, bad, rng2), Error);
 }
 
 TEST(SampleHyperparams, SamplesVaryAcrossChain) {

@@ -206,11 +206,26 @@ TEST(IsaDispatch, RowUpdateKernelsBitIdenticalAcrossPaths) {
       portable->rank1_row_update(expect1.data(), p0.data(), a0, len);
       std::vector<double> got1 = c;
       wide->rank1_row_update(got1.data(), p0.data(), a0, len);
+      // Givens rotation (the remove_row downdate sweep): both outputs per
+      // element, factor row and carry vector, must match bitwise.
+      const double gr = std::sqrt(a0 * a0 + a1 * a1);
+      const double gc = a0 / gr, gs = a1 / gr;
+      std::vector<double> expect_l = c, expect_v = p0;
+      portable->givens_row_update(expect_l.data(), expect_v.data(), gc, gs,
+                                  len);
+      std::vector<double> got_l = c, got_v = p0;
+      wide->givens_row_update(got_l.data(), got_v.data(), gc, gs, len);
       for (std::size_t j = 0; j < len; ++j) {
         ASSERT_EQ(got4[j], expect4[j])
             << isa::to_string(path) << " rank4 len " << len << " elem " << j;
         ASSERT_EQ(got1[j], expect1[j])
             << isa::to_string(path) << " rank1 len " << len << " elem " << j;
+        ASSERT_EQ(got_l[j], expect_l[j])
+            << isa::to_string(path) << " givens L len " << len << " elem "
+            << j;
+        ASSERT_EQ(got_v[j], expect_v[j])
+            << isa::to_string(path) << " givens v len " << len << " elem "
+            << j;
       }
     }
   }

@@ -2,12 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "linalg/reference.hpp"
 
 namespace stormtune {
+
+namespace testprobe {
+// Binary-wide operator-new counter, defined next to the replacement
+// operator new in test_engine_golden.cpp.
+std::size_t new_call_count();
+}  // namespace testprobe
+
 namespace {
 
 Matrix random_spd(std::size_t n, Rng& rng) {
@@ -264,6 +276,187 @@ TEST(Cholesky, DiagExtraSizeMismatchThrows) {
   const Matrix a = random_spd(4, rng);
   const std::vector<double> extra(3, 0.1);
   EXPECT_THROW(Cholesky(a, 1.0, 0.0, extra), Error);
+}
+
+TEST(Cholesky, RemoveRowMatchesFreshFactorization) {
+  // Deleting any row/column from the factored matrix via the O(n²) Givens
+  // downdate must match refactorizing the reduced matrix from scratch.
+  Rng rng(19);
+  const std::size_t n = 20;
+  const Matrix a = random_spd(n, rng);
+  for (const std::size_t i : {0u, 1u, 7u, 18u, 19u}) {
+    Cholesky chol(a);
+    chol.remove_row(i);
+    ASSERT_EQ(chol.size(), n - 1);
+    const Matrix expected =
+        reference::cholesky_lower(reference::remove_row_col(a, i));
+    const Matrix got = chol.lower();
+    for (std::size_t r = 0; r < n - 1; ++r) {
+      for (std::size_t c = 0; c <= r; ++c) {
+        EXPECT_NEAR(got(r, c), expected(r, c), 1e-9)
+            << "i=" << i << " (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(Cholesky, RemoveRowThenSolveGivesSmallResidual) {
+  // The downdated factor must solve against the reduced matrix, not just
+  // reconstruct it: residual check through both triangular sweeps.
+  Rng rng(23);
+  const std::size_t n = 24;
+  const Matrix a = random_spd(n, rng);
+  Cholesky chol(a);
+  chol.remove_row(5);
+  chol.remove_row(0);
+  chol.remove_row(15);
+  const Matrix reduced = reference::remove_row_col(
+      reference::remove_row_col(reference::remove_row_col(a, 5), 0), 15);
+  ASSERT_EQ(chol.size(), reduced.rows());
+  Vector b(reduced.rows());
+  for (auto& v : b) v = rng.normal();
+  const Vector x = chol.solve(b);
+  const Vector ax = reduced.multiply(x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST(Cholesky, RemoveRowOutOfRangeThrows) {
+  Cholesky chol(Matrix::identity(3));
+  EXPECT_THROW(chol.remove_row(3), Error);
+  EXPECT_EQ(chol.size(), 3u);
+}
+
+TEST(Cholesky, RemoveRowLastRowTruncates) {
+  // The i == n-1 fast path: dropping the last row of L is exact (no
+  // rotations), so the surviving factor matches bitwise.
+  Rng rng(29);
+  const Matrix a = random_spd(9, rng);
+  Cholesky chol(a);
+  const Matrix before = chol.lower();
+  chol.remove_row(8);
+  const Matrix after = chol.lower();
+  ASSERT_EQ(chol.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_EQ(after(i, j), before(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Cholesky, RandomizedAppendRemoveInterleavingsMatchOracle) {
+  // Satellite sweep for the sliding-window fast path: long random
+  // interleavings of O(n²) appends and O(n²) Givens downdates, with and
+  // without a per-row diag_extra shift, must track the fresh-refactorization
+  // oracle through every step. Active rows index into one master SPD pool,
+  // so every intermediate principal submatrix is SPD by construction.
+  Rng rng(31);
+  const std::size_t pool = 160;
+  const Matrix master = random_spd(pool, rng);
+  for (const bool het : {false, true}) {
+    for (const std::size_t window : {6u, 12u, 24u}) {
+      std::vector<double> extra(pool, 0.0);
+      if (het) {
+        for (std::size_t i = 0; i < pool; ++i) {
+          extra[i] = 0.05 * static_cast<double>(i % 7 + 1);
+        }
+      }
+      auto diag_of = [&](std::size_t i) { return master(i, i) + extra[i]; };
+      std::vector<std::size_t> active{0, 1, 2};
+      std::size_t next = 3;
+      Matrix seed_m(3, 3);
+      for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+          seed_m(r, c) = master(active[r], active[c]);
+        }
+        seed_m(r, r) = diag_of(active[r]);
+      }
+      Cholesky chol(seed_m);
+      std::size_t ops = 0;
+      for (std::size_t step = 0; step < 220; ++step) {
+        const bool can_append = next < pool;
+        const bool must_remove = active.size() >= window || !can_append;
+        const bool must_append = active.size() <= 2 && can_append;
+        const bool append =
+            must_append || (!must_remove && rng.uniform() < 0.5);
+        if (append) {
+          Vector b(active.size());
+          for (std::size_t k = 0; k < active.size(); ++k) {
+            b[k] = master(active[k], next);
+          }
+          chol.append_row(b, diag_of(next));
+          active.push_back(next++);
+        } else {
+          const std::size_t pos = std::min(
+              active.size() - 1,
+              static_cast<std::size_t>(rng.uniform() *
+                                       static_cast<double>(active.size())));
+          chol.remove_row(pos);
+          active.erase(active.begin() + static_cast<std::ptrdiff_t>(pos));
+        }
+        ++ops;
+        ASSERT_EQ(chol.size(), active.size());
+        const std::size_t n = active.size();
+        Matrix sub(n, n);
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t c = 0; c < n; ++c) {
+            sub(r, c) = master(active[r], active[c]);
+          }
+          sub(r, r) = diag_of(active[r]);
+        }
+        const Matrix expected = reference::cholesky_lower(sub);
+        const Matrix got = chol.lower();
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t c = 0; c <= r; ++c) {
+            ASSERT_NEAR(got(r, c), expected(r, c), 1e-8)
+                << "het=" << het << " window=" << window << " step=" << step
+                << " (" << r << "," << c << ")";
+          }
+        }
+      }
+      EXPECT_GE(ops, 220u);
+    }
+  }
+}
+
+TEST(Cholesky, SlidingWindowSteadyStateAllocationFree) {
+  // A window slide is remove_row(0) + append_row. Once capacity and the
+  // scratch row are established, slides must never touch the heap — this is
+  // what keeps the windowed GP's per-step cost flat at production length.
+  if constexpr (kCheckedBuild) {
+    GTEST_SKIP() << "zero-allocation guarantee applies to release builds";
+  }
+  Rng rng(37);
+  const std::size_t pool = 96;
+  const std::size_t window = 32;
+  const Matrix master = random_spd(pool, rng);
+  std::vector<std::size_t> active(window);
+  for (std::size_t i = 0; i < window; ++i) active[i] = i;
+  Matrix seed_m(window, window);
+  for (std::size_t r = 0; r < window; ++r) {
+    for (std::size_t c = 0; c < window; ++c) {
+      seed_m(r, c) = master(r, c);
+    }
+  }
+  Cholesky chol(seed_m);
+  Vector b(window - 1);
+  std::size_t next = window;
+  auto slide = [&] {
+    chol.remove_row(0);
+    active.erase(active.begin());
+    for (std::size_t k = 0; k + 1 < window; ++k) {
+      b[k] = master(active[k], next);
+    }
+    chol.append_row(b, master(next, next));
+    active.push_back(next++);
+  };
+  for (int warm = 0; warm < 2; ++warm) slide();
+  const std::size_t allocs_before = chol.allocation_count();
+  const std::size_t news_before = testprobe::new_call_count();
+  for (int rep = 0; rep < 16; ++rep) slide();
+  EXPECT_EQ(testprobe::new_call_count() - news_before, 0u)
+      << "steady-state window slides touched the heap";
+  EXPECT_EQ(chol.allocation_count(), allocs_before);
+  EXPECT_EQ(chol.size(), window);
 }
 
 TEST(VectorOps, DotAndNorm) {

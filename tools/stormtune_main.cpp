@@ -28,12 +28,21 @@
 //                   run only on configs that challenge the incumbent
 //                   (strategies bo/ibo only; uses the fixed-hyper GP with
 //                   per-rung observation noise)
+//                   --gp-window=N  bound the BO surrogate to the N most
+//                   recent observations (FIFO eviction, incumbent pinned):
+//                   suggest cost stays O(N³)-flat instead of growing with
+//                   campaign length. 0 (default) = unbounded, which is
+//                   bit-identical to pre-window builds.
+//                   --ladder-rung1-epsilon=E --ladder-challenge-fraction=F
+//                   --ladder-promote-top-k=K  override the corresponding
+//                   LadderOptions knobs (defaults: 0.1, 0.9, 2)
 // tune-many options: --campaigns=FILE  JSON array (or {"campaigns":[...]})
 //                   of campaign entries; each entry names a topology and
 //                   may override name/strategy/steps/reps/passes/what/
 //                   seed/duration/adaptive_window/adaptive_epsilon/
-//                   fidelity, with the command-line flags supplying the
-//                   defaults.
+//                   fidelity/gp_window/ladder_rung1_epsilon/
+//                   ladder_challenge_fraction/ladder_promote_top_k, with
+//                   the command-line flags supplying the defaults.
 //                   --threads=N sizes the work-stealing scheduler (the
 //                   per-campaign optimizers run single-threaded);
 //                   --jsonl=FILE streams finished campaigns through the
@@ -98,6 +107,11 @@ struct Options {
   std::string csv_path;
   std::size_t threads = 0;  // 0 = hardware concurrency; 1 = serial path
   std::string fidelity = "full";  // full | ladder (bo/ibo only)
+  std::size_t gp_window = 0;      // --gp-window: BO observation window
+                                  // (0 = unbounded, the default)
+  double ladder_rung1_epsilon = 0.0;       // 0 = LadderOptions default
+  double ladder_challenge_fraction = 0.0;  // 0 = LadderOptions default
+  std::size_t ladder_promote_top_k = 0;    // 0 = LadderOptions default
   bool adaptive_window = false;
   double adaptive_epsilon = 0.0;  // 0 = keep SimParams default
   std::size_t passes = 2;         // tune-many: passes per campaign
@@ -118,6 +132,9 @@ struct Options {
       "      converges (relative CI half-width < EPS, default 0.05)\n"
       "      --fidelity=full|ladder  ladder = fluid screening, adaptive\n"
       "      promotion, full runs only for incumbent challenges (bo/ibo)\n"
+      "      --gp-window=N  sliding GP window (0 = unbounded)\n"
+      "      --ladder-rung1-epsilon=E --ladder-challenge-fraction=F\n"
+      "      --ladder-promote-top-k=K  fidelity-ladder knobs\n"
       "tune-many: --campaigns=FILE --threads=N --passes=N --jsonl=FILE\n"
       "      run every campaign in FILE over one work-stealing scheduler;\n"
       "      per-campaign results are bit-identical to solo runs for any\n"
@@ -163,6 +180,10 @@ Options parse(int argc, char** argv, int first) {
         usage();
       }
     }
+    else if (const char* v = value_of(a, "--gp-window")) o.gp_window = std::stoul(v);
+    else if (const char* v = value_of(a, "--ladder-rung1-epsilon")) o.ladder_rung1_epsilon = std::stod(v);
+    else if (const char* v = value_of(a, "--ladder-challenge-fraction")) o.ladder_challenge_fraction = std::stod(v);
+    else if (const char* v = value_of(a, "--ladder-promote-top-k")) o.ladder_promote_top_k = std::stoul(v);
     else if (const char* v = value_of(a, "--passes")) o.passes = std::stoul(v);
     else if (const char* v = value_of(a, "--campaigns")) o.campaigns_path = v;
     else if (const char* v = value_of(a, "--jsonl")) o.jsonl_path = v;
@@ -335,15 +356,30 @@ tuning::SpaceOptions space_options_from(const Options& o) {
 }
 
 /// BO options for --fidelity=ladder: the fixed-hyper GP (suggests stay
-/// cheap, and it is the mode that supports a per-rung noise diagonal).
-bo::BayesOptOptions ladder_bo_options_from(const Options& /*o*/,
+/// cheap through the incremental append/evict paths). The sampled hyper
+/// modes compose with per-rung noise too (apply_hyperparams'
+/// noise_ratio_diag); the CLI sticks with kFixed as the cheap default.
+bo::BayesOptOptions ladder_bo_options_from(const Options& o,
                                            std::uint64_t seed,
                                            std::size_t bo_threads) {
   bo::BayesOptOptions bopts;
   bopts.seed = seed;
   bopts.num_threads = bo_threads;
   bopts.hyper_mode = bo::HyperMode::kFixed;
+  bopts.max_observations = o.gp_window;
   return bopts;
+}
+
+/// Ladder knobs from the command line (--ladder-*); zero-valued flags keep
+/// the LadderOptions defaults.
+tuning::LadderOptions ladder_options_from(const Options& o) {
+  tuning::LadderOptions lo;
+  if (o.ladder_rung1_epsilon > 0.0) lo.rung1_epsilon = o.ladder_rung1_epsilon;
+  if (o.ladder_challenge_fraction > 0.0) {
+    lo.challenge_fraction = o.ladder_challenge_fraction;
+  }
+  if (o.ladder_promote_top_k > 0) lo.promote_top_k = o.ladder_promote_top_k;
+  return lo;
 }
 
 void require_ladder_strategy(const Options& o) {
@@ -373,6 +409,7 @@ std::unique_ptr<tuning::Tuner> build_tuner(const Options& o, const Workload& w,
     bo::BayesOptOptions bopts;
     bopts.seed = seed;
     bopts.num_threads = bo_threads;
+    bopts.max_observations = o.gp_window;
     return std::make_unique<tuning::BayesTuner>(
         tuning::ConfigSpace(w.topology, sopts, defaults), bopts, o.strategy);
   }
@@ -395,8 +432,8 @@ int cmd_tune(const Options& o) {
   tuning::Objective* objective = nullptr;
   if (o.fidelity == "ladder") {
     require_ladder_strategy(o);
-    ladder = std::make_shared<tuning::FidelityLadder>(w.topology, w.cluster,
-                                                      w.params, o.seed);
+    ladder = std::make_shared<tuning::FidelityLadder>(
+        w.topology, w.cluster, w.params, o.seed, ladder_options_from(o));
     tuner = std::make_unique<tuning::LadderTuner>(
         tuning::ConfigSpace(w.topology, space_options_from(o), defaults),
         ladder_bo_options_from(o, o.seed, /*bo_threads=*/0), ladder,
@@ -494,6 +531,20 @@ Options campaign_options(const Options& base, const Json& entry) {
     STORMTUNE_REQUIRE(o.fidelity == "full" || o.fidelity == "ladder",
                       "campaign fidelity must be 'full' or 'ladder'");
   }
+  if (entry.contains("gp_window")) {
+    o.gp_window = static_cast<std::size_t>(entry.at("gp_window").as_int());
+  }
+  if (entry.contains("ladder_rung1_epsilon")) {
+    o.ladder_rung1_epsilon = entry.at("ladder_rung1_epsilon").as_number();
+  }
+  if (entry.contains("ladder_challenge_fraction")) {
+    o.ladder_challenge_fraction =
+        entry.at("ladder_challenge_fraction").as_number();
+  }
+  if (entry.contains("ladder_promote_top_k")) {
+    o.ladder_promote_top_k =
+        static_cast<std::size_t>(entry.at("ladder_promote_top_k").as_int());
+  }
   return o;
 }
 
@@ -553,6 +604,7 @@ int cmd_tune_many(const Options& cli) {
       lc.defaults = ctx->defaults;
       lc.bo = ladder_bo_options_from(ctx->opts, ctx->opts.seed,
                                      /*bo_threads=*/1);
+      lc.ladder = ladder_options_from(ctx->opts);
       lc.objective_seed = ctx->opts.seed;
       lc.tuner_name = ctx->opts.strategy + "+ladder";
       auto factories =
