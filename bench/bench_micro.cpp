@@ -13,6 +13,7 @@
 
 #include "bayesopt/bayesopt.hpp"
 #include "common/isa.hpp"
+#include "detlint/analyze.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -588,6 +589,35 @@ void BM_SlidingWindowSuggest(benchmark::State& state) {
 }
 BENCHMARK(BM_SlidingWindowSuggest)->Arg(60)->Arg(150)->Arg(500)
     ->Unit(benchmark::kMillisecond);
+
+void BM_DetlintAnalyze(benchmark::State& state) {
+  // Lint-cost guard: detlint v2 runs in CI on every push, so full-tree
+  // analysis (lex + function extraction + call graph + all rule families
+  // over src/ and tools/) must stay interactive. The 10 s ceiling is
+  // generous — the analysis takes well under a second — so only a
+  // complexity regression (e.g. the call-graph walk going superlinear)
+  // trips it, not machine noise.
+  detlint::AnalyzeOptions options;
+  options.root = STORMTUNE_SOURCE_DIR;
+  options.paths = {"src", "tools"};
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    detlint::Analysis analysis = detlint::analyze_tree(options);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (analysis.tus.size() < 50) {
+      state.SkipWithError("detlint analyzed suspiciously few files");
+      break;
+    }
+    if (seconds > 10.0) {
+      state.SkipWithError("detlint full-tree analysis exceeded 10 s");
+      break;
+    }
+    benchmark::DoNotOptimize(analysis.findings.data());
+  }
+}
+BENCHMARK(BM_DetlintAnalyze)->Unit(benchmark::kMillisecond);
 
 double time_simulate_ms(const sim::Topology& topology,
                         const sim::TopologyConfig& config,

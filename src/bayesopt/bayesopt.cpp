@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/check.hpp"
 
 namespace stormtune::bo {
 

@@ -62,6 +62,17 @@ namespace detail {
 
 }  // namespace stormtune
 
+// Hot-path marker for detlint's ALLOC001 rule. Annotating a function
+// definition with STORMTUNE_HOT declares "this is steady-state code: no
+// fresh allocation may be reachable from here through the project call
+// graph". The macro expands to nothing — it exists purely so the static
+// lint (tools/detlint) can find the annotation and walk the call graph
+// from it; the dynamic malloc-probe tests remain the runtime enforcement
+// of the same contract. Growth into persistent receivers (the repo's
+// high-water-capacity idiom) is NOT a violation; see DESIGN.md
+// "Correctness tooling".
+#define STORMTUNE_HOT
+
 #ifdef STORMTUNE_CHECKED
 
 #define STORMTUNE_DCHECK(cond, msg)                                     \

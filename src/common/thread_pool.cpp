@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace stormtune {
 
@@ -63,7 +64,7 @@ StrandPool::StrandPool(std::size_t num_threads)
   STORMTUNE_REQUIRE(num_threads >= 1, "StrandPool: need at least one thread");
 }
 
-Strand* StrandPool::pop_own(std::size_t worker_id) {
+STORMTUNE_HOT Strand* StrandPool::pop_own(std::size_t worker_id) {
   WorkerDeque& d = deques_[worker_id];
   std::lock_guard<std::mutex> lk(d.mutex);
   if (d.strands.empty()) return nullptr;
@@ -72,7 +73,7 @@ Strand* StrandPool::pop_own(std::size_t worker_id) {
   return s;
 }
 
-Strand* StrandPool::steal(std::size_t worker_id) {
+STORMTUNE_HOT Strand* StrandPool::steal(std::size_t worker_id) {
   // Scan victims round-robin from our right-hand neighbour. Within a
   // victim's deque, take from the OLDEST end; prefer the first entry in
   // the head window with a positive steal preference (phase-aware: grab
@@ -98,7 +99,8 @@ Strand* StrandPool::steal(std::size_t worker_id) {
   return nullptr;
 }
 
-void StrandPool::push(std::size_t worker_id, Strand* strand) {
+STORMTUNE_HOT void StrandPool::push(std::size_t worker_id,
+                                    Strand* strand) {
   {
     WorkerDeque& d = deques_[worker_id];
     std::lock_guard<std::mutex> lk(d.mutex);
@@ -111,8 +113,8 @@ void StrandPool::push(std::size_t worker_id, Strand* strand) {
   park_cv_.notify_one();
 }
 
-void StrandPool::retire_one() {
-  if (active_.fetch_sub(1) == 1) {
+STORMTUNE_HOT void StrandPool::retire_one() {
+  if (active_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
     // Last strand done: wake every parked worker so they can exit.
     std::lock_guard<std::mutex> lk(park_mutex_);
     ++park_epoch_;
@@ -130,10 +132,11 @@ void StrandPool::worker_loop(std::size_t worker_id) {
     Strand* s = pop_own(worker_id);
     if (s == nullptr) s = steal(worker_id);
     if (s == nullptr) {
-      if (active_.load() == 0) return;
+      if (active_.load(std::memory_order_seq_cst) == 0) return;
       std::unique_lock<std::mutex> lk(park_mutex_);
       park_cv_.wait(lk, [&] {
-        return park_epoch_ != seen || active_.load() == 0;
+        return park_epoch_ != seen ||
+               active_.load(std::memory_order_seq_cst) == 0;
       });
       continue;
     }
@@ -158,10 +161,10 @@ void StrandPool::worker_loop(std::size_t worker_id) {
 
 void StrandPool::run(const std::vector<Strand*>& strands) {
   if (strands.empty()) return;
-  abort_.store(false);
+  abort_.store(false, std::memory_order_seq_cst);
   first_error_ = nullptr;
-  steal_count_.store(0);
-  active_.store(strands.size());
+  steal_count_.store(0, std::memory_order_seq_cst);
+  active_.store(strands.size(), std::memory_order_seq_cst);
   for (std::size_t i = 0; i < strands.size(); ++i) {
     STORMTUNE_REQUIRE(strands[i] != nullptr, "StrandPool: null strand");
     deques_[i % num_threads_].strands.push_back(strands[i]);

@@ -145,7 +145,9 @@ class StrandPool {
   /// Number of successful steals during the last run() — scheduling
   /// telemetry only (tests assert the steal path is exercised; benches
   /// report it). Never feeds back into any computed result.
-  std::uint64_t steal_count() const { return steal_count_.load(); }
+  std::uint64_t steal_count() const {
+    return steal_count_.load(std::memory_order_seq_cst);
+  }
 
  private:
   struct WorkerDeque {

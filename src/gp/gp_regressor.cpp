@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "gp/kernel_batch.hpp"
+#include "common/check.hpp"
 
 namespace stormtune::gp {
 
@@ -245,16 +246,17 @@ void GpRegressor::fit(const Matrix& x, const Vector& y) {
   fit_current_ = true;
 }
 
-void GpRegressor::append_observation(std::span<const double> x_new,
-                                     const Vector& y_all) {
+STORMTUNE_HOT void GpRegressor::append_observation(
+    std::span<const double> x_new, const Vector& y_all) {
   STORMTUNE_REQUIRE(noise_diag_.empty(),
                     "GpRegressor::append_observation: a noise diagonal is "
                     "set; use the noise_new overload");
   append_impl(x_new, y_all, noise_variance_);
 }
 
-void GpRegressor::append_observation(std::span<const double> x_new,
-                                     const Vector& y_all, double noise_new) {
+STORMTUNE_HOT void GpRegressor::append_observation(
+    std::span<const double> x_new, const Vector& y_all,
+    double noise_new) {
   STORMTUNE_REQUIRE(noise_new >= 0.0,
                     "GpRegressor::append_observation: noise must be >= 0");
   // A homoscedastic fit transitions to a per-observation diagonal here:
@@ -348,7 +350,8 @@ void GpRegressor::append_impl(std::span<const double> x_new,
   fit_current_ = true;
 }
 
-void GpRegressor::remove_observation(std::size_t idx, const Vector& y_all) {
+STORMTUNE_HOT void GpRegressor::remove_observation(std::size_t idx,
+                                                   const Vector& y_all) {
   STORMTUNE_REQUIRE(fitted(),
                     "GpRegressor::remove_observation: call fit() first");
   const std::size_t n = x_.rows();
@@ -444,8 +447,8 @@ std::vector<Prediction> GpRegressor::predict_batch(const Matrix& q) const {
   return out;
 }
 
-void GpRegressor::predict_batch(const Matrix& q,
-                                std::vector<Prediction>& out) const {
+STORMTUNE_HOT void GpRegressor::predict_batch(
+    const Matrix& q, std::vector<Prediction>& out) const {
   predict_rows(q, 0, q.rows(), out);
 }
 
@@ -487,7 +490,8 @@ void GpRegressor::predict_chunk(const Matrix& kstar,
   }
 }
 
-void GpRegressor::predict_rows(const Matrix& q, std::size_t row_begin,
+STORMTUNE_HOT void GpRegressor::predict_rows(const Matrix& q,
+                                             std::size_t row_begin,
                                std::size_t row_end,
                                std::vector<Prediction>& out) const {
   STORMTUNE_REQUIRE(fitted(), "GpRegressor::predict: call fit() first");
@@ -560,7 +564,8 @@ void GpRegressor::unscaled_sq_dist_rows(const Matrix& q, std::size_t row_begin,
   }
 }
 
-void GpRegressor::predict_from_sq_dist_rows(const Matrix& d2,
+STORMTUNE_HOT void GpRegressor::predict_from_sq_dist_rows(
+    const Matrix& d2,
                                             std::vector<Prediction>& out) const {
   STORMTUNE_REQUIRE(fitted(),
                     "GpRegressor::predict_from_sq_dist_rows: call fit() first");
@@ -587,7 +592,8 @@ void GpRegressor::predict_from_sq_dist_rows(const Matrix& d2,
   }
 }
 
-void GpRegressor::predict_mv_from_sq_dist_rows(const Matrix& d2, Matrix& vws,
+STORMTUNE_HOT void GpRegressor::predict_mv_from_sq_dist_rows(
+    const Matrix& d2, Matrix& vws,
                                                std::span<double> means,
                                                std::span<double> vars) const {
   STORMTUNE_REQUIRE(

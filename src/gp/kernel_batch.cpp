@@ -122,7 +122,7 @@ void run(double scale, double* buf, std::size_t len) {
 
 }  // namespace
 
-void transform_portable(KernelFamily family, double scale, double* buf,
+STORMTUNE_HOT void transform_portable(KernelFamily family, double scale, double* buf,
                         std::size_t len) {
   switch (family) {
     case KernelFamily::kSquaredExponential:
@@ -139,7 +139,7 @@ void transform_portable(KernelFamily family, double scale, double* buf,
 
 #else  // scalar fallback
 
-void transform_portable(KernelFamily family, double scale, double* buf,
+STORMTUNE_HOT void transform_portable(KernelFamily family, double scale, double* buf,
                         std::size_t len) {
   switch (family) {
     case KernelFamily::kSquaredExponential:
@@ -192,7 +192,7 @@ TransformFn transform_for(isa::Path path) {
 
 }  // namespace detail
 
-void correlation_from_scaled_sq_batch(KernelFamily family, double scale,
+STORMTUNE_HOT void correlation_from_scaled_sq_batch(KernelFamily family, double scale,
                                       double* buf, std::size_t len) {
 #ifdef STORMTUNE_CHECKED
   // Snapshot up to four inputs before the in-place transform overwrites

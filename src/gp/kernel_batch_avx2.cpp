@@ -22,6 +22,7 @@
 #if defined(__x86_64__) && defined(__GLIBC__)
 
 #include <immintrin.h>
+#include "common/check.hpp"
 
 // libmvec's 4-lane AVX2 vector exp ('d' ABI mangling), linked AS_NEEDED
 // through the libm linker script like the 2-lane symbol.
@@ -77,7 +78,7 @@ void run(double scale, double* buf, std::size_t len) {
 
 }  // namespace
 
-void transform_avx2(KernelFamily family, double scale, double* buf,
+STORMTUNE_HOT void transform_avx2(KernelFamily family, double scale, double* buf,
                     std::size_t len) {
   switch (family) {
     case KernelFamily::kSquaredExponential:
@@ -98,7 +99,7 @@ void transform_avx2(KernelFamily family, double scale, double* buf,
 
 namespace stormtune::gp::detail {
 
-void transform_avx2(KernelFamily family, double scale, double* buf,
+STORMTUNE_HOT void transform_avx2(KernelFamily family, double scale, double* buf,
                     std::size_t len) {
   transform_portable(family, scale, buf, len);
 }

@@ -11,6 +11,7 @@
 #if defined(__x86_64__) && defined(__GLIBC__)
 
 #include <immintrin.h>
+#include "common/check.hpp"
 
 // libmvec's 8-lane AVX-512 vector exp ('e' ABI mangling).
 extern "C" __m512d _ZGVeN8v_exp(__m512d);
@@ -62,7 +63,7 @@ void run(double scale, double* buf, std::size_t len) {
 
 }  // namespace
 
-void transform_avx512(KernelFamily family, double scale, double* buf,
+STORMTUNE_HOT void transform_avx512(KernelFamily family, double scale, double* buf,
                       std::size_t len) {
   switch (family) {
     case KernelFamily::kSquaredExponential:
@@ -83,7 +84,7 @@ void transform_avx512(KernelFamily family, double scale, double* buf,
 
 namespace stormtune::gp::detail {
 
-void transform_avx512(KernelFamily family, double scale, double* buf,
+STORMTUNE_HOT void transform_avx512(KernelFamily family, double scale, double* buf,
                       std::size_t len) {
   transform_portable(family, scale, buf, len);
 }

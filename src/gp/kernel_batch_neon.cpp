@@ -18,6 +18,7 @@
 #ifdef STORMTUNE_NEON_VECTOR_EXP
 
 #include <arm_neon.h>
+#include "common/check.hpp"
 
 extern "C" float64x2_t _ZGVnN2v_exp(float64x2_t);
 
@@ -61,7 +62,7 @@ void run(double scale, double* buf, std::size_t len) {
 
 }  // namespace
 
-void transform_neon(KernelFamily family, double scale, double* buf,
+STORMTUNE_HOT void transform_neon(KernelFamily family, double scale, double* buf,
                     std::size_t len) {
   switch (family) {
     case KernelFamily::kSquaredExponential:
@@ -82,7 +83,7 @@ void transform_neon(KernelFamily family, double scale, double* buf,
 
 namespace stormtune::gp::detail {
 
-void transform_neon(KernelFamily family, double scale, double* buf,
+STORMTUNE_HOT void transform_neon(KernelFamily family, double scale, double* buf,
                     std::size_t len) {
   transform_portable(family, scale, buf, len);
 }

@@ -8,6 +8,7 @@
 #include "linalg/kernels.hpp"
 
 #include "linalg/kernels_blocks.hpp"
+#include "common/check.hpp"
 
 namespace stormtune::linalg_kernels {
 
@@ -54,7 +55,7 @@ struct LaneOps {
 
 }  // namespace
 
-void rank4_row_update(double* __restrict__ c, const double* __restrict__ p0,
+STORMTUNE_HOT void rank4_row_update(double* __restrict__ c, const double* __restrict__ p0,
                       const double* __restrict__ p1,
                       const double* __restrict__ p2,
                       const double* __restrict__ p3, double a0, double a1,
@@ -62,27 +63,27 @@ void rank4_row_update(double* __restrict__ c, const double* __restrict__ p0,
   rank4_impl(c, p0, p1, p2, p3, a0, a1, a2, a3, len);
 }
 
-void rank1_row_update(double* __restrict__ c, const double* __restrict__ p,
+STORMTUNE_HOT void rank1_row_update(double* __restrict__ c, const double* __restrict__ p,
                       double a, std::size_t len) {
   rank1_impl(c, p, a, len);
 }
 
-void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
+STORMTUNE_HOT void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
                               std::size_t k0, std::size_t k1, std::size_t n) {
   detail::cholesky_trailing_update<LaneOps>(lf, ltf, ld, k0, k1, n);
 }
 
-void givens_row_update(double* __restrict__ lrow, double* __restrict__ v,
+STORMTUNE_HOT void givens_row_update(double* __restrict__ lrow, double* __restrict__ v,
                        double c, double s, std::size_t len) {
   givens_impl(lrow, v, c, s, len);
 }
 
-void solve_lower_multi(const double* lf, std::size_t ld, double* v,
+STORMTUNE_HOT void solve_lower_multi(const double* lf, std::size_t ld, double* v,
                        std::size_t m, std::size_t n) {
   detail::solve_lower_multi<LaneOps>(lf, ld, v, m, n, kPanelWidth);
 }
 
-void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
+STORMTUNE_HOT void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
                                  std::size_t m, std::size_t n) {
   detail::solve_lower_transpose_multi<LaneOps>(ltf, ld, v, m, n);
 }
@@ -91,51 +92,51 @@ void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
 
 #ifdef STORMTUNE_HAVE_ISA_AVX2
 namespace avx2 {
-void rank4_row_update(double* c, const double* p0, const double* p1,
+STORMTUNE_HOT void rank4_row_update(double* c, const double* p0, const double* p1,
                       const double* p2, const double* p3, double a0, double a1,
                       double a2, double a3, std::size_t len);
-void rank1_row_update(double* c, const double* p, double a, std::size_t len);
-void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
+STORMTUNE_HOT void rank1_row_update(double* c, const double* p, double a, std::size_t len);
+STORMTUNE_HOT void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
                               std::size_t k0, std::size_t k1, std::size_t n);
-void givens_row_update(double* lrow, double* v, double c, double s,
+STORMTUNE_HOT void givens_row_update(double* lrow, double* v, double c, double s,
                        std::size_t len);
-void solve_lower_multi(const double* lf, std::size_t ld, double* v,
+STORMTUNE_HOT void solve_lower_multi(const double* lf, std::size_t ld, double* v,
                        std::size_t m, std::size_t n);
-void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
+STORMTUNE_HOT void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
                                  std::size_t m, std::size_t n);
 }  // namespace avx2
 #endif
 
 #ifdef STORMTUNE_HAVE_ISA_AVX512
 namespace avx512 {
-void rank4_row_update(double* c, const double* p0, const double* p1,
+STORMTUNE_HOT void rank4_row_update(double* c, const double* p0, const double* p1,
                       const double* p2, const double* p3, double a0, double a1,
                       double a2, double a3, std::size_t len);
-void rank1_row_update(double* c, const double* p, double a, std::size_t len);
-void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
+STORMTUNE_HOT void rank1_row_update(double* c, const double* p, double a, std::size_t len);
+STORMTUNE_HOT void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
                               std::size_t k0, std::size_t k1, std::size_t n);
-void givens_row_update(double* lrow, double* v, double c, double s,
+STORMTUNE_HOT void givens_row_update(double* lrow, double* v, double c, double s,
                        std::size_t len);
-void solve_lower_multi(const double* lf, std::size_t ld, double* v,
+STORMTUNE_HOT void solve_lower_multi(const double* lf, std::size_t ld, double* v,
                        std::size_t m, std::size_t n);
-void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
+STORMTUNE_HOT void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
                                  std::size_t m, std::size_t n);
 }  // namespace avx512
 #endif
 
 #ifdef STORMTUNE_HAVE_ISA_NEON
 namespace neon {
-void rank4_row_update(double* c, const double* p0, const double* p1,
+STORMTUNE_HOT void rank4_row_update(double* c, const double* p0, const double* p1,
                       const double* p2, const double* p3, double a0, double a1,
                       double a2, double a3, std::size_t len);
-void rank1_row_update(double* c, const double* p, double a, std::size_t len);
-void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
+STORMTUNE_HOT void rank1_row_update(double* c, const double* p, double a, std::size_t len);
+STORMTUNE_HOT void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
                               std::size_t k0, std::size_t k1, std::size_t n);
-void givens_row_update(double* lrow, double* v, double c, double s,
+STORMTUNE_HOT void givens_row_update(double* lrow, double* v, double c, double s,
                        std::size_t len);
-void solve_lower_multi(const double* lf, std::size_t ld, double* v,
+STORMTUNE_HOT void solve_lower_multi(const double* lf, std::size_t ld, double* v,
                        std::size_t m, std::size_t n);
-void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
+STORMTUNE_HOT void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
                                  std::size_t m, std::size_t n);
 }  // namespace neon
 #endif
@@ -173,7 +174,7 @@ constexpr KernelOps kNeonOps{neon::rank4_row_update, neon::rank1_row_update,
 
 }  // namespace
 
-const KernelOps* ops_for(isa::Path path) {
+STORMTUNE_HOT const KernelOps* ops_for(isa::Path path) {
   switch (path) {
     case isa::Path::kPortable:
       return &kPortableOps;
@@ -199,7 +200,7 @@ const KernelOps* ops_for(isa::Path path) {
   return nullptr;
 }
 
-const KernelOps& ops() {
+STORMTUNE_HOT const KernelOps& ops() {
   const KernelOps* t = ops_for(isa::selected());
   return t != nullptr ? *t : kPortableOps;
 }

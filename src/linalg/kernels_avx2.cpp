@@ -16,6 +16,7 @@
 
 #include "linalg/kernels.hpp"
 #include "linalg/kernels_blocks.hpp"
+#include "common/check.hpp"
 
 namespace stormtune::linalg_kernels::avx2 {
 
@@ -69,13 +70,13 @@ struct LaneOps {
 
 }  // namespace
 
-void rank4_row_update(double* c, const double* p0, const double* p1,
+STORMTUNE_HOT void rank4_row_update(double* c, const double* p0, const double* p1,
                       const double* p2, const double* p3, double a0, double a1,
                       double a2, double a3, std::size_t len) {
   rank4_impl(c, p0, p1, p2, p3, a0, a1, a2, a3, len);
 }
 
-void rank1_row_update(double* c, const double* p, double a, std::size_t len) {
+STORMTUNE_HOT void rank1_row_update(double* c, const double* p, double a, std::size_t len) {
   rank1_impl(c, p, a, len);
 }
 
@@ -83,7 +84,7 @@ void rank1_row_update(double* c, const double* p, double a, std::size_t len) {
 // products per output evaluated with separate mul/add/sub (no vfmadd),
 // lanes touch disjoint elements, so the sequence per element is exactly
 // the portable loop's.
-void givens_row_update(double* lrow, double* v, double c, double s,
+STORMTUNE_HOT void givens_row_update(double* lrow, double* v, double c, double s,
                        std::size_t len) {
   const __m256d vc = _mm256_set1_pd(c);
   const __m256d vs = _mm256_set1_pd(s);
@@ -106,17 +107,17 @@ void givens_row_update(double* lrow, double* v, double c, double s,
 
 // Block-level entry points: one indirect call per panel / solve sweep, the
 // lane kernels inlined into the loops (see kernels_blocks.hpp).
-void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
+STORMTUNE_HOT void cholesky_trailing_update(double* lf, const double* ltf, std::size_t ld,
                               std::size_t k0, std::size_t k1, std::size_t n) {
   detail::cholesky_trailing_update<LaneOps>(lf, ltf, ld, k0, k1, n);
 }
 
-void solve_lower_multi(const double* lf, std::size_t ld, double* v,
+STORMTUNE_HOT void solve_lower_multi(const double* lf, std::size_t ld, double* v,
                        std::size_t m, std::size_t n) {
   detail::solve_lower_multi<LaneOps>(lf, ld, v, m, n, kPanelWidth);
 }
 
-void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
+STORMTUNE_HOT void solve_lower_transpose_multi(const double* ltf, std::size_t ld, double* v,
                                  std::size_t m, std::size_t n) {
   detail::solve_lower_transpose_multi<LaneOps>(ltf, ld, v, m, n);
 }

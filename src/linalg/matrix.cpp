@@ -96,7 +96,8 @@ Cholesky::Cholesky(const Matrix& a, double scale, double diag_add,
   factor_from(a, scale, diag_add, diag_extra.data());
 }
 
-void Cholesky::refactor(const Matrix& a, double scale, double diag_add) {
+STORMTUNE_HOT void Cholesky::refactor(const Matrix& a, double scale,
+                                      double diag_add) {
   STORMTUNE_REQUIRE(a.rows() == a.cols(), "Cholesky::refactor: must be square");
   if (a.rows() > cap_) {
     // No factor worth preserving — the old one is being replaced — so grow
@@ -112,7 +113,8 @@ void Cholesky::refactor(const Matrix& a, double scale, double diag_add) {
   factor_from(a, scale, diag_add);
 }
 
-void Cholesky::refactor(const Matrix& a, double scale, double diag_add,
+STORMTUNE_HOT void Cholesky::refactor(const Matrix& a, double scale,
+                                      double diag_add,
                         std::span<const double> diag_extra) {
   STORMTUNE_REQUIRE(a.rows() == a.cols(), "Cholesky::refactor: must be square");
   STORMTUNE_REQUIRE(diag_extra.size() == a.rows(),
@@ -323,7 +325,8 @@ void Cholesky::solve_lower_transpose_multi_in_place(Matrix& v) const {
                                         n_);
 }
 
-void Cholesky::append_row(std::span<const double> b, double c) {
+STORMTUNE_HOT void Cholesky::append_row(std::span<const double> b,
+                                        double c) {
   STORMTUNE_REQUIRE(b.size() == n_, "Cholesky::append_row: size mismatch");
 #ifdef STORMTUNE_CHECKED
   STORMTUNE_INVARIANT(std::isfinite(c),
@@ -385,7 +388,7 @@ void Cholesky::append_row(std::span<const double> b, double c) {
 // Determinism: columns are processed in ascending k, each rotation applied
 // left-associated per element by every ISA path (see kernels.hpp), so the
 // result is bit-identical across portable/AVX2/AVX-512/NEON.
-void Cholesky::remove_row(std::size_t i) {
+STORMTUNE_HOT void Cholesky::remove_row(std::size_t i) {
   STORMTUNE_REQUIRE(i < n_, "Cholesky::remove_row: index out of range");
   if (i == n_ - 1) {
     // Dropping the last row of L is the whole job: the stale row/column

@@ -1014,7 +1014,7 @@ void SimWorkspace::observe_commit() {
   }
 }
 
-const SimResult& SimWorkspace::run(const Topology& topology,
+STORMTUNE_HOT const SimResult& SimWorkspace::run(const Topology& topology,
                                    const TopologyConfig& config,
                                    const ClusterSpec& cluster,
                                    const SimParams& params,
@@ -1194,7 +1194,7 @@ Simulator::~Simulator() = default;
 Simulator::Simulator(Simulator&&) noexcept = default;
 Simulator& Simulator::operator=(Simulator&&) noexcept = default;
 
-const SimResult& Simulator::run(const Topology& topology,
+STORMTUNE_HOT const SimResult& Simulator::run(const Topology& topology,
                                 const TopologyConfig& config,
                                 const ClusterSpec& cluster,
                                 const SimParams& params, std::uint64_t seed) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace stormtune::sim {
 
@@ -16,10 +17,11 @@ FluidEstimate fluid_estimate(const Topology& topology,
   return fluid_estimate(topology, config, cluster, params, ws);
 }
 
-FluidEstimate fluid_estimate(const Topology& topology,
-                             const TopologyConfig& config,
-                             const ClusterSpec& cluster,
-                             const SimParams& params, FluidWorkspace& ws) {
+STORMTUNE_HOT FluidEstimate fluid_estimate(const Topology& topology,
+                                           const TopologyConfig& config,
+                                           const ClusterSpec& cluster,
+                                           const SimParams& params,
+                                           FluidWorkspace& ws) {
   config.normalized_hints_into(topology, ws.hints);
   const double bs = static_cast<double>(config.batch_size);
   // ws.order holds the topological order afterwards (topological_order_into

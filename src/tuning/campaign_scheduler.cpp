@@ -208,7 +208,8 @@ bool PassStrand::finish_pass() {
   objective_.reset();
   rep_clone_.reset();
   campaign_.pass_results[pass_] = std::move(result_);
-  if (campaign_.passes_remaining.fetch_sub(1) == 1) {
+  if (campaign_.passes_remaining.fetch_sub(1, std::memory_order_seq_cst) ==
+      1) {
     gather_campaign(campaign_);
   }
   return false;
@@ -238,7 +239,7 @@ MultiCampaignResult run_campaigns(const std::vector<CampaignSpec>& specs,
     c->spec = &spec;
     c->ticket = i;
     c->pass_results.resize(spec.passes);
-    c->passes_remaining.store(spec.passes);
+    c->passes_remaining.store(spec.passes, std::memory_order_seq_cst);
     c->final_slot = &out.results[i];
     c->sink = sink;
     for (std::size_t pass = 0; pass < spec.passes; ++pass) {

@@ -34,6 +34,29 @@ void JsonlResultBackend::end_batch() {
   out_.flush();
 }
 
+namespace {
+
+/// RFC 4180 field escaping: a field containing a comma, double quote, CR,
+/// or LF is wrapped in double quotes with inner quotes doubled; every
+/// other field passes through byte-for-byte. Campaign names and strategy
+/// labels are caller-supplied free text, so rows stay parseable (one
+/// record per line for LF-free fields, unambiguous quoting otherwise) no
+/// matter what the caller names things.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 CsvResultBackend::CsvResultBackend(std::ostream& out) : out_(out) {
   out_ << "ticket,name,strategy,steps,best_step,best_throughput,"
           "rep_mean,rep_min,rep_max\n";
@@ -41,9 +64,10 @@ CsvResultBackend::CsvResultBackend(std::ostream& out) : out_(out) {
 
 void CsvResultBackend::write(const CampaignOutcome& outcome) {
   const ExperimentResult& r = outcome.result;
-  out_ << outcome.ticket << ',' << outcome.name << ',' << r.strategy << ','
-       << r.trace.size() << ',' << r.best_step << ',' << r.best_throughput
-       << ',' << r.best_rep_stats.mean << ',' << r.best_rep_stats.min << ','
+  out_ << outcome.ticket << ',' << csv_escape(outcome.name) << ','
+       << csv_escape(r.strategy) << ',' << r.trace.size() << ','
+       << r.best_step << ',' << r.best_throughput << ','
+       << r.best_rep_stats.mean << ',' << r.best_rep_stats.min << ','
        << r.best_rep_stats.max << '\n';
 }
 

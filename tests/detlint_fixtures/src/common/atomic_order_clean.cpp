@@ -1,0 +1,22 @@
+// CONC002 fixture (clean half): every atomic operation names its memory
+// order explicitly — nothing may fire, including on the compare-exchange
+// two-order form.
+#include <atomic>
+#include <cstdint>
+
+namespace fixatomicclean {
+
+std::atomic<std::int64_t> fxo_ticks{0};
+std::atomic<bool> fxo_done{false};
+
+std::int64_t fxo_tick() {
+  fxo_ticks.fetch_add(1, std::memory_order_relaxed);
+  std::int64_t want = fxo_ticks.load(std::memory_order_acquire);
+  std::int64_t expected = want - 1;
+  fxo_ticks.compare_exchange_strong(expected, want, std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+  fxo_done.store(true, std::memory_order_release);
+  return want;
+}
+
+}  // namespace fixatomicclean

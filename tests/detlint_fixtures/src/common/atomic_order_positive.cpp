@@ -1,0 +1,18 @@
+// CONC002 fixture (positive half): atomic operations spelled without an
+// explicit memory order default to seq_cst silently — the rule forces the
+// ordering decision into the source. Both the member-call form and the
+// operator form must fire.
+#include <atomic>
+#include <cstdint>
+
+namespace fixatomic {
+
+std::atomic<std::int64_t> fxo_counter{0};
+
+std::int64_t fxo_bump() {
+  fxo_counter.fetch_add(1);  // expect: CONC002
+  ++fxo_counter;             // expect: CONC002
+  return fxo_counter.load(std::memory_order_acquire);
+}
+
+}  // namespace fixatomic

@@ -1,0 +1,32 @@
+// DET003 fixture (order-statistics half, clean): the same three
+// algorithms with an explicit total-order comparator must stay silent.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace fixorderclean {
+
+bool fxs_total_less(double a, double b) {
+  const bool an = a != a;
+  const bool bn = b != b;
+  if (an || bn) return bn && !an;  // NaNs sort last, deterministically
+  return a < b;
+}
+
+double fxs_median(std::vector<double> v) {
+  std::stable_sort(v.begin(), v.end(), fxs_total_less);
+  return v[v.size() / 2];
+}
+
+double fxs_top(std::vector<double> v) {
+  std::partial_sort(v.begin(), v.begin() + 1, v.end(), fxs_total_less);
+  return v[0];
+}
+
+double fxs_kth(std::vector<double> v, std::size_t k) {
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end(), fxs_total_less);
+  return v[k];
+}
+
+}  // namespace fixorderclean

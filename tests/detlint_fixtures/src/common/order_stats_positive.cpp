@@ -1,0 +1,27 @@
+// DET003 fixture (order-statistics half, positive): stable_sort,
+// partial_sort, and nth_element without an explicit comparator inherit
+// operator<, whose NaN behavior makes the permutation input-dependent —
+// exactly the hazard DET003 exists to catch for std::sort.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace fixorder {
+
+double fxs_median(std::vector<double> v) {
+  std::stable_sort(v.begin(), v.end());  // expect: DET003
+  return v[v.size() / 2];
+}
+
+double fxs_top(std::vector<double> v) {
+  std::partial_sort(v.begin(), v.begin() + 1, v.end());  // expect: DET003
+  return v[0];
+}
+
+double fxs_kth(std::vector<double> v, std::size_t k) {
+  const auto mid = v.begin() + static_cast<std::ptrdiff_t>(k);
+  std::nth_element(v.begin(), mid, v.end());  // expect: DET003
+  return v[k];
+}
+
+}  // namespace fixorder

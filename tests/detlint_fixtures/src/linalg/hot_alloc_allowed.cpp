@@ -1,0 +1,13 @@
+// ALLOC001 fixture (audited half): a hot-path allocation with a matching
+// allow.txt entry must be suppressed — and the expectation machinery
+// verifies the rule still HIT the line (expect-allowed fails if the rule
+// never fired, and the unused-entry check fails if the entry goes stale).
+#define STORMTUNE_HOT
+
+namespace fixhotallowed {
+
+STORMTUNE_HOT double* fxa_hot_scratch(int n) {
+  return new double[static_cast<unsigned>(n)];  // expect-allowed: ALLOC001
+}
+
+}  // namespace fixhotallowed

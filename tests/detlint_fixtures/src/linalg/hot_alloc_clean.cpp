@@ -1,0 +1,31 @@
+// ALLOC001 fixture (clean half): hot functions that only compute in place,
+// grow persistent receivers (members / by-reference parameters), or throw
+// on the error path must produce no findings. The helper chain is here so
+// the call-graph walk itself is exercised on the silent side.
+#include <stdexcept>
+#include <vector>
+
+#define STORMTUNE_HOT
+
+namespace fixhotclean {
+
+double fxc_dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+STORMTUNE_HOT double fxc_hot_score(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    // Throw statements allocate, but only on the abort path — sanctioned.
+    throw std::invalid_argument("fxc_hot_score: size mismatch");
+  }
+  return fxc_dot(a, b);
+}
+
+STORMTUNE_HOT void fxc_hot_record(std::vector<double>& history, double v) {
+  history.push_back(v);  // persistent receiver: high-water idiom
+}
+
+}  // namespace fixhotclean

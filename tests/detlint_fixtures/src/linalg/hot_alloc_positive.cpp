@@ -1,0 +1,32 @@
+// ALLOC001 fixture (positive half): a STORMTUNE_HOT function must not
+// reach fresh allocation through the project call graph. Three shapes have
+// to fire: a `new` expression in a transitively-called helper, a
+// function-local owning container, and growth of that local. The
+// annotation is the real macro spelled locally so the fixture stands alone.
+#include <vector>
+
+#define STORMTUNE_HOT
+
+namespace fixhot {
+
+int* fxp_build_table(int n) {
+  return new int[static_cast<unsigned>(n)];  // expect: ALLOC001
+}
+
+STORMTUNE_HOT int fxp_hot_lookup(int n) {
+  int* t = fxp_build_table(n);
+  const int v = t[0];
+  delete[] t;
+  return v;
+}
+
+STORMTUNE_HOT double fxp_hot_accumulate(std::vector<double>& sink) {
+  std::vector<double> tmp;  // expect: ALLOC001
+  tmp.push_back(1.0);       // expect: ALLOC001
+  // Growth into the caller-owned receiver is the high-water idiom the
+  // dynamic malloc probes audit; it must stay silent here.
+  sink.push_back(tmp[0]);
+  return sink.back();
+}
+
+}  // namespace fixhot

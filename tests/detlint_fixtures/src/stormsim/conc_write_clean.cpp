@@ -1,0 +1,22 @@
+// CONC001 fixture (clean half): shard bodies that confine mutation to
+// lambda-declared locals, range-for variables, and per-slot indexed writes
+// into a shared output must produce no findings.
+#include <cstddef>
+#include <vector>
+
+struct FxPool2 {
+  template <typename F>
+  void parallel_for(std::size_t shards, F&& body);
+};
+
+void fxw_scale_rows(FxPool2& pool, const std::vector<std::vector<double>>& in,
+                    std::vector<double>& out) {
+  pool.parallel_for(in.size(), [&](std::size_t s) {
+    double acc = 0.0;
+    for (double v : in[s]) {
+      double scaled = v * 0.5;
+      acc += scaled;
+    }
+    out[s] = acc;
+  });
+}

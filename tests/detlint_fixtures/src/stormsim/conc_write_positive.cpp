@@ -1,0 +1,24 @@
+// CONC001 fixture (positive half): a plain (non-additive) write to a
+// captured identifier inside a by-reference parallel_for lambda races
+// across shards — last writer wins, schedule-dependent. Indexed per-slot
+// writes and lambda-local state must stay silent (and `+=` belongs to
+// DET005, not this rule).
+#include <cstddef>
+#include <vector>
+
+struct FxPool {
+  template <typename F>
+  void parallel_for(std::size_t shards, F&& body);
+};
+
+double fxw_pick_winner(FxPool& pool, const std::vector<double>& xs,
+                       std::vector<double>& out) {
+  double winner = 0.0;
+  pool.parallel_for(xs.size(), [&](std::size_t s) {
+    winner = xs[s];  // expect: CONC001
+    double mine = xs[s];
+    mine = mine * 2.0;  // lambda-local: safe
+    out[s] = mine;      // indexed per-slot write: safe
+  });
+  return winner;
+}

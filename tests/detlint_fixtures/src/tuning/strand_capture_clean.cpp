@@ -1,0 +1,50 @@
+// CONC003 fixture (clean half): the sanctioned channels — Rng streams,
+// per-shard *Workspace references, const references, and owned value
+// members — must all stay silent, including on a transitively derived
+// strand (base-name closure).
+class Strand2 {
+ public:
+  virtual ~Strand2() = default;
+  virtual bool step() = 0;
+};
+
+// Renamed base so this file's hierarchy is independent of the positive
+// fixture; the closure is seeded by the literal name "Strand".
+class Strand : public Strand2 {};
+
+namespace fixstrandclean {
+
+class Rng {
+ public:
+  double uniform();
+};
+
+struct FxEvalWorkspace {
+  double scratch[16];
+};
+
+struct FxConfigView {
+  int knobs = 0;
+};
+
+class FxMidStrand : public Strand {};
+
+class FxEvalStrand : public FxMidStrand {
+ public:
+  FxEvalStrand(Rng& rng, FxEvalWorkspace& ws, const FxConfigView& cfg)
+      : rng_(rng), ws_(ws), cfg_(cfg) {}
+  bool step() override;
+
+ private:
+  Rng& rng_;                 // sanctioned channel: RNG stream
+  FxEvalWorkspace& ws_;      // sanctioned channel: per-shard workspace
+  const FxConfigView& cfg_;  // const reference: read-only, safe
+  int steps_done_ = 0;       // owned value state: safe
+};
+
+bool FxEvalStrand::step() {
+  ws_.scratch[0] = rng_.uniform() + cfg_.knobs;
+  return ++steps_done_ < 2;
+}
+
+}  // namespace fixstrandclean

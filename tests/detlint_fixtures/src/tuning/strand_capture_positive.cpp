@@ -1,0 +1,34 @@
+// CONC003 fixture (positive half): a Strand-derived class holding a
+// mutable reference to shared state outside the sanctioned channels (Rng
+// streams, *Workspace types) is a capture-safety hazard — strands migrate
+// between workers, so every shared mutable reference needs an audited
+// allowlist entry naming its synchronization story.
+class Strand {
+ public:
+  virtual ~Strand() = default;
+  virtual bool step() = 0;
+};
+
+namespace fixstrand {
+
+struct FxSharedTally {
+  int hits = 0;
+};
+
+class FxTallyStrand : public Strand {
+ public:
+  explicit FxTallyStrand(FxSharedTally& tally) : tally_(tally) {}
+  bool step() override;
+
+ private:
+  FxSharedTally& tally_;  // expect: CONC003
+  int local_count_ = 0;
+};
+
+bool FxTallyStrand::step() {
+  ++local_count_;
+  ++tally_.hits;
+  return local_count_ < 3;
+}
+
+}  // namespace fixstrand

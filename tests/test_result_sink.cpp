@@ -124,6 +124,61 @@ TEST(ResultSink, CsvBackendWritesHeaderAndOneRowPerCampaign) {
   EXPECT_FALSE(std::getline(lines, line));
 }
 
+TEST(ResultSink, CsvBackendEscapesRfc4180SpecialsByteExactly) {
+  // Names and strategy labels are caller-supplied free text; fields
+  // containing a comma, quote, CR, or LF must be quoted with inner quotes
+  // doubled, and everything else must pass through untouched. Golden
+  // byte-identity, not substring checks: quoting is load-bearing for any
+  // downstream CSV reader.
+  std::ostringstream out;
+  {
+    ResultSink sink(std::make_unique<CsvResultBackend>(out));
+    CampaignOutcome comma{0, "shuffle, 8x grouping", make_result(0)};
+    comma.result.strategy = "bo,ei";
+    CampaignOutcome quote{1, "the \"fast\" config", make_result(1)};
+    quote.result.strategy = "a\"b";
+    CampaignOutcome newline{2, "line one\nline two", make_result(2)};
+    newline.result.strategy = "cr\rhere";
+    CampaignOutcome plain{3, "plain-name", make_result(3)};
+    sink.submit(comma);
+    sink.submit(quote);
+    sink.submit(newline);
+    sink.submit(plain);
+    sink.close();
+  }
+  EXPECT_EQ(out.str(),
+            "ticket,name,strategy,steps,best_step,best_throughput,"
+            "rep_mean,rep_min,rep_max\n"
+            "0,\"shuffle, 8x grouping\",\"bo,ei\",2,2,150,150,140,160\n"
+            "1,\"the \"\"fast\"\" config\",\"a\"\"b\",2,2,151,151,141,161\n"
+            "2,\"line one\nline two\",\"cr\rhere\",2,2,152,152,142,162\n"
+            "3,plain-name,random,2,2,153,153,143,163\n");
+}
+
+TEST(ResultSink, CsvEscapingIsByteStableAcrossQueueShapes) {
+  // The escaped bytes must be a pure function of the submitted records —
+  // same golden output whatever the queue capacity and batch size.
+  auto render = [](std::size_t queue_capacity, std::size_t batch_max) {
+    std::ostringstream out;
+    ResultSinkOptions options;
+    options.queue_capacity = queue_capacity;
+    options.batch_max = batch_max;
+    ResultSink sink(std::make_unique<CsvResultBackend>(out), options);
+    for (std::size_t i = 0; i < 6; ++i) {
+      CampaignOutcome o{i, "c-" + std::to_string(i) + ",\"x\"",
+                        make_result(i)};
+      sink.submit(std::move(o));
+    }
+    sink.close();
+    return out.str();
+  };
+  const std::string golden = render(256, 64);
+  EXPECT_NE(golden.find(",\"c-0,\"\"x\"\"\",random,"), std::string::npos)
+      << golden;
+  EXPECT_EQ(render(1, 1), golden);
+  EXPECT_EQ(render(2, 3), golden);
+}
+
 TEST(ResultSink, CloseIsIdempotentAndRejectsLateSubmissions) {
   std::ostringstream out;
   ResultSink sink(std::make_unique<JsonlResultBackend>(out));

@@ -1,71 +1,47 @@
-// detlint — the project's determinism lint.
+// detlint — the project's determinism and hot-path lint (v2 driver).
 //
 // Every performance PR in this repo rests on one claim: suggest(), the
 // simulation engine, and the pooled campaign driver are bitwise-identical
-// across thread counts and workspace reuse. The golden tests pin that claim
-// after the fact; detlint enforces its source-level preconditions before a
-// violation can ship. It is a project-specific static checker, built with
-// the repo and run over src/ and tools/ as a ctest (and in CI).
+// across thread counts and workspace reuse — and allocation-free in steady
+// state. The golden and malloc-probe tests pin those claims after the
+// fact; detlint enforces their source-level preconditions before a
+// violation can ship.
 //
-// Rules (see DESIGN.md §12 for the rationale table):
+// v1 was a per-line pattern checker. v2 is a small analysis framework
+// (tools/detlint/): a tokenizer, per-TU function extraction with a
+// cross-TU symbol table, a project-wide call graph, and a
+// compile_commands.json reader. This file is only the driver: argument
+// parsing, the audited allowlist, and the fixture self-test harness. The
+// rules themselves live in tools/detlint/rules_*.cpp; see
+// tools/detlint/rules.hpp for the rule table and DESIGN.md "Correctness
+// tooling" for the rationale.
 //
-//   DET001 unseeded-rng        rand()/srand()/std::random_device anywhere
-//                              outside src/common/rng.* — all randomness
-//                              must flow through the seeded Rng.
-//   DET002 unordered-container std::unordered_{map,set,multimap,multiset}
-//                              or pointer-keyed std::map/std::set in the
-//                              deterministic layers (src/stormsim, src/
-//                              tuning, src/bayesopt): hash-bucket and
-//                              address order leak into iteration order.
-//   DET003 sort-no-comparator  std::sort / std::stable_sort called without
-//                              an explicit comparator in src/: the default
-//                              operator< is not documented at the call site
-//                              to be a total order over the sorted values.
-//   DET004 wall-clock          time-of-day / monotonic-clock reads in src/
-//                              (std::chrono::{system,steady,high_resolution}
-//                              _clock, time(), clock(), gettimeofday):
-//                              timing-dependent values are nondeterministic
-//                              by construction. Bench and CLI code (bench/,
-//                              tools/) is exempt.
-//   DET005 shared-accumulation `#pragma omp` anywhere in src/, and += / -=
-//                              on an identifier captured from outside a
-//                              lambda that is executed by the thread pool
-//                              (parallel_for): cross-shard accumulation
-//                              order depends on the thread count.
-//
-// Audited exceptions live in tools/detlint.allow; each suppressed line must
-// match an entry's (rule, path suffix, substring). Unused allowlist entries
-// are themselves errors so the file cannot rot.
+// Audited exceptions live in tools/detlint.allow; each suppressed finding
+// must match an entry's (rule, path suffix, substring). Unused allowlist
+// entries are themselves errors so the file cannot rot.
 //
 // Fixture mode (--fixtures) self-tests the rules: every file under the
-// fixture root carries `// expect: DETnnn` / `// expect-allowed: DETnnn`
+// fixture root carries `// expect: RULEnnn` / `// expect-allowed: RULEnnn`
 // annotations, and detlint verifies that exactly the annotated findings
 // fire (an expect-allowed line must be hit by the rule AND suppressed by
-// the fixture allowlist <root>/allow.txt).
+// the fixture allowlist <root>/allow.txt). Project-wide rules see the
+// whole fixture tree at once, exactly as they see src/. A fixture
+// compile_commands.json at the fixture root feeds ISA002.
 #include <algorithm>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <regex>
-#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "detlint/analyze.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
-
-struct Finding {
-  std::string rule;
-  std::string path;    // relative to the lint root, '/'-separated
-  std::size_t line;    // 1-based
-  std::string excerpt; // stripped source line
-  std::string detail;
-  bool allowed = false;  // suppressed by an allowlist entry
-};
 
 struct AllowEntry {
   std::string rule;
@@ -75,365 +51,7 @@ struct AllowEntry {
   bool used = false;
 };
 
-// ---------------------------------------------------------------------------
-// Comment / string stripping.
-//
-// Replaces the contents of //- and /**/-comments, string literals (including
-// basic R"delim(...)delim" raw strings), and character literals with spaces,
-// preserving line structure so findings carry real line numbers. Rules then
-// never fire on quoted or commented text.
-// ---------------------------------------------------------------------------
-std::string strip_comments_and_strings(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  std::string raw_terminator;  // for raw strings: )delim"
-  std::size_t i = 0;
-  const std::size_t n = text.size();
-  while (i < n) {
-    const char c = text[i];
-    const char next = i + 1 < n ? text[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out += "  ";
-          i += 2;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out += "  ";
-          i += 2;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   text[i - 1])) &&
-                               text[i - 1] != '_'))) {
-          // Raw string literal: R"delim( ... )delim"
-          std::size_t j = i + 2;
-          std::string delim;
-          while (j < n && text[j] != '(') delim += text[j++];
-          raw_terminator = ")" + delim + "\"";
-          out += ' ';  // the R
-          out += '"';
-          out.append(j + 1 - (i + 1), ' ');
-          i = j + 1;
-          state = State::kString;
-        } else if (c == '"') {
-          state = State::kString;
-          raw_terminator.clear();
-          out += '"';
-          ++i;
-        } else if (c == '\'' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   text[i - 1])) &&
-                               text[i - 1] != '_'))) {
-          // Character literal (the look-behind keeps digit separators like
-          // 1'000'000 out of the string machine).
-          state = State::kChar;
-          out += '\'';
-          ++i;
-        } else {
-          out += c;
-          ++i;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        ++i;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out += "  ";
-          i += 2;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-          ++i;
-        }
-        break;
-      case State::kString:
-        if (!raw_terminator.empty()) {
-          if (text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
-            out.append(raw_terminator.size() - 1, ' ');
-            out += '"';
-            i += raw_terminator.size();
-            state = State::kCode;
-          } else {
-            out += c == '\n' ? '\n' : ' ';
-            ++i;
-          }
-        } else if (c == '\\' && i + 1 < n) {
-          out += "  ";
-          i += 2;
-        } else if (c == '"') {
-          out += '"';
-          ++i;
-          state = State::kCode;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-          ++i;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < n) {
-          out += "  ";
-          i += 2;
-        } else if (c == '\'') {
-          out += '\'';
-          ++i;
-          state = State::kCode;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-          ++i;
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (const char c : text) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  if (!cur.empty()) lines.push_back(cur);
-  return lines;
-}
-
-std::size_t line_of_offset(const std::string& text, std::size_t offset) {
-  return static_cast<std::size_t>(
-             std::count(text.begin(), text.begin() + static_cast<std::ptrdiff_t>(offset), '\n')) +
-         1;
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-bool in_dir(const std::string& path, const std::string& dir) {
-  return starts_with(path, dir + "/");
-}
-
-bool rule_applies_det001(const std::string& path) {
-  // All randomness flows through the seeded Rng; only its implementation
-  // may name the primitive sources.
-  return !starts_with(path, "src/common/rng");
-}
-
-bool rule_applies_det002(const std::string& path) {
-  return in_dir(path, "src/stormsim") || in_dir(path, "src/tuning") ||
-         in_dir(path, "src/bayesopt");
-}
-
-bool rule_applies_src_only(const std::string& path) {
-  return in_dir(path, "src");
-}
-
-void add_line_regex_findings(const std::string& rule,
-                             const std::regex& pattern,
-                             const std::string& detail,
-                             const std::string& path,
-                             const std::vector<std::string>& lines,
-                             std::vector<Finding>& findings) {
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (std::regex_search(lines[i], pattern)) {
-      findings.push_back(Finding{rule, path, i + 1, trim(lines[i]), detail});
-    }
-  }
-}
-
-// DET003: std::sort / std::stable_sort with exactly two top-level arguments
-// (no comparator). Needs balanced-paren argument counting, so it works on
-// the full stripped text instead of per line.
-void check_det003(const std::string& path, const std::string& stripped,
-                  const std::vector<std::string>& lines,
-                  std::vector<Finding>& findings) {
-  static const std::regex call_re("std\\s*::\\s*(stable_)?sort\\s*\\(");
-  auto begin =
-      std::sregex_iterator(stripped.begin(), stripped.end(), call_re);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    const std::size_t open = static_cast<std::size_t>(it->position()) +
-                             static_cast<std::size_t>(it->length()) - 1;
-    int depth = 1;
-    int angle = 0;
-    std::size_t args = 1;
-    std::size_t j = open + 1;
-    for (; j < stripped.size() && depth > 0; ++j) {
-      const char c = stripped[j];
-      if (c == '(' || c == '[' || c == '{') ++depth;
-      else if (c == ')' || c == ']' || c == '}') --depth;
-      else if (c == '<') ++angle;
-      else if (c == '>' && angle > 0) --angle;
-      else if (c == ',' && depth == 1 && angle == 0) ++args;
-    }
-    if (args == 2) {
-      const std::size_t line = line_of_offset(stripped, open);
-      findings.push_back(Finding{
-          "DET003", path, line, trim(lines[line - 1]),
-          "std::sort without an explicit total-order comparator"});
-    }
-  }
-}
-
-// DET005 (pool-sharded part): inside a by-reference lambda that appears in
-// a parallel_for(...) argument list, += / -= on a plain identifier that the
-// lambda body does not itself declare accumulates into captured state —
-// and cross-shard accumulation order depends on the thread count.
-void check_det005_pool(const std::string& path, const std::string& stripped,
-                       const std::vector<std::string>& lines,
-                       std::vector<Finding>& findings) {
-  static const std::regex call_re("\\bparallel_for\\s*\\(");
-  static const std::regex lambda_re("\\[[^\\]]*&[^\\]]*\\]");
-  static const std::regex decl_re(
-      "\\b(?:double|float|auto|int|long|unsigned|std::size_t|size_t|"
-      "std::uint64_t|uint64_t|std::int64_t|int64_t)\\s+(\\w+)");
-  static const std::regex accum_re(
-      "(?:^|[^\\w\\]\\)\\.>])(\\w+)\\s*[+\\-]=");
-  auto begin = std::sregex_iterator(stripped.begin(), stripped.end(), call_re);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    // Span of the parallel_for(...) argument list.
-    const std::size_t open = static_cast<std::size_t>(it->position()) +
-                             static_cast<std::size_t>(it->length()) - 1;
-    int depth = 1;
-    std::size_t close = open + 1;
-    for (; close < stripped.size() && depth > 0; ++close) {
-      if (stripped[close] == '(') ++depth;
-      else if (stripped[close] == ')') --depth;
-    }
-    const std::string argtext = stripped.substr(open + 1, close - open - 2);
-    // Find a by-reference lambda inside the argument list.
-    std::smatch lm;
-    if (!std::regex_search(argtext, lm, lambda_re)) continue;
-    const std::size_t body_open = argtext.find('{', static_cast<std::size_t>(lm.position()));
-    if (body_open == std::string::npos) continue;
-    int bdepth = 1;
-    std::size_t body_close = body_open + 1;
-    for (; body_close < argtext.size() && bdepth > 0; ++body_close) {
-      if (argtext[body_close] == '{') ++bdepth;
-      else if (argtext[body_close] == '}') --bdepth;
-    }
-    const std::string body =
-        argtext.substr(body_open + 1, body_close - body_open - 2);
-    // Identifiers declared inside the body are shard-local and safe.
-    std::set<std::string> local;
-    for (auto d = std::sregex_iterator(body.begin(), body.end(), decl_re);
-         d != std::sregex_iterator(); ++d) {
-      local.insert((*d)[1].str());
-    }
-    for (auto a = std::sregex_iterator(body.begin(), body.end(), accum_re);
-         a != std::sregex_iterator(); ++a) {
-      const std::string ident = (*a)[1].str();
-      if (local.count(ident)) continue;
-      const std::size_t body_offset = open + 1 + body_open + 1 +
-                                      static_cast<std::size_t>(a->position(1));
-      const std::size_t line = line_of_offset(stripped, body_offset);
-      findings.push_back(
-          Finding{"DET005", path, line, trim(lines[line - 1]),
-                  "compound assignment to captured '" + ident +
-                      "' inside a pool-sharded lambda (accumulation order "
-                      "depends on thread count)"});
-    }
-  }
-}
-
-std::vector<Finding> lint_file(const std::string& rel_path,
-                               const std::string& text) {
-  std::vector<Finding> findings;
-  const std::string stripped = strip_comments_and_strings(text);
-  const std::vector<std::string> lines = split_lines(stripped);
-
-  if (rule_applies_det001(rel_path)) {
-    static const std::regex det001(
-        "\\b(?:std\\s*::\\s*)?(?:rand|srand)\\s*\\(|\\brandom_device\\b");
-    add_line_regex_findings(
-        "DET001", det001,
-        "raw randomness source outside common/rng (unseeded or "
-        "process-global state)",
-        rel_path, lines, findings);
-  }
-
-  if (rule_applies_det002(rel_path)) {
-    static const std::regex det002a(
-        "\\bunordered_(?:map|set|multimap|multiset)\\b");
-    add_line_regex_findings(
-        "DET002", det002a,
-        "unordered container in a deterministic layer (hash-bucket order "
-        "leaks into iteration)",
-        rel_path, lines, findings);
-    static const std::regex det002b(
-        "\\b(?:std\\s*::\\s*)?(?:map|set)\\s*<[^<>,]*\\*\\s*[,>]");
-    add_line_regex_findings(
-        "DET002", det002b,
-        "pointer-keyed ordered container (iteration order depends on "
-        "allocation addresses)",
-        rel_path, lines, findings);
-  }
-
-  if (rule_applies_src_only(rel_path)) {
-    check_det003(rel_path, stripped, lines, findings);
-
-    static const std::regex det004(
-        "\\b(?:system_clock|steady_clock|high_resolution_clock)\\b|"
-        "\\bgettimeofday\\b|\\bclock\\s*\\(\\s*\\)|"
-        "\\btime\\s*\\(\\s*(?:NULL|nullptr|0)?\\s*\\)");
-    add_line_regex_findings(
-        "DET004", det004,
-        "clock read in library code (timing-dependent value); move it to "
-        "bench/ or tools/, or allowlist the audited exception",
-        rel_path, lines, findings);
-
-    static const std::regex det005a("#\\s*pragma\\s+omp\\b");
-    add_line_regex_findings(
-        "DET005", det005a,
-        "OpenMP pragma (reduction and scheduling order are runtime-"
-        "dependent); use common/thread_pool's deterministic sharding",
-        rel_path, lines, findings);
-    check_det005_pool(rel_path, stripped, lines, findings);
-  }
-
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
-  return findings;
-}
-
-// ---------------------------------------------------------------------------
-// Allowlist
-// ---------------------------------------------------------------------------
-
-std::vector<AllowEntry> load_allowlist(const fs::path& file,
-                                       bool required) {
+std::vector<AllowEntry> load_allowlist(const fs::path& file, bool required) {
   std::vector<AllowEntry> entries;
   std::ifstream in(file);
   if (!in) {
@@ -447,14 +65,14 @@ std::vector<AllowEntry> load_allowlist(const fs::path& file,
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    const std::string t = trim(line);
+    const std::string t = detlint::trim(line);
     if (t.empty() || t[0] == '#') continue;
     std::istringstream ss(t);
     AllowEntry e;
     e.line_no = line_no;
     ss >> e.rule >> e.path_suffix;
     std::getline(ss, e.substring);
-    e.substring = trim(e.substring);
+    e.substring = detlint::trim(e.substring);
     if (e.rule.empty() || e.path_suffix.empty() || e.substring.empty()) {
       std::cerr << "detlint: malformed allowlist entry at " << file.string()
                 << ":" << line_no
@@ -466,12 +84,13 @@ std::vector<AllowEntry> load_allowlist(const fs::path& file,
   return entries;
 }
 
-void apply_allowlist(std::vector<Finding>& findings,
+void apply_allowlist(std::vector<detlint::Finding>& findings,
                      std::vector<AllowEntry>& allow) {
-  for (Finding& f : findings) {
+  for (detlint::Finding& f : findings) {
     for (AllowEntry& e : allow) {
       if (e.rule == f.rule &&
-          (f.path == e.path_suffix || ends_with(f.path, "/" + e.path_suffix)) &&
+          (f.path == e.path_suffix ||
+           detlint::ends_with(f.path, "/" + e.path_suffix)) &&
           f.excerpt.find(e.substring) != std::string::npos) {
         f.allowed = true;
         e.used = true;
@@ -482,128 +101,94 @@ void apply_allowlist(std::vector<Finding>& findings,
 }
 
 // ---------------------------------------------------------------------------
-// File collection
-// ---------------------------------------------------------------------------
-
-bool is_source_file(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
-}
-
-std::vector<fs::path> collect_files(const fs::path& root,
-                                    const std::vector<std::string>& paths) {
-  std::vector<fs::path> files;
-  auto add_tree = [&](const fs::path& base) {
-    if (fs::is_regular_file(base)) {
-      if (is_source_file(base)) files.push_back(base);
-      return;
-    }
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (entry.is_regular_file() && is_source_file(entry.path())) {
-        files.push_back(entry.path());
-      }
-    }
-  };
-  if (paths.empty()) {
-    add_tree(root);
-  } else {
-    for (const std::string& p : paths) add_tree(root / p);
-  }
-  std::sort(files.begin(), files.end());
-  return files;
-}
-
-std::string relative_to(const fs::path& file, const fs::path& root) {
-  return fs::relative(file, root).generic_string();
-}
-
-std::string read_file(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) {
-    std::cerr << "detlint: cannot read " << p << "\n";
-    std::exit(2);
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-// ---------------------------------------------------------------------------
 // Fixture mode
 // ---------------------------------------------------------------------------
 
 struct Expectation {
+  std::string path;
   std::size_t line;
   std::string rule;
   bool allowed;  // expect-allowed: rule must hit AND be suppressed
 };
 
-std::vector<Expectation> parse_expectations(const std::string& text) {
-  std::vector<Expectation> exp;
+void parse_expectations(const std::string& path, const std::string& text,
+                        std::vector<Expectation>& exp) {
   static const std::regex exp_re(
-      "//\\s*expect(-allowed)?:\\s*((?:DET\\d+[ ,]*)+)");
-  const std::vector<std::string> lines = split_lines(text);
+      "//\\s*expect(-allowed)?:\\s*((?:[A-Z]{2,8}\\d+[ ,]*)+)");
+  static const std::regex rule_re("[A-Z]{2,8}\\d+");
+  const std::vector<std::string> lines = detlint::split_lines(text);
   for (std::size_t i = 0; i < lines.size(); ++i) {
     std::smatch m;
     if (!std::regex_search(lines[i], m, exp_re)) continue;
     const bool allowed = m[1].matched;
-    static const std::regex rule_re("DET\\d+");
     const std::string rules = m[2].str();
     for (auto it = std::sregex_iterator(rules.begin(), rules.end(), rule_re);
          it != std::sregex_iterator(); ++it) {
-      exp.push_back(Expectation{i + 1, it->str(), allowed});
+      exp.push_back(Expectation{path, i + 1, it->str(), allowed});
     }
   }
-  return exp;
 }
 
 int run_fixture_mode(const fs::path& root) {
   std::vector<AllowEntry> allow =
       load_allowlist(root / "allow.txt", /*required=*/false);
-  const std::vector<fs::path> files = collect_files(root, {});
-  if (files.empty()) {
+
+  detlint::AnalyzeOptions options;
+  options.root = root.string();
+  if (fs::exists(root / "compile_commands.json")) {
+    options.compile_commands = (root / "compile_commands.json").string();
+  }
+  detlint::Analysis analysis = detlint::analyze_tree(options);
+  for (const std::string& e : analysis.errors) {
+    std::cerr << "detlint: " << e << "\n";
+  }
+  if (analysis.tus.empty()) {
     std::cerr << "detlint: no fixture files under " << root << "\n";
     return 2;
   }
-  std::size_t failures = 0;
-  std::size_t checked = 0;
-  for (const fs::path& file : files) {
-    const std::string rel = relative_to(file, root);
-    const std::string text = read_file(file);
-    std::vector<Expectation> expected = parse_expectations(text);
-    std::vector<Finding> findings = lint_file(rel, text);
-    apply_allowlist(findings, allow);
-    checked += expected.size();
-    // Every expectation must be matched by a finding of the right kind.
-    for (const Expectation& e : expected) {
-      const auto match = std::find_if(
-          findings.begin(), findings.end(), [&](const Finding& f) {
-            return f.line == e.line && f.rule == e.rule &&
-                   f.allowed == e.allowed;
-          });
-      if (match == findings.end()) {
-        std::cerr << "fixture FAIL " << rel << ":" << e.line << ": expected "
-                  << (e.allowed ? "allowlisted " : "") << e.rule
-                  << " finding did not fire as expected\n";
-        ++failures;
-      } else {
-        findings.erase(match);
-      }
-    }
-    // ... and nothing may fire without an annotation.
-    for (const Finding& f : findings) {
-      std::cerr << "fixture FAIL " << rel << ":" << f.line << ": unexpected "
-                << f.rule << (f.allowed ? " (allowlisted)" : "") << ": "
-                << f.excerpt << "\n";
+  apply_allowlist(analysis.findings, allow);
+
+  // Expectations come from the original file text: comments are stripped
+  // before analysis, so the annotations are invisible to the rules.
+  std::vector<Expectation> expected;
+  for (const detlint::TranslationUnit& tu : analysis.tus) {
+    std::ifstream in(root / tu.path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    parse_expectations(tu.path, ss.str(), expected);
+  }
+
+  std::size_t failures = analysis.errors.size();
+  std::vector<detlint::Finding> findings = std::move(analysis.findings);
+  for (const Expectation& e : expected) {
+    const auto match = std::find_if(
+        findings.begin(), findings.end(), [&](const detlint::Finding& f) {
+          return f.path == e.path && f.line == e.line && f.rule == e.rule &&
+                 f.allowed == e.allowed;
+        });
+    if (match == findings.end()) {
+      std::cerr << "fixture FAIL " << e.path << ":" << e.line << ": expected "
+                << (e.allowed ? "allowlisted " : "") << e.rule
+                << " finding did not fire as expected\n";
       ++failures;
+    } else {
+      findings.erase(match);
     }
+  }
+  // ... and nothing may fire without an annotation.
+  for (const detlint::Finding& f : findings) {
+    std::cerr << "fixture FAIL " << f.path << ":" << f.line << ": unexpected "
+              << f.rule << (f.allowed ? " (allowlisted)" : "") << ": "
+              << f.excerpt << "\n";
+    ++failures;
   }
   if (failures > 0) {
     std::cerr << "detlint fixtures: " << failures << " mismatch(es)\n";
     return 1;
   }
-  std::cout << "detlint fixtures: " << checked << " expectation(s) across "
-            << files.size() << " file(s) all verified\n";
+  std::cout << "detlint fixtures: " << expected.size()
+            << " expectation(s) across " << analysis.tus.size()
+            << " file(s) all verified\n";
   return 0;
 }
 
@@ -612,27 +197,35 @@ int run_fixture_mode(const fs::path& root) {
 // ---------------------------------------------------------------------------
 
 int run_lint_mode(const fs::path& root, const fs::path& allow_file,
+                  const fs::path& compile_commands,
                   const std::vector<std::string>& paths) {
   std::vector<AllowEntry> allow;
   if (!allow_file.empty()) {
     allow = load_allowlist(allow_file, /*required=*/true);
   }
-  const std::vector<fs::path> files = collect_files(root, paths);
+  detlint::AnalyzeOptions options;
+  options.root = root.string();
+  options.paths = paths;
+  if (!compile_commands.empty()) {
+    options.compile_commands = compile_commands.string();
+  }
+  detlint::Analysis analysis = detlint::analyze_tree(options);
+  apply_allowlist(analysis.findings, allow);
+
   std::size_t reported = 0;
   std::size_t suppressed = 0;
-  for (const fs::path& file : files) {
-    const std::string rel = relative_to(file, root);
-    std::vector<Finding> findings = lint_file(rel, read_file(file));
-    apply_allowlist(findings, allow);
-    for (const Finding& f : findings) {
-      if (f.allowed) {
-        ++suppressed;
-        continue;
-      }
-      std::cerr << rel << ":" << f.line << ": [" << f.rule << "] " << f.detail
-                << "\n    " << f.excerpt << "\n";
-      ++reported;
+  for (const std::string& e : analysis.errors) {
+    std::cerr << "detlint: " << e << "\n";
+    ++reported;
+  }
+  for (const detlint::Finding& f : analysis.findings) {
+    if (f.allowed) {
+      ++suppressed;
+      continue;
     }
+    std::cerr << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.detail << "\n    " << f.excerpt << "\n";
+    ++reported;
   }
   for (const AllowEntry& e : allow) {
     if (!e.used) {
@@ -645,11 +238,11 @@ int run_lint_mode(const fs::path& root, const fs::path& allow_file,
   }
   if (reported > 0) {
     std::cerr << "detlint: " << reported << " finding(s) across "
-              << files.size() << " file(s)\n";
+              << analysis.tus.size() << " file(s)\n";
     return 1;
   }
-  std::cout << "detlint: clean (" << files.size() << " file(s), " << suppressed
-            << " audited exception(s))\n";
+  std::cout << "detlint: clean (" << analysis.tus.size() << " file(s), "
+            << suppressed << " audited exception(s))\n";
   return 0;
 }
 
@@ -658,6 +251,7 @@ int run_lint_mode(const fs::path& root, const fs::path& allow_file,
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   fs::path allow_file;
+  fs::path compile_commands;
   bool fixtures = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -666,12 +260,14 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--allowlist" && i + 1 < argc) {
       allow_file = argv[++i];
+    } else if (arg == "--compile-commands" && i + 1 < argc) {
+      compile_commands = argv[++i];
     } else if (arg == "--fixtures") {
       fixtures = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout
-          << "usage: detlint [--root DIR] [--allowlist FILE] PATH...\n"
-             "       detlint --root DIR --fixtures\n";
+      std::cout << "usage: detlint [--root DIR] [--allowlist FILE] "
+                   "[--compile-commands FILE] PATH...\n"
+                   "       detlint --root DIR --fixtures\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "detlint: unknown option " << arg << "\n";
@@ -681,5 +277,5 @@ int main(int argc, char** argv) {
     }
   }
   if (fixtures) return run_fixture_mode(root);
-  return run_lint_mode(root, allow_file, paths);
+  return run_lint_mode(root, allow_file, compile_commands, paths);
 }

@@ -1,0 +1,82 @@
+#include "detlint/analyze.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace detlint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<fs::path> collect_files(const fs::path& root,
+                                    const std::vector<std::string>& paths) {
+  std::vector<fs::path> files;
+  auto add_tree = [&](const fs::path& base) {
+    if (fs::is_regular_file(base)) {
+      if (is_source_file(base)) files.push_back(base);
+      return;
+    }
+    if (!fs::is_directory(base)) return;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && is_source_file(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  };
+  if (paths.empty()) {
+    add_tree(root);
+  } else {
+    for (const std::string& p : paths) add_tree(root / p);
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+Analysis analyze_tree(const AnalyzeOptions& options) {
+  Analysis a;
+  const fs::path root = options.root.empty() ? fs::current_path()
+                                             : fs::path(options.root);
+  const std::vector<fs::path> files = collect_files(root, options.paths);
+  a.tus.reserve(files.size());
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      a.errors.push_back("cannot read " + file.string());
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    a.tus.push_back(
+        index_tu(fs::relative(file, root).generic_string(), ss.str()));
+  }
+
+  CompileDb db;
+  const CompileDb* db_ptr = nullptr;
+  if (!options.compile_commands.empty()) {
+    std::string error;
+    if (load_compile_db(options.compile_commands, db, error)) {
+      db_ptr = &db;
+    } else {
+      a.errors.push_back(error);
+    }
+  }
+
+  for (const TranslationUnit& tu : a.tus) run_det_rules(tu, a.findings);
+  run_alloc_rules(a.tus, a.findings);
+  run_conc_rules(a.tus, a.findings);
+  run_isa_rules(a.tus, db_ptr, a.findings);
+  sort_findings(a.findings);
+  return a;
+}
+
+}  // namespace detlint

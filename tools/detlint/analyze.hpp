@@ -1,0 +1,32 @@
+// detlint v2 — whole-tree analysis entry point.
+//
+// One call: collect source files, index every TU (lex + function/class
+// extraction), then run the per-TU and project-wide rule families. The
+// driver wraps this with allowlisting and fixture matching; bench_micro
+// links it directly to pin the analysis cost of the full src/ tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detlint/rules.hpp"
+
+namespace detlint {
+
+struct AnalyzeOptions {
+  std::string root;                   // lint root directory
+  std::vector<std::string> paths;     // subtrees/files relative to root
+                                      // (empty = the whole root)
+  std::string compile_commands;       // compile_commands.json ("" = skip
+                                      // ISA002)
+};
+
+struct Analysis {
+  std::vector<TranslationUnit> tus;
+  std::vector<Finding> findings;      // sorted (path, line, rule)
+  std::vector<std::string> errors;    // unreadable inputs, bad database
+};
+
+Analysis analyze_tree(const AnalyzeOptions& options);
+
+}  // namespace detlint

@@ -1,0 +1,134 @@
+#include "detlint/callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "detlint/lexer.hpp"
+
+namespace detlint {
+
+CallGraph::CallGraph(const std::vector<TranslationUnit>& tus) {
+  for (const TranslationUnit& tu : tus) {
+    for (const FunctionInfo& fn : tu.functions) {
+      by_name_[fn.name].push_back(nodes_.size());
+      nodes_.push_back(Node{&fn, &tu, {}});
+    }
+  }
+  for (Node& node : nodes_) {
+    std::set<std::size_t> edges;
+    for (const CallSite& call : node.fn->calls) {
+      const auto it = by_name_.find(call.name);
+      if (it == by_name_.end()) continue;  // external leaf
+      if (call.qual.empty()) {
+        // Unqualified call: resolve like C++ name lookup, not by flat
+        // name. Walk the caller's enclosing scopes innermost-to-outermost
+        // (Rng::uniform's `next()` is Rng::next, a kernel TU's local
+        // `run<...>` helper is not StrandPool::run) and stop at the first
+        // scope that declares the name — name hiding, as in the language.
+        // Only when no enclosing scope matches do we fall back to the
+        // every-same-name over-approximation (ADL, using-declarations).
+        std::vector<std::size_t> scoped;
+        std::string scope = node.fn->qualified;
+        while (true) {
+          const std::size_t pos = scope.rfind("::");
+          if (pos == std::string::npos) break;
+          scope.resize(pos);  // drop the last component
+          const std::string want = scope + "::" + call.name;
+          for (const std::size_t idx : it->second) {
+            if (nodes_[idx].fn->qualified == want) scoped.push_back(idx);
+          }
+          if (!scoped.empty()) break;
+        }
+        if (scoped.empty()) {
+          // Global scope: exact-name candidates (free functions at top
+          // level or in this TU's anonymous namespace).
+          for (const std::size_t idx : it->second) {
+            if (nodes_[idx].fn->qualified == call.name) scoped.push_back(idx);
+          }
+        }
+        // Internal-linkage tie-break: same-TU anonymous-namespace
+        // definitions shadow same-named externals.
+        std::vector<std::size_t> local;
+        for (const std::size_t idx : scoped.empty() ? it->second : scoped) {
+          if (nodes_[idx].fn->internal && nodes_[idx].tu == node.tu) {
+            local.push_back(idx);
+          }
+        }
+        if (!local.empty()) {
+          edges.insert(local.begin(), local.end());
+        } else if (!scoped.empty()) {
+          edges.insert(scoped.begin(), scoped.end());
+        } else {
+          edges.insert(it->second.begin(), it->second.end());
+        }
+      } else {
+        // `A::B::f(...)`: keep candidates whose qualified name ends with
+        // the written chain.
+        std::string suffix;
+        for (const std::string& part : call.qual) suffix += part + "::";
+        suffix += call.name;
+        for (const std::size_t idx : it->second) {
+          const std::string& q = nodes_[idx].fn->qualified;
+          if (q == suffix || ends_with(q, "::" + suffix)) edges.insert(idx);
+        }
+      }
+    }
+    node.callees.assign(edges.begin(), edges.end());
+  }
+}
+
+std::vector<HotPathAlloc> CallGraph::hot_path_allocs() const {
+  std::vector<HotPathAlloc> out;
+  std::set<std::string> seen;  // "path:line:what" site dedup across roots
+  for (std::size_t root = 0; root < nodes_.size(); ++root) {
+    if (!nodes_[root].fn->hot) continue;
+    // BFS with parent tracking for chain reconstruction.
+    std::map<std::size_t, std::size_t> parent;
+    std::deque<std::size_t> queue;
+    std::set<std::size_t> visited;
+    queue.push_back(root);
+    visited.insert(root);
+    while (!queue.empty()) {
+      const std::size_t cur = queue.front();
+      queue.pop_front();
+      const Node& node = nodes_[cur];
+      for (const AllocSite& site : node.fn->allocs) {
+        const std::string key = node.tu->path + ":" +
+                                std::to_string(site.line) + ":" + site.what;
+        if (!seen.insert(key).second) continue;
+        HotPathAlloc a;
+        a.tu_path = node.tu->path;
+        a.line = site.line;
+        a.what = site.what;
+        a.in_fn = node.fn->qualified;
+        a.root = nodes_[root].fn->qualified;
+        std::vector<std::string> chain;
+        for (std::size_t walk = cur;; walk = parent.at(walk)) {
+          chain.push_back(nodes_[walk].fn->qualified);
+          if (walk == root) break;
+        }
+        std::reverse(chain.begin(), chain.end());
+        for (std::size_t k = 0; k < chain.size(); ++k) {
+          if (k > 0) a.chain += " -> ";
+          a.chain += chain[k];
+        }
+        out.push_back(std::move(a));
+      }
+      for (const std::size_t next : node.callees) {
+        if (visited.insert(next).second) {
+          parent[next] = cur;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HotPathAlloc& a, const HotPathAlloc& b) {
+              if (a.tu_path != b.tu_path) return a.tu_path < b.tu_path;
+              return a.line < b.line;
+            });
+  return out;
+}
+
+}  // namespace detlint

@@ -1,0 +1,157 @@
+#include "detlint/compile_commands.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "detlint/lexer.hpp"
+
+namespace detlint {
+
+namespace {
+
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+      ++i;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        const char e = s[i + 1];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Keep a placeholder; command lines in this repo are ASCII.
+            out += '?';
+            i += std::min<std::size_t>(4, s.size() - (i + 2));
+            break;
+          default: out += e; break;
+        }
+        i += 2;
+      } else {
+        out += s[i++];
+      }
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    return true;
+  }
+};
+
+}  // namespace
+
+const CompileCommand* CompileDb::find(const std::string& rel_path) const {
+  for (const CompileCommand& c : commands) {
+    if (c.file == rel_path || ends_with(c.file, "/" + rel_path)) return &c;
+  }
+  return nullptr;
+}
+
+bool load_compile_db(const std::string& path, CompileDb& db,
+                     std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  Parser p{text};
+  if (!p.eat('[')) {
+    error = path + ": expected a top-level array";
+    return false;
+  }
+  if (p.eat(']')) return true;  // empty database
+  do {
+    if (!p.eat('{')) {
+      error = path + ": expected an object";
+      return false;
+    }
+    CompileCommand cc;
+    if (!p.peek('}')) {
+      do {
+        std::string key;
+        if (!p.parse_string(key) || !p.eat(':')) {
+          error = path + ": malformed object key";
+          return false;
+        }
+        if (p.peek('[')) {
+          // "arguments": ["cc", "-c", ...] — join into one command line.
+          p.eat('[');
+          std::string joined;
+          if (!p.peek(']')) {
+            do {
+              std::string arg;
+              if (!p.parse_string(arg)) {
+                error = path + ": malformed arguments array";
+                return false;
+              }
+              if (!joined.empty()) joined += ' ';
+              joined += arg;
+            } while (p.eat(','));
+          }
+          if (!p.eat(']')) {
+            error = path + ": unterminated arguments array";
+            return false;
+          }
+          if (key == "arguments") cc.command = joined;
+        } else {
+          std::string value;
+          if (!p.parse_string(value)) {
+            error = path + ": malformed value for key '" + key + "'";
+            return false;
+          }
+          if (key == "directory") cc.directory = value;
+          else if (key == "command") cc.command = value;
+          else if (key == "file") cc.file = value;
+        }
+      } while (p.eat(','));
+    }
+    if (!p.eat('}')) {
+      error = path + ": unterminated object";
+      return false;
+    }
+    // Normalize the file path to '/' separators for suffix matching.
+    for (char& c : cc.file) {
+      if (c == '\\') c = '/';
+    }
+    db.commands.push_back(std::move(cc));
+  } while (p.eat(','));
+  if (!p.eat(']')) {
+    error = path + ": unterminated array";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace detlint

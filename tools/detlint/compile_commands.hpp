@@ -1,0 +1,36 @@
+// detlint v2 — compile_commands.json reader.
+//
+// The ISA flag rule (ISA002) checks that every kernel TU participating in
+// the runtime-dispatch contract is compiled with -ffp-contract=off: fused
+// multiply-add contraction is the one compiler freedom that silently breaks
+// bitwise portable/wide-path agreement. CMake exports the ground truth via
+// CMAKE_EXPORT_COMPILE_COMMANDS; this is a minimal reader for that file —
+// an array of flat objects with string (or string-array "arguments")
+// values — not a general JSON parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+struct CompileCommand {
+  std::string directory;
+  std::string command;  // full command line ("arguments" arrays are joined)
+  std::string file;     // as written, possibly relative to `directory`
+};
+
+struct CompileDb {
+  std::vector<CompileCommand> commands;
+
+  /// Find the command for a root-relative '/'-separated TU path by suffix
+  /// match against each entry's file. Returns nullptr when absent.
+  const CompileCommand* find(const std::string& rel_path) const;
+};
+
+/// Parse `path`. Returns false and sets `error` on unreadable or
+/// structurally unexpected input.
+bool load_compile_db(const std::string& path, CompileDb& db,
+                     std::string& error);
+
+}  // namespace detlint

@@ -1,0 +1,316 @@
+#include "detlint/lexer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace detlint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators, longest first so greedy matching is correct.
+// Comparison and shift operators are fused so the parser's angle-bracket
+// balancing never mistakes `<=` or `<<` for a template-argument open.
+constexpr std::array<const char*, 24> kMultiOps = {
+    "<=>", "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "+=",
+    "-=",  "*=",  "/=",  "%=",  "&=",  "|=", "^=", "==", "!=", "<=",
+    ">=",  "&&",  "||",  "<<",
+};
+
+}  // namespace
+
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string raw_terminator;  // for raw strings: )delim"
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < n && text[j] != '(') delim += text[j++];
+          raw_terminator = ")" + delim + "\"";
+          out += ' ';  // the R
+          out += '"';
+          out.append(j + 1 - (i + 1), ' ');
+          i = j + 1;
+          state = State::kString;
+        } else if (c == '"') {
+          state = State::kString;
+          raw_terminator.clear();
+          out += '"';
+          ++i;
+        } else if (c == '\'' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // Character literal (the look-behind keeps digit separators like
+          // 1'000'000 out of the string machine).
+          state = State::kChar;
+          out += '\'';
+          ++i;
+        } else {
+          out += c;
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          i += 2;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (!raw_terminator.empty()) {
+          if (text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+            out.append(raw_terminator.size() - 1, ' ');
+            out += '"';
+            i += raw_terminator.size();
+            state = State::kCode;
+          } else {
+            out += c == '\n' ? '\n' : ' ';
+            ++i;
+          }
+        } else if (c == '\\' && i + 1 < n) {
+          out += "  ";
+          i += 2;
+        } else if (c == '"') {
+          out += '"';
+          ++i;
+          state = State::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+          ++i;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          out += "  ";
+          i += 2;
+        } else if (c == '\'') {
+          out += '\'';
+          ++i;
+          state = State::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+namespace {
+
+// One frame per open #if/#ifdef/#ifndef. `branch_checked` is whether the
+// branch we are currently inside is the STORMTUNE_CHECKED-only side.
+struct CondFrame {
+  bool tracks_checked = false;  // the condition names STORMTUNE_CHECKED
+  bool negated = false;         // #ifndef STORMTUNE_CHECKED
+  bool in_else = false;
+};
+
+bool frame_checked(const CondFrame& f) {
+  if (!f.tracks_checked) return false;
+  return f.negated ? f.in_else : !f.in_else;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& stripped) {
+  std::vector<Token> out;
+  out.reserve(stripped.size() / 6);
+  std::vector<CondFrame> conds;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = stripped.size();
+  bool at_line_start = true;  // only whitespace so far on this line
+
+  auto any_checked = [&] {
+    return std::any_of(conds.begin(), conds.end(), frame_checked);
+  };
+
+  while (i < n) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor directive: consume to end of line, honoring
+      // \-continuations, and track the STORMTUNE_CHECKED conditional
+      // stack. No token is emitted.
+      std::string directive;
+      while (i < n) {
+        if (stripped[i] == '\\' && i + 1 < n && stripped[i + 1] == '\n') {
+          directive += ' ';
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (stripped[i] == '\n') break;
+        directive += stripped[i++];
+      }
+      const std::string t = trim(directive.substr(1));
+      const bool names_checked =
+          t.find("STORMTUNE_CHECKED") != std::string::npos;
+      if (starts_with(t, "ifdef") || starts_with(t, "ifndef") ||
+          starts_with(t, "if")) {
+        CondFrame f;
+        f.tracks_checked = names_checked;
+        f.negated = starts_with(t, "ifndef") ||
+                    (names_checked && t.find('!') != std::string::npos);
+        conds.push_back(f);
+      } else if (starts_with(t, "elif")) {
+        if (!conds.empty()) {
+          // An #elif branch is neither the checked nor the tracked branch;
+          // treat the frame as no longer checked-tracking.
+          conds.back().tracks_checked = names_checked;
+          conds.back().negated = false;
+          conds.back().in_else = false;
+        }
+      } else if (starts_with(t, "else")) {
+        if (!conds.empty()) conds.back().in_else = true;
+      } else if (starts_with(t, "endif")) {
+        if (!conds.empty()) conds.pop_back();
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    Token tok;
+    tok.line = line;
+    tok.checked = any_checked();
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(stripped[j])) ++j;
+      tok.kind = Tok::kIdent;
+      tok.text = stripped.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n &&
+             (ident_char(stripped[j]) || stripped[j] == '.' ||
+              stripped[j] == '\'' ||
+              ((stripped[j] == '+' || stripped[j] == '-') && j > i &&
+               (stripped[j - 1] == 'e' || stripped[j - 1] == 'E' ||
+                stripped[j - 1] == 'p' || stripped[j - 1] == 'P')))) {
+        ++j;
+      }
+      tok.kind = Tok::kNumber;
+      tok.text = stripped.substr(i, j - i);
+      i = j;
+    } else if (c == '"') {
+      // Contents were blanked by the strip pass, so the next '"' is the
+      // closing quote even across the newlines of a raw string literal.
+      std::size_t j = i + 1;
+      while (j < n && stripped[j] != '"') {
+        if (stripped[j] == '\n') ++line;
+        ++j;
+      }
+      tok.kind = Tok::kString;
+      tok.text = "\"\"";
+      i = j < n ? j + 1 : n;
+    } else if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && stripped[j] != '\'' && stripped[j] != '\n') ++j;
+      tok.kind = Tok::kChar;
+      tok.text = "''";
+      i = j < n ? j + 1 : n;
+    } else {
+      tok.kind = Tok::kPunct;
+      tok.text = std::string(1, c);
+      for (const char* op : kMultiOps) {
+        const std::size_t len = std::char_traits<char>::length(op);
+        if (stripped.compare(i, len, op) == 0) {
+          tok.text = op;
+          break;
+        }
+      }
+      i += tok.text.size();
+    }
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+}  // namespace detlint

@@ -1,0 +1,39 @@
+// ALLOC001 — static hot-path allocation lint.
+//
+// A function annotated STORMTUNE_HOT promises steady-state execution with
+// zero fresh allocations: the dynamic malloc-probe tests pin that promise
+// at runtime for the configurations they run, and this rule pins it at the
+// source level for every path the call graph can reach — including ones no
+// test drives. "Fresh" is the operative word: growth into persistent
+// receivers (members, by-reference parameters) is the repo's sanctioned
+// high-water-capacity idiom and is deliberately NOT flagged here; the
+// extractor only records `new` expressions, malloc-family/make_unique/
+// make_shared/to_string calls, function-local owning-container
+// construction, and growth of function-local containers.
+#include "detlint/callgraph.hpp"
+#include "detlint/rules.hpp"
+
+namespace detlint {
+
+void run_alloc_rules(const std::vector<TranslationUnit>& tus,
+                     std::vector<Finding>& out) {
+  const CallGraph graph(tus);
+  for (const HotPathAlloc& a : graph.hot_path_allocs()) {
+    std::string detail = "allocation on hot path: " + a.what + " in " +
+                         a.in_fn + ", reachable from STORMTUNE_HOT " + a.root;
+    if (a.chain.find("->") != std::string::npos) {
+      detail += " via " + a.chain;
+    }
+    std::string excerpt;
+    for (const TranslationUnit& tu : tus) {
+      if (tu.path == a.tu_path && a.line >= 1 && a.line <= tu.lines.size()) {
+        excerpt = trim(tu.lines[a.line - 1]);
+        break;
+      }
+    }
+    out.push_back(
+        Finding{"ALLOC001", a.tu_path, a.line, std::move(excerpt), detail});
+  }
+}
+
+}  // namespace detlint

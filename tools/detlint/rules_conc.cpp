@@ -1,0 +1,374 @@
+// CONC001..CONC003 — strand capture-safety rules.
+//
+// The scheduler's bit-identity argument has three source-level legs:
+//
+//   CONC001  a by-reference parallel_for lambda may write shared state only
+//            through sanctioned channels: element-indexed stores into
+//            pre-sized outputs, shard-local declarations, and lambda
+//            parameters. A non-additive write to a bare captured identifier
+//            (plain =, ++/--, bitwise/shift compound assignment) races
+//            across shards; the additive forms += / -= stay DET005's so no
+//            site is double-reported.
+//   CONC002  every atomic operation names its memory order. The scheduler's
+//            correctness proof (DESIGN.md) argues per-site orderings;
+//            an implicit seq_cst default means the next reader cannot tell
+//            a considered ordering from an accidental one.
+//   CONC003  a Strand-derived class (the unit the pool schedules) must not
+//            hold mutable reference members to shared state. Sanctioned
+//            channels: const references, RNG streams (`Rng&` — per-strand
+//            by construction), and per-shard workspaces (`*Workspace&`).
+//            Anything else is an audited allowlist decision.
+//
+// Atomic member names are declared in headers and used in .cpp files, and
+// Strand subclasses may derive through intermediate bases in another TU, so
+// both CONC002 and CONC003 collect evidence project-wide before flagging.
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+
+#include "detlint/lexer.hpp"
+#include "detlint/rules.hpp"
+
+namespace detlint {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool is(const std::vector<Token>& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+bool is_ident(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() && t[i].kind == Tok::kIdent;
+}
+
+std::size_t skip_balanced(const std::vector<Token>& t, std::size_t i) {
+  const std::string& open = t[i].text;
+  const char* close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].text == open) ++depth;
+    else if (t[j].text == close && --depth == 0) return j + 1;
+  }
+  return npos;
+}
+
+bool in_src(const std::string& path) { return starts_with(path, "src/"); }
+
+std::size_t line_of_offset(const std::string& text, std::size_t offset) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+// ---------------------------------------------------------------------------
+// CONC001 — non-additive writes to captured identifiers in pool lambdas.
+// Same span extraction as DET005's pool check; different operator set.
+// ---------------------------------------------------------------------------
+void check_conc001(const TranslationUnit& tu, std::vector<Finding>& out) {
+  static const std::regex call_re("\\bparallel_for\\s*\\(");
+  static const std::regex lambda_re("\\[[^\\]]*&[^\\]]*\\]");
+  // A shard-local declaration is "type-ish chain, then declarator": the
+  // type may be qualified (std::unique_ptr), templated, and followed by
+  // ref/pointer markers. Writes to (or through) a name declared inside the
+  // lambda are per-shard by construction — including references bound to
+  // element-indexed slots, the sanctioned output channel.
+  static const std::regex decl_re(
+      "\\b(?!return\\b|else\\b|case\\b|goto\\b|delete\\b|throw\\b|"
+      "co_return\\b|new\\b)"
+      "[A-Za-z_][\\w:]*(?:<[^;{}<>]*(?:<[^;{}<>]*>)?[^;{}<>]*>)?"
+      "(?:\\s*[&*]|\\s)\\s*[&*]*\\s*(\\w+)\\s*(?:[=;({\\[]|:(?!:))");
+  // Plain = (not ==, and not <= >= != preceding), bitwise/shift compound
+  // assignment, and increment/decrement. += / -= are DET005's.
+  static const std::regex write_re(
+      "(?:^|[^\\w\\]\\)\\.>])(\\w+)\\s*(?:<<=|>>=|[*/%&|^]=|=(?!=))|"
+      "(?:\\+\\+|--)\\s*(\\w+)|(\\w+)\\s*(?:\\+\\+|--)");
+  const std::string& stripped = tu.stripped;
+  auto begin = std::sregex_iterator(stripped.begin(), stripped.end(), call_re);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::size_t open = static_cast<std::size_t>(it->position()) +
+                             static_cast<std::size_t>(it->length()) - 1;
+    int depth = 1;
+    std::size_t close = open + 1;
+    for (; close < stripped.size() && depth > 0; ++close) {
+      if (stripped[close] == '(') ++depth;
+      else if (stripped[close] == ')') --depth;
+    }
+    const std::string argtext = stripped.substr(open + 1, close - open - 2);
+    std::smatch lm;
+    if (!std::regex_search(argtext, lm, lambda_re)) continue;
+    const std::size_t capture_end =
+        static_cast<std::size_t>(lm.position()) +
+        static_cast<std::size_t>(lm.length());
+    // Lambda parameters are shard-local.
+    std::set<std::string> local;
+    const std::size_t params_open = argtext.find('(', capture_end);
+    const std::size_t body_open = argtext.find('{', capture_end);
+    if (body_open == std::string::npos) continue;
+    if (params_open != std::string::npos && params_open < body_open) {
+      const std::size_t params_close = argtext.find(')', params_open);
+      if (params_close != std::string::npos) {
+        const std::string params =
+            argtext.substr(params_open, params_close - params_open);
+        for (auto d =
+                 std::sregex_iterator(params.begin(), params.end(), decl_re);
+             d != std::sregex_iterator(); ++d) {
+          local.insert((*d)[1].str());
+        }
+      }
+    }
+    int bdepth = 1;
+    std::size_t body_close = body_open + 1;
+    for (; body_close < argtext.size() && bdepth > 0; ++body_close) {
+      if (argtext[body_close] == '{') ++bdepth;
+      else if (argtext[body_close] == '}') --bdepth;
+    }
+    const std::string body =
+        argtext.substr(body_open + 1, body_close - body_open - 2);
+    for (auto d = std::sregex_iterator(body.begin(), body.end(), decl_re);
+         d != std::sregex_iterator(); ++d) {
+      local.insert((*d)[1].str());
+    }
+    for (auto w = std::sregex_iterator(body.begin(), body.end(), write_re);
+         w != std::sregex_iterator(); ++w) {
+      int group = 0;
+      for (int g = 1; g <= 3; ++g) {
+        if ((*w)[g].matched) {
+          group = g;
+          break;
+        }
+      }
+      const std::string ident = (*w)[group].str();
+      if (local.count(ident)) continue;
+      const std::size_t body_offset =
+          open + 1 + body_open + 1 +
+          static_cast<std::size_t>(w->position(group));
+      const std::size_t line = line_of_offset(stripped, body_offset);
+      out.push_back(Finding{
+          "CONC001", tu.path, line, trim(tu.lines[line - 1]),
+          "non-additive write to captured '" + ident +
+              "' inside a pool-sharded lambda (cross-shard race; write "
+              "through an element-indexed output or a shard-local instead)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CONC002 — atomic operations must name an explicit std::memory_order.
+// ---------------------------------------------------------------------------
+
+// Atomic member operations that accept a memory-order argument.
+const std::set<std::string>& ordered_atomic_ops() {
+  static const std::set<std::string> k = {
+      "load",       "store",     "exchange",  "fetch_add", "fetch_sub",
+      "fetch_and",  "fetch_or",  "fetch_xor", "test_and_set", "clear",
+      "compare_exchange_weak",   "compare_exchange_strong", "wait"};
+  return k;
+}
+
+void collect_atomic_names(const TranslationUnit& tu,
+                          std::set<std::string>& names) {
+  const std::vector<Token>& t = tu.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    std::size_t j = npos;
+    if (t[i].text == "atomic" && is(t, i + 1, "<")) {
+      int depth = 0;
+      for (std::size_t k = i + 1; k < t.size() && k < i + 64; ++k) {
+        if (t[k].text == "<") ++depth;
+        else if (t[k].text == ">" && --depth == 0) {
+          j = k + 1;
+          break;
+        } else if (t[k].text == ">>") {
+          depth -= 2;
+          if (depth <= 0) {
+            j = k + 1;
+            break;
+          }
+        } else if (t[k].text == ";" || t[k].text == "{") {
+          break;
+        }
+      }
+    } else if (t[i].text == "atomic_flag" || t[i].text == "atomic_bool") {
+      j = i + 1;
+    }
+    if (j == npos) continue;
+    while (j < t.size() &&
+           (t[j].text == "&" || t[j].text == "*" || t[j].text == "&&")) {
+      ++j;
+    }
+    if (is_ident(tu.tokens, j)) names.insert(t[j].text);
+  }
+}
+
+void check_conc002(const TranslationUnit& tu,
+                   const std::set<std::string>& atomics,
+                   std::vector<Finding>& out) {
+  const std::vector<Token>& t = tu.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    // member op: <atomic>.op(args) / <atomic>->op(args)
+    if (ordered_atomic_ops().count(t[i].text) && is(t, i + 1, "(") &&
+        i >= 2 && (is(t, i - 1, ".") || is(t, i - 1, "->")) &&
+        is_ident(t, i - 2) && atomics.count(t[i - 2].text)) {
+      const std::size_t end = skip_balanced(t, i + 1);
+      if (end == npos) continue;
+      bool has_order = false;
+      for (std::size_t k = i + 2; k + 1 < end; ++k) {
+        if (t[k].kind == Tok::kIdent &&
+            (t[k].text == "memory_order" ||
+             starts_with(t[k].text, "memory_order_"))) {
+          has_order = true;
+          break;
+        }
+      }
+      if (!has_order) {
+        out.push_back(Finding{
+            "CONC002", tu.path, t[i].line,
+            trim(tu.lines[t[i].line - 1]),
+            "atomic " + t[i].text + "() on '" + t[i - 2].text +
+                "' without an explicit std::memory_order (implicit seq_cst "
+                "hides whether the ordering was considered)"});
+      }
+      continue;
+    }
+    // operator form: ++x / x++ / x += 1 on an atomic (always seq_cst).
+    if (atomics.count(t[i].text)) {
+      const bool inc_dec =
+          is(t, i + 1, "++") || is(t, i + 1, "--") ||
+          (i > 0 && (is(t, i - 1, "++") || is(t, i - 1, "--")));
+      const bool compound =
+          is(t, i + 1, "+=") || is(t, i + 1, "-=") || is(t, i + 1, "&=") ||
+          is(t, i + 1, "|=") || is(t, i + 1, "^=");
+      if (inc_dec || compound) {
+        out.push_back(Finding{
+            "CONC002", tu.path, t[i].line,
+            trim(tu.lines[t[i].line - 1]),
+            "operator-form atomic update of '" + t[i].text +
+                "' (implicit seq_cst); use fetch_add/fetch_sub/store with "
+                "an explicit std::memory_order"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CONC003 — non-const reference members in Strand-derived classes.
+// ---------------------------------------------------------------------------
+void check_conc003(const std::vector<TranslationUnit>& tus,
+                   std::vector<Finding>& out) {
+  // Transitive closure of classes deriving from Strand, by last name
+  // component (bases may live in another TU).
+  std::set<std::string> strand_like = {"Strand"};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const TranslationUnit& tu : tus) {
+      for (const ClassInfo& ci : tu.classes) {
+        if (ci.name.empty() || strand_like.count(ci.name)) continue;
+        for (const std::string& base : ci.bases) {
+          if (strand_like.count(base)) {
+            strand_like.insert(ci.name);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (const TranslationUnit& tu : tus) {
+    if (!in_src(tu.path)) continue;
+    const std::vector<Token>& t = tu.tokens;
+    for (const ClassInfo& ci : tu.classes) {
+      if (ci.name == "Strand" || !strand_like.count(ci.name)) continue;
+      // Walk top-level declaration segments of the class body. Balanced
+      // brace groups (member function bodies, brace initializers) and
+      // paren groups (parameter lists) are skipped; a '(' leaves a marker
+      // so `T& f()` reads as a function, not a reference member.
+      std::vector<std::size_t> seg;  // token indices, "(" markers included
+      bool seg_has_paren = false;
+      bool seg_has_assign = false;
+      auto flush = [&]() {
+        if (!seg_has_paren && !seg_has_assign) {
+          bool saw_const = false;
+          bool sanctioned = false;
+          for (std::size_t k = 0; k < seg.size(); ++k) {
+            const Token& tok = t[seg[k]];
+            if (tok.text == "const") saw_const = true;
+            if (tok.kind == Tok::kIdent &&
+                (tok.text == "Rng" || ends_with(tok.text, "Workspace"))) {
+              sanctioned = true;
+            }
+            if ((tok.text == "&" || tok.text == "&&") && !saw_const &&
+                !sanctioned && k + 1 < seg.size() &&
+                t[seg[k + 1]].kind == Tok::kIdent) {
+              out.push_back(Finding{
+                  "CONC003", tu.path, tok.line,
+                  trim(tu.lines[tok.line - 1]),
+                  "mutable reference member '" + t[seg[k + 1]].text +
+                      "' in Strand-derived class " + ci.name +
+                      " (shared state captured per pass; audit or pass "
+                      "through a sanctioned channel)"});
+              break;
+            }
+          }
+        }
+        seg.clear();
+        seg_has_paren = false;
+        seg_has_assign = false;
+      };
+      std::size_t i = ci.body_begin;
+      while (i < ci.body_end && i < t.size()) {
+        const std::string& x = t[i].text;
+        if (x == "{") {
+          const std::size_t k = skip_balanced(t, i);
+          flush();  // function body or brace-init terminates the declarator
+          i = k == npos ? i + 1 : k;
+          continue;
+        }
+        if (x == "(") {
+          const std::size_t k = skip_balanced(t, i);
+          seg_has_paren = true;
+          i = k == npos ? i + 1 : k;
+          continue;
+        }
+        if (x == ";") {
+          flush();
+          ++i;
+          continue;
+        }
+        if (x == ":" && i > ci.body_begin &&
+            (is(t, i - 1, "public") || is(t, i - 1, "protected") ||
+             is(t, i - 1, "private"))) {
+          if (!seg.empty()) seg.pop_back();  // drop the access keyword
+          ++i;
+          continue;
+        }
+        if (x == "=") seg_has_assign = true;
+        seg.push_back(i);
+        ++i;
+      }
+      flush();
+    }
+  }
+}
+
+}  // namespace
+
+void run_conc_rules(const std::vector<TranslationUnit>& tus,
+                    std::vector<Finding>& out) {
+  std::set<std::string> atomics;
+  for (const TranslationUnit& tu : tus) collect_atomic_names(tu, atomics);
+  for (const TranslationUnit& tu : tus) {
+    if (!in_src(tu.path)) continue;
+    check_conc001(tu, out);
+    check_conc002(tu, atomics, out);
+  }
+  check_conc003(tus, out);
+}
+
+}  // namespace detlint

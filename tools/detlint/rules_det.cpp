@@ -1,0 +1,223 @@
+// DET001..DET005 — the v1 determinism rules, ported onto the indexed TU
+// (the TU already carries stripped text and split lines, so the v1 regex
+// bodies run unchanged). DET003 is extended beyond v1: std::stable_sort,
+// std::partial_sort and std::nth_element are now covered, each with its
+// own comparator-less base arity.
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+
+#include "detlint/lexer.hpp"
+#include "detlint/rules.hpp"
+
+namespace detlint {
+
+namespace {
+
+std::size_t line_of_offset(const std::string& text, std::size_t offset) {
+  return static_cast<std::size_t>(
+             std::count(text.begin(),
+                        text.begin() + static_cast<std::ptrdiff_t>(offset),
+                        '\n')) +
+         1;
+}
+
+bool in_dir(const std::string& path, const std::string& dir) {
+  return starts_with(path, dir + "/");
+}
+
+bool rule_applies_det001(const std::string& path) {
+  // All randomness flows through the seeded Rng; only its implementation
+  // may name the primitive sources.
+  return !starts_with(path, "src/common/rng");
+}
+
+bool rule_applies_det002(const std::string& path) {
+  return in_dir(path, "src/stormsim") || in_dir(path, "src/tuning") ||
+         in_dir(path, "src/bayesopt");
+}
+
+bool rule_applies_src_only(const std::string& path) {
+  return in_dir(path, "src");
+}
+
+void add_line_regex_findings(const std::string& rule,
+                             const std::regex& pattern,
+                             const std::string& detail,
+                             const TranslationUnit& tu,
+                             std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < tu.lines.size(); ++i) {
+    if (std::regex_search(tu.lines[i], pattern)) {
+      findings.push_back(
+          Finding{rule, tu.path, i + 1, trim(tu.lines[i]), detail});
+    }
+  }
+}
+
+// DET003: ordering-algorithm call with exactly its comparator-less number
+// of top-level arguments. Balanced-paren argument counting on the full
+// stripped text, as in v1; the algorithm table is the v2 extension.
+void check_det003(const TranslationUnit& tu, std::vector<Finding>& findings) {
+  static const std::map<std::string, std::size_t> base_arity = {
+      {"sort", 2},
+      {"stable_sort", 2},
+      {"partial_sort", 3},
+      {"nth_element", 3},
+  };
+  static const std::regex call_re(
+      "std\\s*::\\s*(sort|stable_sort|partial_sort|nth_element)\\s*\\(");
+  const std::string& stripped = tu.stripped;
+  auto begin =
+      std::sregex_iterator(stripped.begin(), stripped.end(), call_re);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string algo = (*it)[1].str();
+    const std::size_t open = static_cast<std::size_t>(it->position()) +
+                             static_cast<std::size_t>(it->length()) - 1;
+    int depth = 1;
+    int angle = 0;
+    std::size_t args = 1;
+    std::size_t j = open + 1;
+    for (; j < stripped.size() && depth > 0; ++j) {
+      const char c = stripped[j];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      else if (c == ')' || c == ']' || c == '}') --depth;
+      else if (c == '<') ++angle;
+      else if (c == '>' && angle > 0) --angle;
+      else if (c == ',' && depth == 1 && angle == 0) ++args;
+    }
+    if (args == base_arity.at(algo)) {
+      const std::size_t line = line_of_offset(stripped, open);
+      findings.push_back(Finding{
+          "DET003", tu.path, line, trim(tu.lines[line - 1]),
+          "std::" + algo + " without an explicit total-order comparator"});
+    }
+  }
+}
+
+// DET005 (pool-sharded part): inside a by-reference lambda that appears in
+// a parallel_for(...) argument list, += / -= on a plain identifier that the
+// lambda body does not itself declare accumulates into captured state —
+// and cross-shard accumulation order depends on the thread count.
+void check_det005_pool(const TranslationUnit& tu,
+                       std::vector<Finding>& findings) {
+  static const std::regex call_re("\\bparallel_for\\s*\\(");
+  static const std::regex lambda_re("\\[[^\\]]*&[^\\]]*\\]");
+  static const std::regex decl_re(
+      "\\b(?:double|float|auto|int|long|unsigned|std::size_t|size_t|"
+      "std::uint64_t|uint64_t|std::int64_t|int64_t)\\s+(\\w+)");
+  static const std::regex accum_re(
+      "(?:^|[^\\w\\]\\)\\.>])(\\w+)\\s*[+\\-]=");
+  const std::string& stripped = tu.stripped;
+  auto begin = std::sregex_iterator(stripped.begin(), stripped.end(), call_re);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    // Span of the parallel_for(...) argument list.
+    const std::size_t open = static_cast<std::size_t>(it->position()) +
+                             static_cast<std::size_t>(it->length()) - 1;
+    int depth = 1;
+    std::size_t close = open + 1;
+    for (; close < stripped.size() && depth > 0; ++close) {
+      if (stripped[close] == '(') ++depth;
+      else if (stripped[close] == ')') --depth;
+    }
+    const std::string argtext = stripped.substr(open + 1, close - open - 2);
+    // Find a by-reference lambda inside the argument list.
+    std::smatch lm;
+    if (!std::regex_search(argtext, lm, lambda_re)) continue;
+    const std::size_t body_open =
+        argtext.find('{', static_cast<std::size_t>(lm.position()));
+    if (body_open == std::string::npos) continue;
+    int bdepth = 1;
+    std::size_t body_close = body_open + 1;
+    for (; body_close < argtext.size() && bdepth > 0; ++body_close) {
+      if (argtext[body_close] == '{') ++bdepth;
+      else if (argtext[body_close] == '}') --bdepth;
+    }
+    const std::string body =
+        argtext.substr(body_open + 1, body_close - body_open - 2);
+    // Identifiers declared inside the body are shard-local and safe.
+    std::set<std::string> local;
+    for (auto d = std::sregex_iterator(body.begin(), body.end(), decl_re);
+         d != std::sregex_iterator(); ++d) {
+      local.insert((*d)[1].str());
+    }
+    for (auto a = std::sregex_iterator(body.begin(), body.end(), accum_re);
+         a != std::sregex_iterator(); ++a) {
+      const std::string ident = (*a)[1].str();
+      if (local.count(ident)) continue;
+      const std::size_t body_offset = open + 1 + body_open + 1 +
+                                      static_cast<std::size_t>(a->position(1));
+      const std::size_t line = line_of_offset(stripped, body_offset);
+      findings.push_back(
+          Finding{"DET005", tu.path, line, trim(tu.lines[line - 1]),
+                  "compound assignment to captured '" + ident +
+                      "' inside a pool-sharded lambda (accumulation order "
+                      "depends on thread count)"});
+    }
+  }
+}
+
+}  // namespace
+
+void run_det_rules(const TranslationUnit& tu, std::vector<Finding>& out) {
+  if (rule_applies_det001(tu.path)) {
+    static const std::regex det001(
+        "\\b(?:std\\s*::\\s*)?(?:rand|srand)\\s*\\(|\\brandom_device\\b");
+    add_line_regex_findings(
+        "DET001", det001,
+        "raw randomness source outside common/rng (unseeded or "
+        "process-global state)",
+        tu, out);
+  }
+
+  if (rule_applies_det002(tu.path)) {
+    static const std::regex det002a(
+        "\\bunordered_(?:map|set|multimap|multiset)\\b");
+    add_line_regex_findings(
+        "DET002", det002a,
+        "unordered container in a deterministic layer (hash-bucket order "
+        "leaks into iteration)",
+        tu, out);
+    static const std::regex det002b(
+        "\\b(?:std\\s*::\\s*)?(?:map|set)\\s*<[^<>,]*\\*\\s*[,>]");
+    add_line_regex_findings(
+        "DET002", det002b,
+        "pointer-keyed ordered container (iteration order depends on "
+        "allocation addresses)",
+        tu, out);
+  }
+
+  if (rule_applies_src_only(tu.path)) {
+    check_det003(tu, out);
+
+    static const std::regex det004(
+        "\\b(?:system_clock|steady_clock|high_resolution_clock)\\b|"
+        "\\bgettimeofday\\b|\\bclock\\s*\\(\\s*\\)|"
+        "\\btime\\s*\\(\\s*(?:NULL|nullptr|0)?\\s*\\)");
+    add_line_regex_findings(
+        "DET004", det004,
+        "clock read in library code (timing-dependent value); move it to "
+        "bench/ or tools/, or allowlist the audited exception",
+        tu, out);
+
+    static const std::regex det005a("#\\s*pragma\\s+omp\\b");
+    add_line_regex_findings(
+        "DET005", det005a,
+        "OpenMP pragma (reduction and scheduling order are runtime-"
+        "dependent); use common/thread_pool's deterministic sharding",
+        tu, out);
+    check_det005_pool(tu, out);
+  }
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+}  // namespace detlint
